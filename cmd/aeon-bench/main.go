@@ -1,0 +1,69 @@
+// Command aeon-bench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	aeon-bench -exp fig5a            # one experiment
+//	aeon-bench -exp all -quick       # everything, CI-speed
+//	aeon-bench -list                 # available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aeon/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aeon-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (or 'all')")
+		quick    = flag.Bool("quick", false, "shrink sweeps and durations")
+		duration = flag.Duration("duration", 0, "override per-point measurement duration")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.Experiments(), "\n"))
+		return nil
+	}
+	opts := bench.Options{
+		Quick:    *quick,
+		Duration: *duration,
+		Seed:     *seed,
+		Verbose:  true,
+		Out:      os.Stderr,
+	}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = bench.Experiments()
+	}
+	for _, name := range names {
+		start := time.Now()
+		tables, err := bench.Run(name, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		for _, t := range tables {
+			if *csv {
+				fmt.Printf("# %s\n%s", t.Title, t.CSV())
+			} else {
+				t.Fprint(os.Stdout)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

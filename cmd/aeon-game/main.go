@@ -1,0 +1,82 @@
+// Command aeon-game deploys the paper's MMO game application on a chosen
+// system variant and drives it with closed-loop clients, printing live
+// throughput/latency — handy for eyeballing the behaviour behind
+// Figures 5a/5b.
+//
+// Usage:
+//
+//	aeon-game -system AEON -servers 8 -clients 128 -duration 10s
+//	aeon-game -system EventWave -servers 8 -clients 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aeon/internal/cluster"
+	"aeon/internal/game"
+	"aeon/internal/transport"
+	"aeon/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aeon-game:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		system   = flag.String("system", "AEON", "AEON | AEON_SO | EventWave | Orleans | Orleans*")
+		servers  = flag.Int("servers", 8, "number of servers")
+		clients  = flag.Int("clients", 128, "closed-loop clients")
+		duration = flag.Duration("duration", 10*time.Second, "run duration")
+		players  = flag.Int("players", 8, "players per room")
+	)
+	flag.Parse()
+
+	cfg := game.DefaultConfig()
+	cfg.Rooms = *servers
+	cfg.PlayersPerRoom = *players
+	cfg.Mix = game.OpMix{PrivateGoldPct: 70, InteractPct: 20, CountPct: 10}
+
+	cl := cluster.New(transport.NewSim(transport.DefaultSimConfig()))
+	for i := 0; i < *servers; i++ {
+		cl.AddServer(cluster.M3Large)
+	}
+
+	var (
+		app game.App
+		err error
+	)
+	switch *system {
+	case "AEON":
+		app, err = game.BuildAEON(cl, cfg, false)
+	case "AEON_SO":
+		app, err = game.BuildAEON(cl, cfg, true)
+	case "EventWave":
+		app, err = game.BuildEventWave(cl, cfg)
+	case "Orleans":
+		app, err = game.BuildOrleans(cl, cfg, false)
+	case "Orleans*":
+		app, err = game.BuildOrleans(cl, cfg, true)
+	default:
+		return fmt.Errorf("unknown system %q", *system)
+	}
+	if err != nil {
+		return err
+	}
+	defer app.Close()
+
+	fmt.Printf("%s: %d servers, %d rooms × %d players, %d clients, %v\n",
+		app.Name(), *servers, cfg.Rooms, cfg.PlayersPerRoom, *clients, *duration)
+	res := workload.RunClosedLoop(app.DoOp, *clients, 0, *duration, 1)
+	if res.Errors > 0 {
+		return fmt.Errorf("%d op errors", res.Errors)
+	}
+	fmt.Printf("throughput: %.0f events/s\nlatency:    %s\n", res.Throughput, res.Latency)
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command aeon-tpcc drives the TPC-C benchmark application on a chosen
+// system variant (the workload behind Figures 6a/6b).
+//
+// Usage:
+//
+//	aeon-tpcc -system AEON -servers 8 -clients 64 -duration 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aeon/internal/cluster"
+	"aeon/internal/tpcc"
+	"aeon/internal/transport"
+	"aeon/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aeon-tpcc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		system    = flag.String("system", "AEON", "AEON | AEON_SO | EventWave | Orleans | Orleans*")
+		servers   = flag.Int("servers", 8, "number of servers (= districts)")
+		clients   = flag.Int("clients", 64, "closed-loop clients")
+		duration  = flag.Duration("duration", 10*time.Second, "run duration")
+		customers = flag.Int("customers", 40, "customers per district")
+	)
+	flag.Parse()
+
+	cfg := tpcc.DefaultConfig()
+	cfg.Districts = *servers
+	cfg.CustomersPerDistrict = *customers
+
+	cl := cluster.New(transport.NewSim(transport.DefaultSimConfig()))
+	for i := 0; i < *servers; i++ {
+		cl.AddServer(cluster.M3Large)
+	}
+
+	var (
+		app tpcc.App
+		err error
+	)
+	switch *system {
+	case "AEON":
+		app, err = tpcc.BuildAEON(cl, cfg, false)
+	case "AEON_SO":
+		app, err = tpcc.BuildAEON(cl, cfg, true)
+	case "EventWave":
+		app, err = tpcc.BuildEventWave(cl, cfg)
+	case "Orleans":
+		app, err = tpcc.BuildOrleans(cl, cfg, false)
+	case "Orleans*":
+		app, err = tpcc.BuildOrleans(cl, cfg, true)
+	default:
+		return fmt.Errorf("unknown system %q", *system)
+	}
+	if err != nil {
+		return err
+	}
+	defer app.Close()
+
+	fmt.Printf("%s: %d servers/districts × %d customers, %d clients, %v\n",
+		app.Name(), *servers, *customers, *clients, *duration)
+	res := workload.RunClosedLoop(app.DoTxn, *clients, 0, *duration, 1)
+	if res.Errors > 0 {
+		return fmt.Errorf("%d txn errors", res.Errors)
+	}
+	fmt.Printf("throughput: %.0f txns/s\nlatency:    %s\n", res.Throughput, res.Latency)
+	return nil
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableFprintAndCSV(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-header"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "long-header", "333", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,long-header\n1,2\n") {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestExperimentsListed(t *testing.T) {
+	names := Experiments()
+	want := []string{"fig1", "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "fig9", "table1"}
+	if len(names) != len(want) {
+		t.Fatalf("experiments = %v; want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("experiments = %v; want %v", names, want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig42", Options{}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestFig1Static(t *testing.T) {
+	tables, err := Run("fig1", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 5 {
+		t.Fatalf("fig1 = %+v", tables)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.duration() != 3*time.Second {
+		t.Fatalf("duration = %v", o.duration())
+	}
+	o.Quick = true
+	if o.duration() != 800*time.Millisecond {
+		t.Fatalf("quick duration = %v", o.duration())
+	}
+	o.Duration = time.Second
+	if o.duration() != time.Second {
+		t.Fatalf("explicit duration = %v", o.duration())
+	}
+	if o.seed() != 1 {
+		t.Fatalf("seed = %d", o.seed())
+	}
+	o.Seed = 7
+	if o.seed() != 7 {
+		t.Fatalf("seed = %d", o.seed())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if fmtK(1500) != "1.5k" || fmtK(999) != "999" {
+		t.Fatalf("fmtK: %s %s", fmtK(1500), fmtK(999))
+	}
+	if fmtMS(1500*time.Microsecond) != "1.50ms" {
+		t.Fatalf("fmtMS: %s", fmtMS(1500*time.Microsecond))
+	}
+}
+
+// TestFig9Smoke runs the cheapest real experiment end to end with a tiny
+// duration, covering the build+measure+report pipeline in unit tests.
+func TestFig9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs migrations for ~1.2s")
+	}
+	tab, err := Fig9(Options{Quick: true, Duration: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 || len(tab.Rows[0]) != 3 {
+		t.Fatalf("fig9 rows = %v", tab.Rows)
+	}
+}

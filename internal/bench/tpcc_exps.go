@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"aeon/internal/cluster"
+	"aeon/internal/tpcc"
+	"aeon/internal/transport"
+	"aeon/internal/workload"
+)
+
+// tpccSystems enumerates the five systems of Figures 6a/6b.
+var tpccSystems = []string{"EventWave", "Orleans", "Orleans*", "AEON_SO", "AEON"}
+
+// tpccConfig is the Figure 6 deployment: one District per server,
+// partitioned by district à la Rococo (§ 6.1.2).
+func tpccConfig(servers int, quick bool) tpcc.Config {
+	cfg := tpcc.DefaultConfig()
+	cfg.Districts = servers
+	cfg.CustomersPerDistrict = 30
+	if quick {
+		cfg.CustomersPerDistrict = 12
+	}
+	cfg.Items = 1000
+	cfg.StepCost = 100 * time.Microsecond
+	return cfg
+}
+
+func buildTPCCSystem(name string, servers int, cfg tpcc.Config) (tpcc.App, *cluster.Cluster, error) {
+	net := transport.NewSim(transport.DefaultSimConfig())
+	cl := cluster.New(net)
+	for i := 0; i < servers; i++ {
+		cl.AddServer(cluster.M3Large)
+	}
+	var (
+		app tpcc.App
+		err error
+	)
+	switch name {
+	case "AEON":
+		app, err = tpcc.BuildAEON(cl, cfg, false)
+	case "AEON_SO":
+		app, err = tpcc.BuildAEON(cl, cfg, true)
+	case "EventWave":
+		app, err = tpcc.BuildEventWave(cl, cfg)
+	case "Orleans":
+		app, err = tpcc.BuildOrleans(cl, cfg, false)
+	case "Orleans*":
+		app, err = tpcc.BuildOrleans(cl, cfg, true)
+	default:
+		return nil, nil, fmt.Errorf("bench: unknown system %q", name)
+	}
+	return app, cl, err
+}
+
+// Fig6a regenerates Figure 6a (TPC-C scale-out).
+func Fig6a(o Options) (*Table, error) {
+	serverCounts := []int{2, 4, 8, 12, 16}
+	if o.Quick {
+		serverCounts = []int{2, 4, 8}
+	}
+	t := &Table{
+		Title:   "Figure 6a: TPC-C scale-out (transactions/s)",
+		Columns: append([]string{"servers"}, tpccSystems...),
+		Notes: []string{
+			"expected shape: AEON stops scaling around 4 servers (District serialization + shared ownership-network updates), AEON_SO around 8 (Warehouse); EventWave and Orleans flat; Orleans* overtakes AEON at 16",
+		},
+	}
+	for _, n := range serverCounts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, sys := range tpccSystems {
+			o.progressf("fig6a: %s @ %d servers\n", sys, n)
+			app, _, err := buildTPCCSystem(sys, n, tpccConfig(n, o.Quick))
+			if err != nil {
+				return nil, fmt.Errorf("build %s@%d: %w", sys, n, err)
+			}
+			res := workload.RunClosedLoop(app.DoTxn, 8*n, 0, o.duration(), o.seed())
+			app.Close()
+			if res.Errors > 0 {
+				return nil, fmt.Errorf("%s@%d: %d txn errors", sys, n, res.Errors)
+			}
+			row = append(row, fmtK(res.Throughput))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig6b regenerates Figure 6b (TPC-C latency vs throughput at 8 servers).
+func Fig6b(o Options) (*Table, error) {
+	const servers = 8
+	clientCounts := []int{8, 16, 32, 64, 128}
+	if o.Quick {
+		clientCounts = []int{8, 32, 128}
+	}
+	t := &Table{
+		Title:   "Figure 6b: TPC-C latency vs throughput, 8 servers (cells: txns/s | mean latency)",
+		Columns: append([]string{"clients"}, tpccSystems...),
+		Notes: []string{
+			"expected shape: EventWave/Orleans saturate with few clients and their latency skyrockets; Orleans* tops AEON (no strict-serializability overhead)",
+		},
+	}
+	for _, clients := range clientCounts {
+		row := []string{fmt.Sprintf("%d", clients)}
+		for _, sys := range tpccSystems {
+			o.progressf("fig6b: %s @ %d clients\n", sys, clients)
+			app, _, err := buildTPCCSystem(sys, servers, tpccConfig(servers, o.Quick))
+			if err != nil {
+				return nil, fmt.Errorf("build %s: %w", sys, err)
+			}
+			res := workload.RunClosedLoop(app.DoTxn, clients, 0, o.duration(), o.seed())
+			app.Close()
+			if res.Errors > 0 {
+				return nil, fmt.Errorf("%s@%d clients: %d txn errors", sys, clients, res.Errors)
+			}
+			row = append(row, fmt.Sprintf("%s | %s", fmtK(res.Throughput), fmtMS(res.Latency.Mean)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,181 @@
+// Package cloudstore provides the configurable cloud storage system the
+// paper's eManager depends on (§ 5): the context mapping and ownership
+// network live here, migration steps are journaled here for eManager
+// fail-over, and the snapshot API (§ 5.3) writes checkpoints here (the
+// paper names ZooKeeper and Amazon S3 for these roles).
+//
+// The store is a versioned key-value store with compare-and-swap, per-
+// operation simulated latency, and injectable unavailability so tests can
+// exercise eManager crash/recovery paths.
+package cloudstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	// ErrNotFound is returned when a key does not exist.
+	ErrNotFound = errors.New("cloudstore: key not found")
+	// ErrVersionMismatch is returned by CAS when the expected version is
+	// stale.
+	ErrVersionMismatch = errors.New("cloudstore: version mismatch")
+	// ErrUnavailable is returned while the store is failed.
+	ErrUnavailable = errors.New("cloudstore: unavailable")
+)
+
+type entry struct {
+	value   []byte
+	version uint64
+}
+
+// Store is an in-memory versioned KV store.
+type Store struct {
+	latency time.Duration
+
+	mu   sync.Mutex
+	data map[string]entry
+	next uint64
+
+	down   atomic.Bool
+	reads  atomic.Uint64
+	writes atomic.Uint64
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithLatency charges the given latency on every operation, simulating a
+// remote storage service.
+func WithLatency(d time.Duration) Option {
+	return func(s *Store) { s.latency = d }
+}
+
+// New returns an empty store.
+func New(opts ...Option) *Store {
+	s := &Store{data: make(map[string]entry), next: 1}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+func (s *Store) charge() error {
+	if s.down.Load() {
+		return ErrUnavailable
+	}
+	if s.latency > 0 {
+		time.Sleep(s.latency)
+	}
+	if s.down.Load() {
+		return ErrUnavailable
+	}
+	return nil
+}
+
+// Get returns the value and version stored at key.
+func (s *Store) Get(key string) ([]byte, uint64, error) {
+	if err := s.charge(); err != nil {
+		return nil, 0, err
+	}
+	s.reads.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.data[key]
+	if !ok {
+		return nil, 0, fmt.Errorf("%q: %w", key, ErrNotFound)
+	}
+	out := make([]byte, len(e.value))
+	copy(out, e.value)
+	return out, e.version, nil
+}
+
+// Put unconditionally stores value at key and returns the new version.
+func (s *Store) Put(key string, value []byte) (uint64, error) {
+	if err := s.charge(); err != nil {
+		return 0, err
+	}
+	s.writes.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.next
+	s.next++
+	stored := make([]byte, len(value))
+	copy(stored, value)
+	s.data[key] = entry{value: stored, version: v}
+	return v, nil
+}
+
+// CAS stores value at key only if the current version equals expect.
+// expect == 0 means "key must not exist" (create).
+func (s *Store) CAS(key string, expect uint64, value []byte) (uint64, error) {
+	if err := s.charge(); err != nil {
+		return 0, err
+	}
+	s.writes.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.data[key]
+	switch {
+	case expect == 0 && ok:
+		return 0, fmt.Errorf("%q exists at v%d: %w", key, e.version, ErrVersionMismatch)
+	case expect != 0 && (!ok || e.version != expect):
+		return 0, fmt.Errorf("%q: have v%d want v%d: %w", key, e.version, expect, ErrVersionMismatch)
+	}
+	v := s.next
+	s.next++
+	stored := make([]byte, len(value))
+	copy(stored, value)
+	s.data[key] = entry{value: stored, version: v}
+	return v, nil
+}
+
+// Delete removes key. Deleting a missing key is an error so callers notice
+// protocol bugs.
+func (s *Store) Delete(key string) error {
+	if err := s.charge(); err != nil {
+		return err
+	}
+	s.writes.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.data[key]; !ok {
+		return fmt.Errorf("%q: %w", key, ErrNotFound)
+	}
+	delete(s.data, key)
+	return nil
+}
+
+// List returns the keys with the given prefix in sorted order.
+func (s *Store) List(prefix string) ([]string, error) {
+	if err := s.charge(); err != nil {
+		return nil, err
+	}
+	s.reads.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Fail makes the store return ErrUnavailable until Recover is called.
+func (s *Store) Fail() { s.down.Store(true) }
+
+// Recover restores availability after Fail.
+func (s *Store) Recover() { s.down.Store(false) }
+
+// Stats reports operation counts (for tests and the bench harness).
+func (s *Store) Stats() (reads, writes uint64) {
+	return s.reads.Load(), s.writes.Load()
+}

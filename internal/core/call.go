@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"aeon/internal/ownership"
+	"aeon/internal/schema"
+)
+
+// callEnv implements schema.Call: the environment a method body executes in.
+type callEnv struct {
+	rt     *Runtime
+	ev     *event
+	ctx    *Context
+	method *schema.Method
+}
+
+var _ schema.Call = (*callEnv)(nil)
+
+// Self implements schema.Call.
+func (c *callEnv) Self() ownership.ID { return c.ctx.id }
+
+// Class implements schema.Call.
+func (c *callEnv) Class() string { return c.ctx.class.Name() }
+
+// State implements schema.Call.
+func (c *callEnv) State() any { return c.ctx.State() }
+
+// EventID implements schema.Call.
+func (c *callEnv) EventID() uint64 { return c.ev.id }
+
+// ReadOnly implements schema.Call.
+func (c *callEnv) ReadOnly() bool { return c.ev.mode == RO }
+
+// prepareCall validates and activates a child call, returning the callee
+// context and method. It charges the cross-server hop for the EXEC message.
+func (c *callEnv) prepareCall(child ownership.ID, method string) (*Context, *schema.Method, error) {
+	if c.ev.crabbedCtx(c.ctx.id) {
+		return nil, nil, fmt.Errorf("call %s from %v: %w", method, c.ctx.id, ErrCrabbed)
+	}
+	cc, err := c.rt.Context(child)
+	if err != nil {
+		return nil, nil, err
+	}
+	// § 3: access to a context is only granted to the contexts that
+	// directly own it.
+	if !c.rt.graph.OwnsDirectly(c.ctx.id, child) {
+		return nil, nil, fmt.Errorf("%v → %v: %w", c.ctx.id, child, ErrNotOwned)
+	}
+	// Dynamic enforcement of the statically declared may-access sets.
+	if !c.rt.schema.MayAccess(c.ctx.class.Name(), c.method.Name, cc.class.Name()) {
+		return nil, nil, fmt.Errorf("%s.%s → %s: %w",
+			c.ctx.class.Name(), c.method.Name, cc.class.Name(), ErrAccessDenied)
+	}
+	m := cc.class.Method(method)
+	if m == nil {
+		return nil, nil, fmt.Errorf("%s.%s: %w", cc.class.Name(), method, ErrUnknownMethod)
+	}
+	// EXEC message from the caller's host to the callee's host.
+	if from, ok := c.rt.dir.Locate(c.ctx.id); ok {
+		if _, err := c.rt.routeHop(from, child, true); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := c.rt.acquireCtx(c.ev, cc); err != nil {
+		return nil, nil, err
+	}
+	return cc, m, nil
+}
+
+// Sync implements schema.Call.
+func (c *callEnv) Sync(child ownership.ID, method string, args ...any) (any, error) {
+	cc, m, err := c.prepareCall(child, method)
+	if err != nil {
+		return nil, err
+	}
+	return c.rt.invoke(c.ev, cc, m, args)
+}
+
+// asyncResult implements schema.AsyncResult.
+type asyncResult struct {
+	done chan struct{}
+	res  any
+	err  error
+}
+
+// Wait implements schema.AsyncResult.
+func (a *asyncResult) Wait() (any, error) {
+	<-a.done
+	return a.res, a.err
+}
+
+// Async implements schema.Call. Activation happens synchronously in queue
+// order (so two async calls to the same child from different branches keep
+// the event's ordering guarantees); only the execution is concurrent.
+func (c *callEnv) Async(child ownership.ID, method string, args ...any) schema.AsyncResult {
+	a := &asyncResult{done: make(chan struct{})}
+	cc, m, err := c.prepareCall(child, method)
+	if err != nil {
+		a.err = err
+		close(a.done)
+		return a
+	}
+	c.ev.asyncWG.Add(1)
+	go func() {
+		defer c.ev.asyncWG.Done()
+		defer close(a.done)
+		a.res, a.err = c.rt.invoke(c.ev, cc, m, args)
+	}()
+	return a
+}
+
+// Crab implements schema.Call: asynchronous tail call into a child followed
+// by early release of the current context when its handler returns.
+//
+// The child's activation-queue position is taken synchronously — while the
+// current context is still held, so the ordering the current context
+// established is preserved at the child — but admission is awaited in the
+// asynchronous tail, keeping the EXEC hop and any queue wait out of the
+// current context's hold time (§ 6.1.2: the Warehouse is released while the
+// District part of the transaction is still being delivered).
+func (c *callEnv) Crab(child ownership.ID, method string, args ...any) error {
+	if c.ev.crabbedCtx(c.ctx.id) {
+		return fmt.Errorf("call %s from %v: %w", method, c.ctx.id, ErrCrabbed)
+	}
+	cc, err := c.rt.Context(child)
+	if err != nil {
+		return err
+	}
+	if !c.rt.graph.OwnsDirectly(c.ctx.id, child) {
+		return fmt.Errorf("%v → %v: %w", c.ctx.id, child, ErrNotOwned)
+	}
+	if !c.rt.schema.MayAccess(c.ctx.class.Name(), c.method.Name, cc.class.Name()) {
+		return fmt.Errorf("%s.%s → %s: %w",
+			c.ctx.class.Name(), c.method.Name, cc.class.Name(), ErrAccessDenied)
+	}
+	m := cc.class.Method(method)
+	if m == nil {
+		return fmt.Errorf("%s.%s: %w", cc.class.Name(), method, ErrUnknownMethod)
+	}
+	// Reserve the child's queue slot now, under the current hold.
+	w := cc.lock.enqueue(c.ev.id, c.ev.mode)
+	if w != nil && !c.ev.recordHold(cc) {
+		// A concurrent same-event branch is mid-acquisition on this child;
+		// crabbing into it would race admission tracking. This pattern is
+		// unsupported — crab targets must be untouched children.
+		cc.lock.release(c.ev.id)
+		return fmt.Errorf("crab %v: concurrent same-event acquisition: %w", child, ErrCrabbed)
+	}
+	if !c.ev.markCrab(c.ctx.id) {
+		return fmt.Errorf("%v: %w", c.ctx.id, ErrCrabbed)
+	}
+	from, fromOK := c.rt.dir.Locate(c.ctx.id)
+	c.ev.asyncWG.Add(1)
+	go func() {
+		defer c.ev.asyncWG.Done()
+		// EXEC hop travels while the crabbed parent is already free.
+		if fromOK {
+			if _, err := c.rt.routeHop(from, child, true); err != nil {
+				c.rt.SubEventErrors.Inc()
+				return
+			}
+		}
+		if w != nil && !cc.lock.waitAdmitted(w) {
+			c.rt.SubEventErrors.Inc()
+			return
+		}
+		if _, err := c.rt.invoke(c.ev, cc, m, args); err != nil {
+			c.rt.SubEventErrors.Inc()
+		}
+	}()
+	return nil
+}
+
+// Dispatch implements schema.Call.
+func (c *callEnv) Dispatch(target ownership.ID, method string, args ...any) {
+	c.ev.addSub(target, method, args)
+}
+
+// NewContext implements schema.Call. Owners must be held by the enclosing
+// event: creating the edge mutates their ownership structure.
+func (c *callEnv) NewContext(class string, owners ...ownership.ID) (ownership.ID, error) {
+	for _, o := range owners {
+		if !c.ev.holds(o) {
+			return ownership.None, fmt.Errorf("owner %v: %w", o, ErrOwnerNotHeld)
+		}
+	}
+	id, err := c.rt.CreateContext(class, owners...)
+	if err != nil {
+		return ownership.None, err
+	}
+	// The creating event implicitly owns the fresh context exclusively: no
+	// other event can reach it before our edges are visible and we
+	// terminate. Record the hold so calls into it work immediately.
+	cc, err := c.rt.Context(id)
+	if err != nil {
+		return ownership.None, err
+	}
+	if err := c.rt.acquireCtx(c.ev, cc); err != nil {
+		return ownership.None, err
+	}
+	return id, nil
+}
+
+// AddOwner implements schema.Call.
+func (c *callEnv) AddOwner(parent, child ownership.ID) error {
+	if !c.ev.holds(parent) {
+		return fmt.Errorf("parent %v: %w", parent, ErrOwnerNotHeld)
+	}
+	if !c.ev.holds(child) {
+		return fmt.Errorf("child %v: %w", child, ErrOwnerNotHeld)
+	}
+	return c.rt.graph.AddEdge(parent, child)
+}
+
+// Children implements schema.Call.
+func (c *callEnv) Children(class string) ([]ownership.ID, error) {
+	children, err := c.rt.graph.Children(c.ctx.id)
+	if err != nil {
+		return nil, err
+	}
+	if class == "" {
+		return children, nil
+	}
+	out := children[:0]
+	for _, ch := range children {
+		if cls, err := c.rt.graph.Class(ch); err == nil && cls == class {
+			out = append(out, ch)
+		}
+	}
+	return out, nil
+}
+
+// Work implements schema.Call.
+func (c *callEnv) Work(d time.Duration) {
+	if srv, ok := c.rt.dir.Locate(c.ctx.id); ok {
+		if server, sok := c.rt.cluster.Server(srv); sok {
+			server.Work(d)
+		}
+	}
+}

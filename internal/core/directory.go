@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"aeon/internal/cluster"
+	"aeon/internal/ownership"
+)
+
+// Directory maps contexts to their hosting servers (§ 5.1 "Context
+// Mapping"). The authoritative copy lives with the eManager in cloud
+// storage; hosts and clients cache it. This in-process directory models the
+// cached mapping: lookups are cheap, and for a staleness window after a
+// migration, routing to a moved context reports the old server so the
+// runtime can charge the forwarding hop the paper describes ("s1 will
+// forward those events to s2 directly and notify source host to update its
+// context map").
+type Directory struct {
+	staleFor time.Duration
+
+	mu    sync.RWMutex
+	loc   map[ownership.ID]cluster.ServerID
+	moved map[ownership.ID]movedRecord
+}
+
+type movedRecord struct {
+	old cluster.ServerID
+	at  time.Time
+}
+
+// NewDirectory returns an empty directory whose moved-context forwarding
+// window is staleFor.
+func NewDirectory(staleFor time.Duration) *Directory {
+	return &Directory{
+		staleFor: staleFor,
+		loc:      make(map[ownership.ID]cluster.ServerID),
+		moved:    make(map[ownership.ID]movedRecord),
+	}
+}
+
+// Place records the initial placement of a context.
+func (d *Directory) Place(id ownership.ID, s cluster.ServerID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.loc[id] = s
+}
+
+// Locate returns the current host of a context.
+func (d *Directory) Locate(id ownership.ID) (cluster.ServerID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s, ok := d.loc[id]
+	return s, ok
+}
+
+// Route returns the host of a context plus, when the context migrated
+// within the staleness window, the old host a stale cache would still point
+// at (the caller charges the extra forwarding hop).
+func (d *Directory) Route(id ownership.ID) (host cluster.ServerID, staleVia cluster.ServerID, forwarded bool, ok bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s, ok := d.loc[id]
+	if !ok {
+		return 0, 0, false, false
+	}
+	if rec, moved := d.moved[id]; moved && time.Since(rec.at) < d.staleFor {
+		return s, rec.old, true, true
+	}
+	return s, 0, false, true
+}
+
+// Move rehosts a context and opens its forwarding window.
+func (d *Directory) Move(id ownership.ID, to cluster.ServerID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old, ok := d.loc[id]
+	if !ok {
+		return fmt.Errorf("%v: %w", id, ErrUnknownContext)
+	}
+	d.loc[id] = to
+	d.moved[id] = movedRecord{old: old, at: time.Now()}
+	return nil
+}
+
+// Forget removes a context from the directory.
+func (d *Directory) Forget(id ownership.ID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.loc, id)
+	delete(d.moved, id)
+}
+
+// HostedOn returns the contexts currently placed on the given server.
+func (d *Directory) HostedOn(s cluster.ServerID) []ownership.ID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []ownership.ID
+	for id, host := range d.loc {
+		if host == s {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Len returns the number of placed contexts.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.loc)
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"aeon/internal/ownership"
+)
+
+func TestDirectoryPlaceLocate(t *testing.T) {
+	d := NewDirectory(time.Second)
+	d.Place(ownership.ID(1), 10)
+	srv, ok := d.Locate(ownership.ID(1))
+	if !ok || srv != 10 {
+		t.Fatalf("Locate = %v, %v", srv, ok)
+	}
+	if _, ok := d.Locate(ownership.ID(2)); ok {
+		t.Fatal("unknown context should not locate")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestDirectoryMoveOpensForwardingWindow(t *testing.T) {
+	d := NewDirectory(50 * time.Millisecond)
+	d.Place(ownership.ID(1), 10)
+	if err := d.Move(ownership.ID(1), 20); err != nil {
+		t.Fatal(err)
+	}
+	host, via, forwarded, ok := d.Route(ownership.ID(1))
+	if !ok || host != 20 || !forwarded || via != 10 {
+		t.Fatalf("Route = host %v via %v fwd %v ok %v", host, via, forwarded, ok)
+	}
+	// After the staleness window, routing is direct.
+	time.Sleep(60 * time.Millisecond)
+	host, _, forwarded, ok = d.Route(ownership.ID(1))
+	if !ok || host != 20 || forwarded {
+		t.Fatalf("post-window Route = host %v fwd %v", host, forwarded)
+	}
+}
+
+func TestDirectoryMoveUnknown(t *testing.T) {
+	d := NewDirectory(time.Second)
+	if err := d.Move(ownership.ID(9), 20); err == nil {
+		t.Fatal("moving an unknown context must fail")
+	}
+}
+
+func TestDirectoryHostedOnAndForget(t *testing.T) {
+	d := NewDirectory(time.Second)
+	d.Place(ownership.ID(1), 10)
+	d.Place(ownership.ID(2), 10)
+	d.Place(ownership.ID(3), 20)
+	on10 := d.HostedOn(10)
+	if len(on10) != 2 {
+		t.Fatalf("HostedOn(10) = %v", on10)
+	}
+	d.Forget(ownership.ID(1))
+	if len(d.HostedOn(10)) != 1 {
+		t.Fatal("Forget should remove the context")
+	}
+	if _, ok := d.Locate(ownership.ID(1)); ok {
+		t.Fatal("forgotten context should not locate")
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"sync"
+
+	"aeon/internal/ownership"
+)
+
+// event is one in-flight AEON event (Algorithm 1's Event plus the runtime
+// bookkeeping: held contexts in acquisition order, outstanding asynchronous
+// calls, and sub-events dispatched within the event).
+type event struct {
+	id     uint64
+	mode   AccessMode
+	target ownership.ID
+	method string
+	dom    ownership.ID
+
+	mu       sync.Mutex
+	held     []*Context // acquisition order
+	heldSet  map[ownership.ID]*heldState
+	subs     []subEvent
+	finished bool
+
+	asyncWG sync.WaitGroup
+}
+
+type heldState struct {
+	ctx      *Context
+	released bool // crab-released early
+	crabbed  bool // no further calls may route through this context
+}
+
+type subEvent struct {
+	target ownership.ID
+	method string
+	args   []any
+}
+
+func newEvent(id uint64, mode AccessMode, target ownership.ID, method string) *event {
+	return &event{
+		id:      id,
+		mode:    mode,
+		target:  target,
+		method:  method,
+		heldSet: make(map[ownership.ID]*heldState, 4),
+	}
+}
+
+// holds reports whether the event currently holds the context (and has not
+// crab-released it).
+func (e *event) holds(id ownership.ID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h, ok := e.heldSet[id]
+	return ok && !h.released
+}
+
+// crabbed reports whether the event crab-released the context.
+func (e *event) crabbedCtx(id ownership.ID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h, ok := e.heldSet[id]
+	return ok && h.crabbed
+}
+
+// recordHold registers a newly acquired context. It returns false when the
+// context was already recorded (a same-event race between two async calls;
+// the duplicate acquisition was re-entrant and cost nothing).
+func (e *event) recordHold(c *Context) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.heldSet[c.ID()]; ok {
+		return false
+	}
+	e.heldSet[c.ID()] = &heldState{ctx: c}
+	e.held = append(e.held, c)
+	return true
+}
+
+// markCrab flags the context as crabbed: no further calls may route through
+// it, and its activation is dropped as soon as its current handler returns.
+func (e *event) markCrab(id ownership.ID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h, ok := e.heldSet[id]
+	if !ok || h.crabbed {
+		return false
+	}
+	h.crabbed = true
+	return true
+}
+
+// markCrabReleasable atomically claims the early release of a crabbed
+// context: it returns the hold exactly once, after Crab was called and
+// before event termination.
+func (e *event) markCrabReleasable(id ownership.ID) *heldState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h, ok := e.heldSet[id]
+	if !ok || !h.crabbed || h.released {
+		return nil
+	}
+	h.released = true
+	return h
+}
+
+// releaseAll releases every still-held context in reverse acquisition order
+// (§ 4: "locks on the contexts accessed during an event are released in the
+// reverse order on which they are locked").
+func (e *event) releaseAll() {
+	e.mu.Lock()
+	held := make([]*heldState, 0, len(e.held))
+	for _, c := range e.held {
+		held = append(held, e.heldSet[c.ID()])
+	}
+	e.finished = true
+	e.mu.Unlock()
+
+	for i := len(held) - 1; i >= 0; i-- {
+		h := held[i]
+		if h.released {
+			continue
+		}
+		h.released = true
+		h.ctx.lock.release(e.id)
+	}
+}
+
+// addSub queues a sub-event for dispatch after completion.
+func (e *event) addSub(target ownership.ID, method string, args []any) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.subs = append(e.subs, subEvent{target: target, method: method, args: args})
+}
+
+// takeSubs returns and clears the queued sub-events.
+func (e *event) takeSubs() []subEvent {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	subs := e.subs
+	e.subs = nil
+	return subs
+}
+
+// Future is the client-side handle of an asynchronous event submission.
+type Future struct {
+	done chan struct{}
+	res  any
+	err  error
+}
+
+func newFuture() *Future {
+	return &Future{done: make(chan struct{})}
+}
+
+func (f *Future) complete(res any, err error) {
+	f.res = res
+	f.err = err
+	close(f.done)
+}
+
+// Wait blocks until the event completes and returns its result.
+func (f *Future) Wait() (any, error) {
+	<-f.done
+	return f.res, f.err
+}
+
+// Done returns a channel closed when the event completes.
+func (f *Future) Done() <-chan struct{} { return f.done }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// AccessMode distinguishes readonly from exclusive activation (Algorithm 1,
+// accessMode).
+type AccessMode int
+
+const (
+	// RO activates a context in share mode: multiple readonly events may
+	// hold the same context concurrently.
+	RO AccessMode = iota + 1
+	// EX activates a context exclusively.
+	EX
+)
+
+// String renders the mode.
+func (m AccessMode) String() string {
+	if m == RO {
+		return "RO"
+	}
+	return "EX"
+}
+
+// eventLock is one context's activation state: the paper's toActivateQueue
+// (FIFO waiters) plus activatedSet (current holders). Admission follows
+// Algorithm 2's dispatchEvent: the queue head is admitted if it is readonly
+// and no exclusive holder is active, or if the activated set is empty;
+// otherwise it waits. FIFO admission gives starvation freedom — a writer is
+// never overtaken by later readers.
+type eventLock struct {
+	mu      sync.Mutex
+	holders map[uint64]AccessMode
+	exCount int
+	queue   []*waiter
+}
+
+type waiter struct {
+	eventID uint64
+	mode    AccessMode
+	ready   chan struct{}
+	// cancelled is set (before ready is closed, under the lock's mutex, so
+	// the channel close publishes it) when the waiter was removed from the
+	// queue instead of admitted.
+	cancelled bool
+}
+
+func newEventLock() *eventLock {
+	return &eventLock{holders: make(map[uint64]AccessMode)}
+}
+
+// enqueue joins the activation queue without blocking and returns the
+// waiter to block on, or nil when the event already holds the context. The
+// queue position is taken synchronously, so ordering established by the
+// caller (e.g. a crabbed parent still being held) is preserved even though
+// admission is awaited later.
+func (l *eventLock) enqueue(eventID uint64, mode AccessMode) *waiter {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.holders[eventID]; ok {
+		return nil
+	}
+	w := &waiter{eventID: eventID, mode: mode, ready: make(chan struct{})}
+	l.queue = append(l.queue, w)
+	l.pump()
+	return w
+}
+
+// acquire blocks until the event holds the context in the given mode.
+// It returns false if the event already held the context (re-entrant; no
+// state change), and an error only if the optional timeout fires.
+func (l *eventLock) acquire(eventID uint64, mode AccessMode, timeout time.Duration) (bool, error) {
+	w := l.enqueue(eventID, mode)
+	if w == nil {
+		return false, nil
+	}
+
+	if timeout <= 0 {
+		if !l.waitAdmitted(w) {
+			return false, ErrAcquireTimeout
+		}
+		return true, nil
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		if w.cancelled {
+			return false, ErrAcquireTimeout
+		}
+		return true, nil
+	case <-timer.C:
+		// Remove ourselves from the queue if still waiting; we may have
+		// been admitted in the race, in which case we keep the lock.
+		l.mu.Lock()
+		for i, qw := range l.queue {
+			if qw == w {
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				l.mu.Unlock()
+				return false, ErrAcquireTimeout
+			}
+		}
+		l.mu.Unlock()
+		if !l.waitAdmitted(w) {
+			return false, ErrAcquireTimeout
+		}
+		return true, nil
+	}
+}
+
+// release drops the event's hold (or its pending queue entry, if the event
+// was enqueued but never admitted — e.g. an aborted crab) and admits queued
+// waiters.
+func (l *eventLock) release(eventID uint64) {
+	l.mu.Lock()
+	mode, ok := l.holders[eventID]
+	if ok {
+		delete(l.holders, eventID)
+		if mode == EX {
+			l.exCount--
+		}
+		l.pump()
+	} else {
+		for i, w := range l.queue {
+			if w.eventID == eventID {
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				w.cancelled = true
+				close(w.ready)
+				l.pump()
+				break
+			}
+		}
+	}
+	l.mu.Unlock()
+}
+
+// waitAdmitted blocks until the waiter is admitted; it returns false when
+// the waiter was cancelled by release instead.
+func (l *eventLock) waitAdmitted(w *waiter) bool {
+	<-w.ready
+	return !w.cancelled
+}
+
+// pump admits queue heads per Algorithm 2; caller holds l.mu.
+func (l *eventLock) pump() {
+	for len(l.queue) > 0 {
+		head := l.queue[0]
+		switch {
+		case head.mode == RO && l.exCount == 0:
+			// Readonly joins other readonly holders.
+		case len(l.holders) == 0:
+			// Exclusive (or first) activation requires an empty set.
+		default:
+			return
+		}
+		l.holders[head.eventID] = head.mode
+		if head.mode == EX {
+			l.exCount++
+		}
+		l.queue = l.queue[1:]
+		close(head.ready)
+	}
+}
+
+// holderCount reports how many events currently hold the context.
+func (l *eventLock) holderCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.holders)
+}
+
+// queueLen reports how many events are waiting for activation.
+func (l *eventLock) queueLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.queue)
+}

@@ -1,0 +1,523 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aeon/internal/cluster"
+	"aeon/internal/metrics"
+	"aeon/internal/ownership"
+	"aeon/internal/schema"
+	"aeon/internal/transport"
+)
+
+// ClientNode is the logical network location of external clients; hops
+// between clients and servers are charged against it.
+const ClientNode = transport.NodeID(-1)
+
+// Config tunes the runtime.
+type Config struct {
+	// MessageBytes approximates the payload size of protocol messages
+	// (activation and execution requests) for network latency charging.
+	MessageBytes int
+	// ChargeClientHops charges the client→dominator request hop and the
+	// target→client reply hop on every event (on by default in New).
+	ChargeClientHops bool
+	// AcquireTimeout, when positive, bounds context activation waits and
+	// fails the event with ErrAcquireTimeout. The protocol is deadlock-free
+	// for valid ownership networks; tests use this as a watchdog.
+	AcquireTimeout time.Duration
+	// StalenessWindow is how long after a migration routing to the moved
+	// context still pays the stale-cache forwarding hop (§ 5.2).
+	StalenessWindow time.Duration
+	// SharedOwnershipUpdateCost charges the creation of a *multi-owned*
+	// context: sharing edges are part of the authoritative ownership
+	// network the eManager keeps in cloud storage (§ 5.1), so creating a
+	// shared context is a globally serialized update. Single-owner
+	// creation is a local structural change and stays free. The TPC-C
+	// benchmarks set this; it is the mechanism behind AEON's earlier
+	// saturation versus AEON_SO in Figure 6a.
+	SharedOwnershipUpdateCost time.Duration
+}
+
+// DefaultConfig returns the configuration used by the benchmark harness.
+func DefaultConfig() Config {
+	return Config{
+		MessageBytes:     256,
+		ChargeClientHops: true,
+		StalenessWindow:  2 * time.Second,
+	}
+}
+
+// Runtime executes AEON events over an ownership network on a cluster.
+type Runtime struct {
+	cfg     Config
+	schema  *schema.Schema
+	graph   *ownership.Graph
+	cluster *cluster.Cluster
+	dir     *Directory
+
+	mu          sync.RWMutex
+	contexts    map[ownership.ID]*Context
+	placeCursor int
+
+	// sharedCreateMu serializes multi-owned context creation when
+	// SharedOwnershipUpdateCost is configured (the global ownership-network
+	// update).
+	sharedCreateMu sync.Mutex
+
+	eventSeq atomic.Uint64
+	closed   atomic.Bool
+	subWG    sync.WaitGroup
+
+	// Latency records end-to-end event latency; Completed counts finished
+	// events. The eManager's SLA policy reads RecentLatency.
+	Latency   metrics.Histogram
+	Completed metrics.Counter
+	// SubEventErrors counts sub-events that failed (they have no client to
+	// report to).
+	SubEventErrors metrics.Counter
+	ewmaNs         atomic.Int64
+}
+
+// New creates a runtime over a frozen schema, an ownership graph, and a
+// cluster. The graph may be pre-populated or built through CreateContext.
+func New(s *schema.Schema, g *ownership.Graph, cl *cluster.Cluster, cfg Config) (*Runtime, error) {
+	if !s.Frozen() {
+		return nil, fmt.Errorf("core: schema must be frozen before use")
+	}
+	if cfg.MessageBytes == 0 {
+		cfg.MessageBytes = 256
+	}
+	if cfg.StalenessWindow == 0 {
+		cfg.StalenessWindow = 2 * time.Second
+	}
+	return &Runtime{
+		cfg:      cfg,
+		schema:   s,
+		graph:    g,
+		cluster:  cl,
+		dir:      NewDirectory(cfg.StalenessWindow),
+		contexts: make(map[ownership.ID]*Context),
+	}, nil
+}
+
+// Graph returns the ownership network.
+func (r *Runtime) Graph() *ownership.Graph { return r.graph }
+
+// Directory returns the context-placement directory.
+func (r *Runtime) Directory() *Directory { return r.dir }
+
+// Cluster returns the compute substrate.
+func (r *Runtime) Cluster() *cluster.Cluster { return r.cluster }
+
+// Schema returns the application schema.
+func (r *Runtime) Schema() *schema.Schema { return r.schema }
+
+// Close stops accepting events and waits for in-flight sub-events.
+func (r *Runtime) Close() {
+	r.closed.Store(true)
+	r.subWG.Wait()
+}
+
+// CreateContext creates a context of the given class owned by owners and
+// places it on the server hosting the first owner (the locality-aware
+// placement the paper credits for AEON's low message overhead); ownerless
+// contexts are placed round-robin.
+func (r *Runtime) CreateContext(class string, owners ...ownership.ID) (ownership.ID, error) {
+	srv, err := r.defaultPlacement(owners)
+	if err != nil {
+		return ownership.None, err
+	}
+	return r.CreateContextOn(srv, class, owners...)
+}
+
+// CreateContextOn creates a context on an explicit server.
+func (r *Runtime) CreateContextOn(srv cluster.ServerID, class string, owners ...ownership.ID) (ownership.ID, error) {
+	cls := r.schema.Class(class)
+	if cls == nil {
+		return ownership.None, fmt.Errorf("class %q: %w", class, schema.ErrUnknownClass)
+	}
+	server, ok := r.cluster.Server(srv)
+	if !ok {
+		return ownership.None, fmt.Errorf("create %q: %w", class, cluster.ErrNoSuchServer)
+	}
+	if len(owners) > 1 && r.cfg.SharedOwnershipUpdateCost > 0 {
+		// Publishing a sharing edge updates the authoritative ownership
+		// network (eManager + cloud storage): globally serialized.
+		r.sharedCreateMu.Lock()
+		time.Sleep(r.cfg.SharedOwnershipUpdateCost)
+		r.sharedCreateMu.Unlock()
+	}
+	id, err := r.graph.AddContext(class, owners...)
+	if err != nil {
+		return ownership.None, fmt.Errorf("create %q: %w", class, err)
+	}
+	c := &Context{id: id, class: cls, lock: newEventLock(), state: cls.NewState()}
+	r.mu.Lock()
+	r.contexts[id] = c
+	r.mu.Unlock()
+	r.dir.Place(id, srv)
+	server.AddHosted(1)
+	return id, nil
+}
+
+func (r *Runtime) defaultPlacement(owners []ownership.ID) (cluster.ServerID, error) {
+	if len(owners) > 0 {
+		if srv, ok := r.dir.Locate(owners[0]); ok {
+			return srv, nil
+		}
+	}
+	servers := r.cluster.Servers()
+	if len(servers) == 0 {
+		return 0, fmt.Errorf("core: cluster has no servers")
+	}
+	r.mu.Lock()
+	idx := r.placeCursor % len(servers)
+	r.placeCursor++
+	r.mu.Unlock()
+	return servers[idx].ID(), nil
+}
+
+// Context returns the runtime entry for a context, lazily materializing
+// entries for virtual contexts the ownership graph created as sequencing
+// points.
+func (r *Runtime) Context(id ownership.ID) (*Context, error) {
+	r.mu.RLock()
+	c, ok := r.contexts[id]
+	r.mu.RUnlock()
+	if ok {
+		return c, nil
+	}
+	class, err := r.graph.Class(id)
+	if err != nil || class != ownership.VirtualClass {
+		return nil, fmt.Errorf("%v: %w", id, ErrUnknownContext)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.contexts[id]; ok {
+		return c, nil
+	}
+	c = &Context{id: id, class: schema.VirtualContextClass(), lock: newEventLock()}
+	r.contexts[id] = c
+	// Place the virtual sequencer alongside its first child for locality.
+	srv := cluster.ServerID(0)
+	if children, err := r.graph.Children(id); err == nil && len(children) > 0 {
+		if s, ok := r.dir.Locate(children[0]); ok {
+			srv = s
+		}
+	}
+	if srv == 0 {
+		if servers := r.cluster.Servers(); len(servers) > 0 {
+			srv = servers[0].ID()
+		}
+	}
+	r.dir.Place(id, srv)
+	if server, ok := r.cluster.Server(srv); ok {
+		server.AddHosted(1)
+	}
+	return c, nil
+}
+
+// DestroyContext removes a leaf context with no remaining edges from the
+// runtime (e.g. consumed TPC-C NewOrder markers). The caller must ensure no
+// event holds it.
+func (r *Runtime) DestroyContext(id ownership.ID) error {
+	if err := r.graph.DetachContext(id); err != nil {
+		return err
+	}
+	if srv, ok := r.dir.Locate(id); ok {
+		if server, sok := r.cluster.Server(srv); sok {
+			server.AddHosted(-1)
+		}
+	}
+	r.dir.Forget(id)
+	r.mu.Lock()
+	delete(r.contexts, id)
+	r.mu.Unlock()
+	return nil
+}
+
+// Submit runs an event to completion and returns its result (the paper's
+// `event x.m(args)` decorated call, § 3).
+func (r *Runtime) Submit(target ownership.ID, method string, args ...any) (any, error) {
+	return r.run(target, method, args)
+}
+
+// SubmitAsync runs an event in the background and returns a Future.
+func (r *Runtime) SubmitAsync(target ownership.ID, method string, args ...any) *Future {
+	f := newFuture()
+	r.subWG.Add(1)
+	go func() {
+		defer r.subWG.Done()
+		f.complete(r.run(target, method, args))
+	}()
+	return f
+}
+
+func (r *Runtime) run(target ownership.ID, method string, args []any) (any, error) {
+	return r.runWith(target, method, args, false)
+}
+
+// runWith executes one event; asSub marks sub-events launched before Close,
+// which must run to completion even while the runtime is draining.
+func (r *Runtime) runWith(target ownership.ID, method string, args []any, asSub bool) (any, error) {
+	if r.closed.Load() && !asSub {
+		return nil, ErrClosed
+	}
+	start := time.Now()
+
+	tc, err := r.Context(target)
+	if err != nil {
+		return nil, err
+	}
+	m := tc.class.Method(method)
+	if m == nil {
+		return nil, fmt.Errorf("%s.%s: %w", tc.class.Name(), method, ErrUnknownMethod)
+	}
+	mode := EX
+	if m.ReadOnly {
+		mode = RO
+	}
+	ev := newEvent(r.eventSeq.Add(1), mode, target, method)
+
+	res, err := r.executeEvent(ev, tc, m, args)
+
+	r.recordLatency(time.Since(start))
+	r.Completed.Inc()
+	r.launchSubs(ev)
+	return res, err
+}
+
+// executeEvent drives Algorithm 2 for one event: dominator activation, path
+// activation down to the target, execution, then release of everything.
+func (r *Runtime) executeEvent(ev *event, tc *Context, m *schema.Method, args []any) (any, error) {
+	// Resolve the dominator (getDom, Algorithm 2 line 3).
+	dom, err := r.graph.Dom(ev.target)
+	if err != nil {
+		return nil, fmt.Errorf("dominator of %v: %w", ev.target, err)
+	}
+	ev.dom = dom
+
+	// Make sure everything is released even on error paths; releaseAll is
+	// idempotent per held context.
+	defer ev.releaseAll()
+
+	// Materialize the dominator's runtime entry first: virtual sequencer
+	// contexts are created lazily and need placement before routing.
+	domCtx, err := r.Context(dom)
+	if err != nil {
+		return nil, err
+	}
+	// Client request travels to the dominator's host (ACT message).
+	domSrv, err := r.routeHop(ClientNode, dom, r.cfg.ChargeClientHops)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.acquireCtx(ev, domCtx); err != nil {
+		return nil, err
+	}
+
+	// Path activation dominator → target, top-down (activatePath).
+	if dom != ev.target {
+		path, err := r.graph.Path(dom, ev.target)
+		if err != nil {
+			return nil, fmt.Errorf("activate path %v→%v: %w", dom, ev.target, err)
+		}
+		cur := domSrv
+		for _, cid := range path[1:] {
+			next, err := r.routeHop(cur, cid, true)
+			if err != nil {
+				return nil, err
+			}
+			cur = next
+			cctx, err := r.Context(cid)
+			if err != nil {
+				return nil, err
+			}
+			if err := r.acquireCtx(ev, cctx); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res, err := r.invoke(ev, tc, m, args)
+	// The event terminates only when all its asynchronous calls have; all
+	// activations release at termination, *before* the reply travels back
+	// (the deferred releaseAll above is an idempotent safety net for error
+	// paths).
+	ev.asyncWG.Wait()
+	ev.releaseAll()
+
+	// Reply to the client from the target's host.
+	if r.cfg.ChargeClientHops {
+		if srv, ok := r.dir.Locate(ev.target); ok {
+			_ = r.cluster.Net().Hop(srv, ClientNode, r.cfg.MessageBytes)
+		}
+	}
+	return res, err
+}
+
+// routeHop charges the network hop from `from` to the host of context id,
+// including the stale-cache forwarding hop for recently migrated contexts,
+// and returns the host. When charge is false only routing is performed.
+func (r *Runtime) routeHop(from transport.NodeID, id ownership.ID, charge bool) (cluster.ServerID, error) {
+	host, via, forwarded, ok := r.dir.Route(id)
+	if !ok {
+		return 0, fmt.Errorf("%v: %w", id, ErrUnknownContext)
+	}
+	if !charge {
+		return host, nil
+	}
+	net := r.cluster.Net()
+	if forwarded && via != host {
+		if err := net.Hop(from, via, r.cfg.MessageBytes); err != nil {
+			return 0, err
+		}
+		if err := net.Hop(via, host, r.cfg.MessageBytes); err != nil {
+			return 0, err
+		}
+		return host, nil
+	}
+	if from != host {
+		if err := net.Hop(from, host, r.cfg.MessageBytes); err != nil {
+			return 0, err
+		}
+	}
+	return host, nil
+}
+
+// acquireCtx activates a context for an event (enqueue + wait, per
+// Algorithm 2) and records the hold for reverse-order release.
+func (r *Runtime) acquireCtx(ev *event, c *Context) error {
+	first, err := c.lock.acquire(ev.id, ev.mode, r.cfg.AcquireTimeout)
+	if err != nil {
+		return fmt.Errorf("activate %v for event %d: %w", c.id, ev.id, err)
+	}
+	if first {
+		if !ev.recordHold(c) {
+			// A concurrent same-event acquisition recorded it already;
+			// drop the duplicate hold.
+			c.lock.release(ev.id)
+		}
+	}
+	return nil
+}
+
+// invoke runs one method call on a context the event has activated.
+func (r *Runtime) invoke(ev *event, c *Context, m *schema.Method, args []any) (any, error) {
+	if ev.mode == RO && !m.ReadOnly {
+		return nil, fmt.Errorf("%s.%s in event %d: %w", c.class.Name(), m.Name, ev.id, ErrReadOnlyEvent)
+	}
+	if m.Handler == nil {
+		return nil, fmt.Errorf("%s.%s: %w", c.class.Name(), m.Name, ErrUnknownMethod)
+	}
+	// Simulated CPU burns on the hosting server.
+	if m.Cost > 0 {
+		if srv, ok := r.dir.Locate(c.id); ok {
+			if server, sok := r.cluster.Server(srv); sok {
+				server.Work(m.Cost)
+			}
+		}
+	}
+	if !m.ReadOnly {
+		c.runMu.Lock()
+		defer c.runMu.Unlock()
+		c.version.Add(1)
+	}
+	env := &callEnv{rt: r, ev: ev, ctx: c, method: m}
+	res, err := m.Handler(env, args)
+	// Crab: release this context as soon as its handler returns (§ 6.1.2),
+	// letting the next event enter while our asynchronous tail call runs
+	// below the crabbed child.
+	if h := ev.markCrabReleasable(c.id); h != nil {
+		c.lock.release(ev.id)
+	}
+	return res, err
+}
+
+// launchSubs starts the sub-events dispatched within a completed event
+// (§ 3: they execute after their creator finishes).
+func (r *Runtime) launchSubs(ev *event) {
+	for _, sub := range ev.takeSubs() {
+		r.subWG.Add(1)
+		go func(s subEvent) {
+			defer r.subWG.Done()
+			if _, err := r.runWith(s.target, s.method, s.args, true); err != nil {
+				r.SubEventErrors.Inc()
+			}
+		}(sub)
+	}
+}
+
+func (r *Runtime) recordLatency(d time.Duration) {
+	r.Latency.Record(d)
+	const alpha = 0.05
+	for {
+		old := r.ewmaNs.Load()
+		var next int64
+		if old == 0 {
+			next = d.Nanoseconds()
+		} else {
+			next = int64((1-alpha)*float64(old) + alpha*float64(d.Nanoseconds()))
+		}
+		if r.ewmaNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// RecentLatency returns an exponentially weighted moving average of event
+// latency — the signal the eManager's SLA policy consumes (§ 6.2).
+func (r *Runtime) RecentLatency() time.Duration {
+	return time.Duration(r.ewmaNs.Load())
+}
+
+// LockForMigration exclusively activates a context as the paper's migratec
+// pseudo-event: it waits in the context's queue until running events drain,
+// then holds it so state can be transferred. The returned release function
+// reopens the context.
+func (r *Runtime) LockForMigration(id ownership.ID) (func(), error) {
+	c, err := r.Context(id)
+	if err != nil {
+		return nil, err
+	}
+	c.migrating.Store(true)
+	ev := newEvent(r.eventSeq.Add(1), EX, id, "__migrate__")
+	if _, err := c.lock.acquire(ev.id, EX, 0); err != nil {
+		c.migrating.Store(false)
+		return nil, err
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.migrating.Store(false)
+			c.lock.release(ev.id)
+		})
+	}, nil
+}
+
+// Rehost moves a context's placement to another server, adjusting hosted
+// counters and opening the directory's forwarding window. The caller must
+// hold the context via LockForMigration.
+func (r *Runtime) Rehost(id ownership.ID, to cluster.ServerID) error {
+	from, ok := r.dir.Locate(id)
+	if !ok {
+		return fmt.Errorf("%v: %w", id, ErrUnknownContext)
+	}
+	if _, ok := r.cluster.Server(to); !ok {
+		return fmt.Errorf("rehost %v: %w", to, cluster.ErrNoSuchServer)
+	}
+	if err := r.dir.Move(id, to); err != nil {
+		return err
+	}
+	if s, ok := r.cluster.Server(from); ok {
+		s.AddHosted(-1)
+	}
+	if s, ok := r.cluster.Server(to); ok {
+		s.AddHosted(1)
+	}
+	return nil
+}

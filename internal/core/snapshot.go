@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"aeon/internal/ownership"
+)
+
+// WithSubtreeShared runs fn while holding the given context and all its
+// transitive descendants in share (readonly) mode, acquired top-down from
+// the dominator per the activation protocol. It is the locking substrate of
+// the § 5.3 snapshot event: fn observes a consistent cut — no event can be
+// mid-flight inside the subtree while it runs.
+//
+// The ids passed to fn are the root followed by its descendants in
+// acquisition order.
+func (r *Runtime) WithSubtreeShared(root ownership.ID, fn func(ids []ownership.ID) error) error {
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	ev := newEvent(r.eventSeq.Add(1), RO, root, "__snapshot__")
+	defer ev.releaseAll()
+
+	dom, err := r.graph.Dom(root)
+	if err != nil {
+		return fmt.Errorf("dominator of %v: %w", root, err)
+	}
+	domCtx, err := r.Context(dom)
+	if err != nil {
+		return err
+	}
+	if err := r.acquireCtx(ev, domCtx); err != nil {
+		return err
+	}
+	if dom != root {
+		path, err := r.graph.Path(dom, root)
+		if err != nil {
+			return err
+		}
+		for _, cid := range path[1:] {
+			c, err := r.Context(cid)
+			if err != nil {
+				return err
+			}
+			if err := r.acquireCtx(ev, c); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Breadth-first top-down over the subtree.
+	ids := []ownership.ID{root}
+	seen := map[ownership.ID]bool{root: true}
+	for i := 0; i < len(ids); i++ {
+		children, err := r.graph.Children(ids[i])
+		if err != nil {
+			continue // context destroyed concurrently; its parent is held
+		}
+		for _, ch := range children {
+			if seen[ch] {
+				continue
+			}
+			seen[ch] = true
+			c, err := r.Context(ch)
+			if err != nil {
+				return err
+			}
+			if err := r.acquireCtx(ev, c); err != nil {
+				return err
+			}
+			ids = append(ids, ch)
+		}
+	}
+	return fn(ids)
+}

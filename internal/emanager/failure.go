@@ -1,0 +1,141 @@
+package emanager
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aeon/internal/cluster"
+	"aeon/internal/ownership"
+)
+
+// Server failure handling. The paper's § 5.3 defers the details of
+// individual server failures to the project webpage; the behaviour
+// implemented here follows its stated design: context state is
+// checkpointed to cloud storage via the snapshot API, and when a server is
+// lost, the eManager re-creates the lost contexts on surviving servers from
+// their most recent checkpoints and republishes the mapping. Events
+// submitted to a recovering context simply queue on its activation lock and
+// execute once recovery completes.
+
+// CheckpointServer snapshots every movable context hosted on the given
+// server (a periodic call implements the paper's checkpoint-based fault
+// tolerance). It returns the number of contexts captured.
+func (m *Manager) CheckpointServer(srv cluster.ServerID) (int, error) {
+	count := 0
+	for _, id := range m.rt.Directory().HostedOn(srv) {
+		if !m.classAllowed(id) {
+			continue
+		}
+		if _, n, err := m.Snapshot(id); err != nil {
+			return count, fmt.Errorf("checkpoint %v: %w", id, err)
+		} else if n > 0 {
+			count += n
+		}
+	}
+	return count, nil
+}
+
+// latestSnapshotKey finds the most recent snapshot of a context in the
+// store (keys are "snapshot/<ctx>/<seq>" with monotonically increasing
+// sequence numbers).
+func (m *Manager) latestSnapshotKey(id ownership.ID) (string, bool, error) {
+	prefix := fmt.Sprintf("snapshot/%d/", uint64(id))
+	keys, err := m.store.List(prefix)
+	if err != nil {
+		return "", false, err
+	}
+	if len(keys) == 0 {
+		return "", false, nil
+	}
+	// Sequence numbers sort numerically, not lexically.
+	sort.Slice(keys, func(i, j int) bool {
+		return snapshotSeqOf(keys[i]) < snapshotSeqOf(keys[j])
+	})
+	return keys[len(keys)-1], true, nil
+}
+
+func snapshotSeqOf(key string) uint64 {
+	idx := strings.LastIndexByte(key, '/')
+	if idx < 0 {
+		return 0
+	}
+	var seq uint64
+	_, _ = fmt.Sscanf(key[idx+1:], "%d", &seq)
+	return seq
+}
+
+// FailureReport summarizes a server-loss recovery.
+type FailureReport struct {
+	// Lost lists the contexts that were hosted on the failed server.
+	Lost []ownership.ID
+	// Restored lists contexts whose state was recovered from checkpoints.
+	Restored []ownership.ID
+	// Reset lists contexts that had no checkpoint and restarted from
+	// factory state.
+	Reset []ownership.ID
+}
+
+// RecoverServerFailure handles the loss of a server: every context it
+// hosted is re-homed onto surviving servers, state is restored from the
+// most recent checkpoint where one exists (factory state otherwise), and
+// the mapping is republished. The failed server is removed from the
+// cluster.
+func (m *Manager) RecoverServerFailure(failed cluster.ServerID) (*FailureReport, error) {
+	dir := m.rt.Directory()
+	lost := dir.HostedOn(failed)
+	report := &FailureReport{Lost: lost}
+
+	for _, id := range lost {
+		to, err := m.pickDestination(failed)
+		if err != nil {
+			return report, fmt.Errorf("re-home %v: %w", id, err)
+		}
+		// Take the context exclusively (queued events wait, they are not
+		// lost), reset or restore its state, and re-home it.
+		release, err := m.rt.LockForMigration(id)
+		if err != nil {
+			return report, fmt.Errorf("lock %v: %w", id, err)
+		}
+		c, err := m.rt.Context(id)
+		if err != nil {
+			release()
+			return report, err
+		}
+		key, ok, err := m.latestSnapshotKey(id)
+		if err != nil {
+			release()
+			return report, err
+		}
+		if ok {
+			states, err := m.LoadSnapshot(key)
+			if err != nil {
+				release()
+				return report, fmt.Errorf("load checkpoint %q: %w", key, err)
+			}
+			if st, found := states[id]; found {
+				c.SetState(st)
+				report.Restored = append(report.Restored, id)
+			} else {
+				c.SetState(c.Class().NewState())
+				report.Reset = append(report.Reset, id)
+			}
+		} else {
+			c.SetState(c.Class().NewState())
+			report.Reset = append(report.Reset, id)
+		}
+		if err := m.rt.Rehost(id, to); err != nil {
+			release()
+			return report, err
+		}
+		if _, err := m.store.Put(mapKey(id), []byte(fmt.Sprintf("%d", int(to)))); err != nil {
+			release()
+			return report, err
+		}
+		release()
+	}
+	if err := m.rt.Cluster().RemoveServer(failed); err != nil {
+		return report, fmt.Errorf("remove failed server: %w", err)
+	}
+	return report, nil
+}

@@ -1,0 +1,542 @@
+// Package emanager implements AEON's elasticity manager (§ 5): it maintains
+// the authoritative context mapping and ownership network in cloud storage,
+// migrates contexts between servers with the paper's five-step protocol
+// (prepare → stop → δ remap → migrate event → resume), evaluates elasticity
+// policies (resource utilization, server contention, SLA) against server
+// telemetry, and provides the consistent snapshot API of § 5.3.
+//
+// The eManager itself is stateless: every migration step is journaled in
+// the cloud store, so a crashed eManager can be replaced and the new one
+// finishes in-flight migrations (Recover).
+package emanager
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"aeon/internal/cloudstore"
+	"aeon/internal/cluster"
+	"aeon/internal/core"
+	"aeon/internal/metrics"
+	"aeon/internal/ownership"
+	"aeon/internal/transport"
+)
+
+// ManagerNode is the logical network location of the eManager service.
+const ManagerNode = transport.NodeID(-2)
+
+var (
+	// ErrVetoed is returned when a constraint rejects an action.
+	ErrVetoed = errors.New("emanager: action vetoed by constraint")
+	// ErrNoTarget is returned when no destination server is available.
+	ErrNoTarget = errors.New("emanager: no destination server available")
+)
+
+// Config tunes the manager.
+type Config struct {
+	// Delta is the paper's δ: the settle time between stopping the source
+	// and publishing the new mapping (step III).
+	Delta time.Duration
+	// ProtocolWork is the CPU consumed on each endpoint per migration
+	// (message handling, serialization); it scales with instance speed and
+	// produces Figure 9's per-instance-type migration throughput.
+	ProtocolWork time.Duration
+	// PollInterval is how often policies are evaluated.
+	PollInterval time.Duration
+	// MovableClasses restricts policy-driven migration to contexts of the
+	// given classes (e.g. only Rooms move in the game); empty means any.
+	MovableClasses []string
+	// MigrateSubtrees moves a context together with the co-located contexts
+	// it transitively owns, preserving locality.
+	MigrateSubtrees bool
+}
+
+// DefaultConfig returns production-ish defaults.
+func DefaultConfig() Config {
+	return Config{
+		Delta:           2 * time.Millisecond,
+		ProtocolWork:    1500 * time.Microsecond,
+		PollInterval:    250 * time.Millisecond,
+		MigrateSubtrees: true,
+	}
+}
+
+// Manager is the elasticity manager.
+type Manager struct {
+	cfg   Config
+	rt    *core.Runtime
+	store *cloudstore.Store
+
+	mu          sync.Mutex
+	policies    []Policy
+	constraints []Constraint
+	migrating   map[ownership.ID]bool
+
+	// Migrations counts completed migrations; MigrationTime records their
+	// durations (Figures 8/9 instrumentation).
+	Migrations    metrics.Counter
+	MigrationTime metrics.Histogram
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New creates a manager for a runtime, journaling into store.
+func New(rt *core.Runtime, store *cloudstore.Store, cfg Config) *Manager {
+	if cfg.PollInterval == 0 {
+		cfg.PollInterval = 250 * time.Millisecond
+	}
+	return &Manager{
+		cfg:       cfg,
+		rt:        rt,
+		store:     store,
+		migrating: make(map[ownership.ID]bool),
+	}
+}
+
+// Runtime returns the managed runtime.
+func (m *Manager) Runtime() *core.Runtime { return m.rt }
+
+// Store returns the backing cloud store.
+func (m *Manager) Store() *cloudstore.Store { return m.store }
+
+// AddPolicy installs an elasticity policy.
+func (m *Manager) AddPolicy(p Policy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.policies = append(m.policies, p)
+}
+
+// AddConstraint installs a Tuba-style constraint that can veto actions.
+func (m *Manager) AddConstraint(c Constraint) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.constraints = append(m.constraints, c)
+}
+
+// Start launches the policy evaluation loop; Stop shuts it down.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stop != nil {
+		return
+	}
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	go m.loop(m.stop, m.done)
+}
+
+// Stop halts the policy loop and waits for it to exit.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	stop, done := m.stop, m.done
+	m.stop, m.done = nil, nil
+	m.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (m *Manager) loop(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(m.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			m.Evaluate()
+		}
+	}
+}
+
+// Evaluate runs one policy round against current telemetry and applies the
+// resulting actions (subject to constraints). It is called periodically by
+// the loop and directly by tests.
+func (m *Manager) Evaluate() {
+	stats := m.CollectStats()
+	m.mu.Lock()
+	policies := append([]Policy(nil), m.policies...)
+	m.mu.Unlock()
+	for _, p := range policies {
+		for _, action := range p.Decide(stats) {
+			if err := m.Apply(action); err != nil &&
+				!errors.Is(err, ErrVetoed) && !errors.Is(err, ErrNoTarget) {
+				// Policy actions are advisory; failures surface in telemetry
+				// on the next round.
+				continue
+			}
+		}
+	}
+}
+
+// CollectStats gathers the per-server telemetry policies consume ("every
+// server periodically sends its resource utilization data", § 5.2).
+func (m *Manager) CollectStats() Stats {
+	servers := m.rt.Cluster().Servers()
+	st := Stats{
+		RecentLatency: m.rt.RecentLatency(),
+		Servers:       make([]ServerStat, 0, len(servers)),
+	}
+	for _, s := range servers {
+		st.Servers = append(st.Servers, ServerStat{
+			ID:          s.ID(),
+			Profile:     s.Profile(),
+			Utilization: s.Utilization(),
+			Hosted:      s.Hosted(),
+		})
+	}
+	return st
+}
+
+// Apply executes one elasticity action after constraint checks.
+func (m *Manager) Apply(action Action) error {
+	m.mu.Lock()
+	constraints := append([]Constraint(nil), m.constraints...)
+	m.mu.Unlock()
+	for _, c := range constraints {
+		if !c.Allow(action, m) {
+			return fmt.Errorf("%T: %w", action, ErrVetoed)
+		}
+	}
+	switch a := action.(type) {
+	case AddServer:
+		m.rt.Cluster().AddServer(a.Profile)
+		return nil
+	case RemoveServer:
+		return m.DrainAndRemove(a.Server)
+	case MigrateContext:
+		to := a.To
+		if to == 0 {
+			var err error
+			to, err = m.pickDestination(a.From)
+			if err != nil {
+				return err
+			}
+		}
+		if m.cfg.MigrateSubtrees {
+			return m.MigrateGroup(a.Context, to)
+		}
+		return m.Migrate(a.Context, to)
+	case Rebalance:
+		return m.rebalanceFrom(a.Server, a.Fraction)
+	default:
+		return fmt.Errorf("emanager: unknown action %T", action)
+	}
+}
+
+// pickDestination chooses the least-loaded other server ("the default
+// algorithm tries to move contexts from overloaded hosts to underloaded
+// ones", § 5.2).
+func (m *Manager) pickDestination(from cluster.ServerID) (cluster.ServerID, error) {
+	var best cluster.ServerID
+	bestHosted := int(^uint(0) >> 1)
+	for _, s := range m.rt.Cluster().Servers() {
+		if s.ID() == from {
+			continue
+		}
+		if h := s.Hosted(); h < bestHosted {
+			bestHosted = h
+			best = s.ID()
+		}
+	}
+	if best == 0 {
+		return 0, ErrNoTarget
+	}
+	return best, nil
+}
+
+// movableOn lists policy-movable contexts hosted on a server.
+func (m *Manager) movableOn(srv cluster.ServerID) []ownership.ID {
+	hosted := m.rt.Directory().HostedOn(srv)
+	var out []ownership.ID
+	for _, id := range hosted {
+		if m.classAllowed(id) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (m *Manager) classAllowed(id ownership.ID) bool {
+	class, err := m.rt.Graph().Class(id)
+	if err != nil || class == ownership.VirtualClass {
+		return false
+	}
+	if len(m.cfg.MovableClasses) == 0 {
+		return true
+	}
+	for _, c := range m.cfg.MovableClasses {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}
+
+// rebalanceFrom moves the given fraction of movable contexts off a server.
+func (m *Manager) rebalanceFrom(srv cluster.ServerID, fraction float64) error {
+	movable := m.movableOn(srv)
+	n := int(float64(len(movable)) * fraction)
+	if n == 0 && len(movable) > 0 {
+		n = 1
+	}
+	var firstErr error
+	for i := 0; i < n; i++ {
+		to, err := m.pickDestination(srv)
+		if err != nil {
+			return err
+		}
+		if m.cfg.MigrateSubtrees {
+			err = m.MigrateGroup(movable[i], to)
+		} else {
+			err = m.Migrate(movable[i], to)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// DrainAndRemove migrates everything off a server and releases it.
+func (m *Manager) DrainAndRemove(srv cluster.ServerID) error {
+	dir := m.rt.Directory()
+	for _, id := range dir.HostedOn(srv) {
+		to, err := m.pickDestination(srv)
+		if err != nil {
+			return err
+		}
+		if err := m.Migrate(id, to); err != nil {
+			return fmt.Errorf("drain %v: %w", id, err)
+		}
+	}
+	return m.rt.Cluster().RemoveServer(srv)
+}
+
+// migrationWAL is the journal record persisted per migration step.
+type migrationWAL struct {
+	Context ownership.ID
+	From    cluster.ServerID
+	To      cluster.ServerID
+	Step    int // 1=prepared 2=stopped 3=remapped 4=transferred 5=done
+}
+
+func walKey(id ownership.ID) string { return fmt.Sprintf("wal/migration/%d", uint64(id)) }
+func mapKey(id ownership.ID) string { return fmt.Sprintf("map/%d", uint64(id)) }
+
+func encodeWAL(w migrationWAL) []byte {
+	var buf bytes.Buffer
+	_ = gob.NewEncoder(&buf).Encode(w)
+	return buf.Bytes()
+}
+
+func decodeWAL(b []byte) (migrationWAL, error) {
+	var w migrationWAL
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w)
+	return w, err
+}
+
+// Migrate moves one context to another server using the five-step protocol
+// of § 5.2. It blocks until the context is live on the destination.
+func (m *Manager) Migrate(id ownership.ID, to cluster.ServerID) error {
+	return m.migrate(id, to, 0)
+}
+
+// migrate implements Migrate; failAfterStep (test hook) aborts after the
+// given step to simulate an eManager crash, leaving the WAL behind.
+func (m *Manager) migrate(id ownership.ID, to cluster.ServerID, failAfterStep int) error {
+	m.mu.Lock()
+	if m.migrating[id] {
+		m.mu.Unlock()
+		return fmt.Errorf("emanager: %v already migrating", id)
+	}
+	m.migrating[id] = true
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.migrating, id)
+		m.mu.Unlock()
+	}()
+
+	start := time.Now()
+	dir := m.rt.Directory()
+	from, ok := dir.Locate(id)
+	if !ok {
+		return fmt.Errorf("%v: %w", id, core.ErrUnknownContext)
+	}
+	if from == to {
+		return nil
+	}
+	net := m.rt.Cluster().Net()
+	srcServer, _ := m.rt.Cluster().Server(from)
+	dstServer, ok := m.rt.Cluster().Server(to)
+	if !ok {
+		return fmt.Errorf("migrate to %v: %w", to, cluster.ErrNoSuchServer)
+	}
+
+	wal := migrationWAL{Context: id, From: from, To: to}
+
+	// Step I: journal the intent, then prepare the destination (it creates
+	// a queue for C) and wait for its ack.
+	wal.Step = 1
+	if _, err := m.store.Put(walKey(id), encodeWAL(wal)); err != nil {
+		return fmt.Errorf("journal step I: %w", err)
+	}
+	if err := net.Hop(ManagerNode, to, 128); err != nil {
+		return err
+	}
+	if err := net.Hop(to, ManagerNode, 64); err != nil {
+		return err
+	}
+	if failAfterStep == 1 {
+		return errSimulatedCrash
+	}
+
+	// Step II: tell the source to stop accepting events for C; ack.
+	if err := net.Hop(ManagerNode, from, 128); err != nil {
+		return err
+	}
+	if err := net.Hop(from, ManagerNode, 64); err != nil {
+		return err
+	}
+	if failAfterStep == 2 {
+		return errSimulatedCrash
+	}
+
+	// Step III: after δ, publish the new mapping (one journaled write).
+	time.Sleep(m.cfg.Delta)
+	wal.Step = 3
+	if _, err := m.store.Put(walKey(id), encodeWAL(wal)); err != nil {
+		return fmt.Errorf("journal step III: %w", err)
+	}
+	if failAfterStep == 3 {
+		return errSimulatedCrash
+	}
+
+	// Step IV: the migrate(C,s2) event reaches the source (folded into the
+	// step II exchange above) and the migratec pseudo-event drains C's
+	// queue, then the state moves.
+	release, err := m.rt.LockForMigration(id)
+	if err != nil {
+		return fmt.Errorf("migratec %v: %w", id, err)
+	}
+	defer release()
+
+	c, err := m.rt.Context(id)
+	if err != nil {
+		return err
+	}
+	stateBytes := c.StateBytes()
+	// Protocol CPU on both endpoints (serialize + deserialize); the slower
+	// endpoint bounds the exchange, so charge it once there.
+	slow := dstServer
+	if srcServer != nil && srcServer.Profile().Speed < dstServer.Profile().Speed {
+		slow = srcServer
+	}
+	slow.Work(2 * m.cfg.ProtocolWork)
+	// State transfer at the endpoints' migration bandwidth.
+	mbps := dstServer.Profile().MigrationMBps
+	if srcServer != nil && srcServer.Profile().MigrationMBps < mbps {
+		mbps = srcServer.Profile().MigrationMBps
+	}
+	if mbps > 0 && stateBytes > 0 {
+		time.Sleep(time.Duration(float64(stateBytes) / (mbps * 1e6) * float64(time.Second)))
+	}
+	if err := m.rt.Rehost(id, to); err != nil {
+		return err
+	}
+
+	// Step V: destination confirms and starts executing queued events —
+	// release() (deferred) reopens the context; the journal entry clears.
+	if err := m.store.Delete(walKey(id)); err != nil {
+		return fmt.Errorf("journal step V: %w", err)
+	}
+
+	m.Migrations.Inc()
+	m.MigrationTime.Record(time.Since(start))
+	return nil
+}
+
+var errSimulatedCrash = errors.New("emanager: simulated crash (test hook)")
+
+// MigrateGroup migrates a context together with every transitively owned
+// context currently co-located with it, preserving the locality-aware
+// placement (a Room moves with its Players and Items).
+func (m *Manager) MigrateGroup(root ownership.ID, to cluster.ServerID) error {
+	dir := m.rt.Directory()
+	from, ok := dir.Locate(root)
+	if !ok {
+		return fmt.Errorf("%v: %w", root, core.ErrUnknownContext)
+	}
+	group := []ownership.ID{root}
+	if desc, err := m.rt.Graph().Desc(root); err == nil {
+		for _, d := range desc {
+			if srv, ok := dir.Locate(d); ok && srv == from {
+				group = append(group, d)
+			}
+		}
+	}
+	for _, id := range group {
+		if err := m.Migrate(id, to); err != nil {
+			return fmt.Errorf("group member %v: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Recover scans the migration journal and completes in-flight migrations a
+// crashed eManager left behind: steps ≤ II are rolled forward by re-running
+// the migration; steps ≥ III (mapping already published) are finished by
+// completing the transfer.
+func (m *Manager) Recover() error {
+	keys, err := m.store.List("wal/migration/")
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		raw, _, err := m.store.Get(k)
+		if err != nil {
+			continue
+		}
+		wal, err := decodeWAL(raw)
+		if err != nil {
+			return fmt.Errorf("corrupt WAL %q: %w", k, err)
+		}
+		if err := m.store.Delete(k); err != nil {
+			return err
+		}
+		// Whether the old manager died before or after publishing the
+		// mapping, re-running the migration converges: the runtime-side
+		// move happens atomically in step IV under the migratec lock.
+		if cur, ok := m.rt.Directory().Locate(wal.Context); ok && cur != wal.To {
+			if err := m.Migrate(wal.Context, wal.To); err != nil {
+				return fmt.Errorf("recover %v: %w", wal.Context, err)
+			}
+		}
+	}
+	return nil
+}
+
+// PersistMapping journals the current context mapping to the cloud store
+// (done in bulk at deployment time; individual migrations update entries).
+func (m *Manager) PersistMapping() error {
+	dir := m.rt.Directory()
+	for _, s := range m.rt.Cluster().Servers() {
+		for _, id := range dir.HostedOn(s.ID()) {
+			if _, err := m.store.Put(mapKey(id), []byte(fmt.Sprintf("%d", int(s.ID())))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

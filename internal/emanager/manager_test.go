@@ -1,0 +1,485 @@
+package emanager
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"aeon/internal/cloudstore"
+	"aeon/internal/cluster"
+	"aeon/internal/core"
+	"aeon/internal/ownership"
+	"aeon/internal/schema"
+	"aeon/internal/transport"
+)
+
+type counterState struct {
+	N   int
+	Pad []byte
+}
+
+func (s *counterState) StateBytes() int { return 64 + len(s.Pad) }
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	s := schema.New()
+	room := s.MustDeclareClass("Room", func() any { return &counterState{} })
+	room.MustDeclareMethod("inc", func(call schema.Call, args []any) (any, error) {
+		st := call.State().(*counterState)
+		st.N++
+		return st.N, nil
+	})
+	room.MustDeclareMethod("get", func(call schema.Call, args []any) (any, error) {
+		return call.State().(*counterState).N, nil
+	}, schema.RO())
+	item := s.MustDeclareClass("Item", func() any { return &counterState{} })
+	item.MustDeclareMethod("inc", func(call schema.Call, args []any) (any, error) {
+		st := call.State().(*counterState)
+		st.N++
+		return st.N, nil
+	})
+	if err := s.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+type fixture struct {
+	rt    *core.Runtime
+	mgr   *Manager
+	store *cloudstore.Store
+	rooms []ownership.ID
+}
+
+func newFixture(t *testing.T, nServers, nRooms int) *fixture {
+	t.Helper()
+	s := testSchema(t)
+	cl := cluster.New(transport.NullNetwork{})
+	for i := 0; i < nServers; i++ {
+		cl.AddServer(cluster.M3Large)
+	}
+	rt, err := core.New(s, ownership.NewGraph(), cl, core.Config{AcquireTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	store := cloudstore.New()
+	cfg := DefaultConfig()
+	cfg.Delta = time.Millisecond
+	cfg.ProtocolWork = 0
+	mgr := New(rt, store, cfg)
+	f := &fixture{rt: rt, mgr: mgr, store: store}
+	servers := cl.Servers()
+	for i := 0; i < nRooms; i++ {
+		id, err := rt.CreateContextOn(servers[i%len(servers)].ID(), "Room")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.rooms = append(f.rooms, id)
+	}
+	return f
+}
+
+func (f *fixture) otherServer(t *testing.T, not cluster.ServerID) cluster.ServerID {
+	t.Helper()
+	for _, s := range f.rt.Cluster().Servers() {
+		if s.ID() != not {
+			return s.ID()
+		}
+	}
+	t.Fatal("no other server")
+	return 0
+}
+
+func TestMigrateMovesContext(t *testing.T) {
+	f := newFixture(t, 2, 1)
+	room := f.rooms[0]
+	from, _ := f.rt.Directory().Locate(room)
+	to := f.otherServer(t, from)
+
+	if _, err := f.rt.Submit(room, "inc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.mgr.Migrate(room, to); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := f.rt.Directory().Locate(room)
+	if got != to {
+		t.Fatalf("host = %v; want %v", got, to)
+	}
+	// State survived and events still run.
+	res, err := f.rt.Submit(room, "inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.(int) != 2 {
+		t.Fatalf("count = %v; want 2 (state preserved)", res)
+	}
+	if f.mgr.Migrations.Value() != 1 {
+		t.Fatalf("migrations = %d", f.mgr.Migrations.Value())
+	}
+	// WAL cleaned up.
+	keys, _ := f.store.List("wal/")
+	if len(keys) != 0 {
+		t.Fatalf("wal keys left: %v", keys)
+	}
+}
+
+func TestMigrateToSameServerIsNoop(t *testing.T) {
+	f := newFixture(t, 2, 1)
+	from, _ := f.rt.Directory().Locate(f.rooms[0])
+	if err := f.mgr.Migrate(f.rooms[0], from); err != nil {
+		t.Fatal(err)
+	}
+	if f.mgr.Migrations.Value() != 0 {
+		t.Fatal("no-op migration should not count")
+	}
+}
+
+// TestMigrationDoesNotDropEvents hammers a context with events while it
+// migrates back and forth; every event must succeed and the final count
+// must equal the number of incs (the § 5.2 correctness property).
+func TestMigrationDoesNotDropEvents(t *testing.T) {
+	f := newFixture(t, 2, 1)
+	room := f.rooms[0]
+	const incs = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < incs; i++ {
+			if _, err := f.rt.Submit(room, "inc"); err != nil {
+				t.Errorf("inc during migration: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 6; i++ {
+		from, _ := f.rt.Directory().Locate(room)
+		if err := f.mgr.Migrate(room, f.otherServer(t, from)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	res, err := f.rt.Submit(room, "get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.(int) != incs {
+		t.Fatalf("count = %v; want %d", res, incs)
+	}
+}
+
+func TestMigrateGroupKeepsLocality(t *testing.T) {
+	f := newFixture(t, 2, 1)
+	room := f.rooms[0]
+	from, _ := f.rt.Directory().Locate(room)
+	item1, _ := f.rt.CreateContext("Item", room)
+	item2, _ := f.rt.CreateContext("Item", room)
+	to := f.otherServer(t, from)
+
+	if err := f.mgr.MigrateGroup(room, to); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []ownership.ID{room, item1, item2} {
+		if srv, _ := f.rt.Directory().Locate(id); srv != to {
+			t.Fatalf("%v on %v; want %v (group locality)", id, srv, to)
+		}
+	}
+}
+
+func TestRecoverFinishesCrashedMigration(t *testing.T) {
+	for step := 1; step <= 3; step++ {
+		f := newFixture(t, 2, 1)
+		room := f.rooms[0]
+		from, _ := f.rt.Directory().Locate(room)
+		to := f.otherServer(t, from)
+
+		err := f.mgr.migrate(room, to, step)
+		if !errors.Is(err, errSimulatedCrash) {
+			t.Fatalf("step %d: err = %v; want simulated crash", step, err)
+		}
+		// A WAL record must be present.
+		keys, _ := f.store.List("wal/")
+		if len(keys) != 1 {
+			t.Fatalf("step %d: wal keys = %v", step, keys)
+		}
+		// A new manager over the same store finishes the job.
+		mgr2 := New(f.rt, f.store, f.mgr.cfg)
+		if err := mgr2.Recover(); err != nil {
+			t.Fatalf("step %d: recover: %v", step, err)
+		}
+		if got, _ := f.rt.Directory().Locate(room); got != to {
+			t.Fatalf("step %d: host = %v; want %v after recovery", step, got, to)
+		}
+		keys, _ = f.store.List("wal/")
+		if len(keys) != 0 {
+			t.Fatalf("step %d: wal not cleaned: %v", step, keys)
+		}
+		if _, err := f.rt.Submit(room, "inc"); err != nil {
+			t.Fatalf("step %d: post-recovery event: %v", step, err)
+		}
+	}
+}
+
+func TestDrainAndRemove(t *testing.T) {
+	f := newFixture(t, 2, 4)
+	victim := f.rt.Cluster().Servers()[0].ID()
+	if err := f.mgr.DrainAndRemove(victim); err != nil {
+		t.Fatal(err)
+	}
+	if f.rt.Cluster().Size() != 1 {
+		t.Fatalf("size = %d; want 1", f.rt.Cluster().Size())
+	}
+	for _, room := range f.rooms {
+		if srv, _ := f.rt.Directory().Locate(room); srv == victim {
+			t.Fatalf("%v still on removed server", room)
+		}
+		if _, err := f.rt.Submit(room, "inc"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestApplyAddServerAndConstraint(t *testing.T) {
+	f := newFixture(t, 1, 0)
+	if err := f.mgr.Apply(AddServer{Profile: cluster.M1Small}); err != nil {
+		t.Fatal(err)
+	}
+	if f.rt.Cluster().Size() != 2 {
+		t.Fatalf("size = %d; want 2", f.rt.Cluster().Size())
+	}
+	f.mgr.AddConstraint(MaxServers(2))
+	if err := f.mgr.Apply(AddServer{Profile: cluster.M1Small}); !errors.Is(err, ErrVetoed) {
+		t.Fatalf("err = %v; want ErrVetoed", err)
+	}
+}
+
+func TestPinConstraint(t *testing.T) {
+	f := newFixture(t, 2, 1)
+	room := f.rooms[0]
+	from, _ := f.rt.Directory().Locate(room)
+	f.mgr.AddConstraint(PinContexts(room))
+	err := f.mgr.Apply(MigrateContext{Context: room, From: from})
+	if !errors.Is(err, ErrVetoed) {
+		t.Fatalf("err = %v; want ErrVetoed", err)
+	}
+}
+
+func TestServerContentionPolicy(t *testing.T) {
+	f := newFixture(t, 2, 0)
+	servers := f.rt.Cluster().Servers()
+	// Crowd server 0 with 4 rooms; server 1 has none.
+	for i := 0; i < 4; i++ {
+		if _, err := f.rt.CreateContextOn(servers[0].ID(), "Room"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.mgr.AddPolicy(ServerContentionPolicy{MaxContexts: 2})
+	f.mgr.Evaluate()
+	if h := servers[0].Hosted(); h > 2 {
+		t.Fatalf("server 0 hosts %d; want ≤2 after contention policy", h)
+	}
+	if h := servers[1].Hosted(); h == 0 {
+		t.Fatal("server 1 should have received contexts")
+	}
+}
+
+func TestSLAPolicyScalesOut(t *testing.T) {
+	f := newFixture(t, 1, 2)
+	p := &SLAPolicy{Target: time.Millisecond, Profile: cluster.M1Small, Cooldown: time.Nanosecond}
+	actions := p.Decide(Stats{RecentLatency: 5 * time.Millisecond, Servers: f.mgr.CollectStats().Servers})
+	if len(actions) == 0 {
+		t.Fatal("SLA breach should produce actions")
+	}
+	if _, ok := actions[0].(AddServer); !ok {
+		t.Fatalf("first action = %T; want AddServer", actions[0])
+	}
+}
+
+func TestSLAPolicyScalesIn(t *testing.T) {
+	f := newFixture(t, 3, 0)
+	p := &SLAPolicy{Target: 10 * time.Millisecond, Profile: cluster.M1Small,
+		MinServers: 2, Cooldown: time.Nanosecond}
+	stats := Stats{RecentLatency: time.Millisecond, Servers: f.mgr.CollectStats().Servers}
+	actions := p.Decide(stats)
+	if len(actions) != 1 {
+		t.Fatalf("actions = %v; want one RemoveServer", actions)
+	}
+	if _, ok := actions[0].(RemoveServer); !ok {
+		t.Fatalf("action = %T; want RemoveServer", actions[0])
+	}
+	// At the floor, no scale-in.
+	p2 := &SLAPolicy{Target: 10 * time.Millisecond, Profile: cluster.M1Small,
+		MinServers: 3, Cooldown: time.Nanosecond}
+	if actions := p2.Decide(stats); len(actions) != 0 {
+		t.Fatalf("actions = %v; want none at MinServers floor", actions)
+	}
+}
+
+func TestResourceUtilizationPolicy(t *testing.T) {
+	p := ResourceUtilizationPolicy{Lower: 0.2, Upper: 0.8, Threshold: 0.05}
+	stats := Stats{Servers: []ServerStat{
+		{ID: 1, Utilization: 0.95, Hosted: 4},
+		{ID: 2, Utilization: 0.1, Hosted: 0},
+	}}
+	actions := p.Decide(stats)
+	if len(actions) != 1 {
+		t.Fatalf("actions = %v; want one Rebalance", actions)
+	}
+	rb, ok := actions[0].(Rebalance)
+	if !ok || rb.Server != 1 {
+		t.Fatalf("action = %#v; want Rebalance{Server:1}", actions[0])
+	}
+}
+
+func TestPolicyLoopStartStop(t *testing.T) {
+	f := newFixture(t, 1, 0)
+	f.mgr.cfg.PollInterval = 5 * time.Millisecond
+	f.mgr.Start()
+	f.mgr.Start() // idempotent
+	time.Sleep(20 * time.Millisecond)
+	f.mgr.Stop()
+	f.mgr.Stop() // idempotent
+}
+
+func TestSnapshotAndRestore(t *testing.T) {
+	f := newFixture(t, 2, 1)
+	RegisterSnapshotType(&counterState{})
+	room := f.rooms[0]
+	item, _ := f.rt.CreateContext("Item", room)
+	for i := 0; i < 3; i++ {
+		if _, err := f.rt.Submit(room, "inc"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.rt.Submit(item, "inc"); err != nil {
+		t.Fatal(err)
+	}
+
+	key, n, err := f.mgr.Snapshot(room)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("captured %d contexts; want 2", n)
+	}
+
+	// Mutate, then restore.
+	for i := 0; i < 5; i++ {
+		if _, err := f.rt.Submit(room, "inc"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	states, err := f.mgr.LoadSnapshot(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.mgr.Restore(states); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.rt.Submit(room, "get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.(int) != 3 {
+		t.Fatalf("restored count = %v; want 3", res)
+	}
+}
+
+func TestSnapshotSkipsNilCheckpoint(t *testing.T) {
+	// A state whose Checkpointer returns nil is skipped (§ 5.3).
+	s := schema.New()
+	cls := s.MustDeclareClass("Ephemeral", func() any { return &ephemeralState{} })
+	cls.MustDeclareMethod("noop", func(call schema.Call, args []any) (any, error) { return nil, nil })
+	if err := s.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.New(transport.NullNetwork{})
+	cl.AddServer(cluster.M3Large)
+	rt, _ := core.New(s, ownership.NewGraph(), cl, core.Config{})
+	defer rt.Close()
+	mgr := New(rt, cloudstore.New(), DefaultConfig())
+	id, _ := rt.CreateContext("Ephemeral")
+	_, n, err := mgr.Snapshot(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("captured %d contexts; want 0 (nil checkpoint skipped)", n)
+	}
+}
+
+type ephemeralState struct{}
+
+func (*ephemeralState) CheckpointState() any { return nil }
+
+func TestSnapshotIsConsistentUnderLoad(t *testing.T) {
+	// Snapshot while events mutate room and item: the snapshot must never
+	// observe the room counter ahead of... here both inc'd in one event.
+	s := schema.New()
+	pair := s.MustDeclareClass("Pair", func() any { return &counterState{} })
+	s.MustDeclareClass("Half", func() any { return &counterState{} }).
+		MustDeclareMethod("inc", func(call schema.Call, args []any) (any, error) {
+			call.State().(*counterState).N++
+			return nil, nil
+		})
+	pair.MustDeclareMethod("incBoth", func(call schema.Call, args []any) (any, error) {
+		halves, _ := call.Children("Half")
+		for _, h := range halves {
+			if _, err := call.Sync(h, "inc"); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}, schema.MayCall("Half", "inc"))
+	if err := s.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.New(transport.NullNetwork{})
+	cl.AddServer(cluster.M3Large)
+	rt, _ := core.New(s, ownership.NewGraph(), cl, core.Config{AcquireTimeout: 10 * time.Second})
+	defer rt.Close()
+	RegisterSnapshotType(&counterState{})
+	mgr := New(rt, cloudstore.New(), DefaultConfig())
+
+	pairID, _ := rt.CreateContext("Pair")
+	h1, _ := rt.CreateContext("Half", pairID)
+	h2, _ := rt.CreateContext("Half", pairID)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := rt.Submit(pairID, "incBoth"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		key, _, err := mgr.Snapshot(pairID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states, err := mgr.LoadSnapshot(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := states[h1].(*counterState).N
+		b := states[h2].(*counterState).N
+		if a != b {
+			t.Fatalf("inconsistent snapshot: halves %d vs %d", a, b)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,254 @@
+package emanager
+
+import (
+	"sort"
+	"time"
+
+	"aeon/internal/cluster"
+	"aeon/internal/ownership"
+)
+
+// Stats is the telemetry snapshot policies decide on.
+type Stats struct {
+	// RecentLatency is the runtime's EWMA of event latency.
+	RecentLatency time.Duration
+	// Servers lists per-server utilization and hosting counts.
+	Servers []ServerStat
+}
+
+// ServerStat is one server's telemetry.
+type ServerStat struct {
+	ID          cluster.ServerID
+	Profile     cluster.Profile
+	Utilization float64
+	Hosted      int
+}
+
+// Action is one elasticity decision.
+type Action interface{ isAction() }
+
+// AddServer provisions a new server ("scale out").
+type AddServer struct {
+	Profile cluster.Profile
+}
+
+// RemoveServer drains and releases a server ("scale in").
+type RemoveServer struct {
+	Server cluster.ServerID
+}
+
+// MigrateContext moves one context (To == 0 lets the manager pick the
+// least-loaded destination).
+type MigrateContext struct {
+	Context ownership.ID
+	From    cluster.ServerID
+	To      cluster.ServerID
+}
+
+// Rebalance moves a fraction of the movable contexts off a server.
+type Rebalance struct {
+	Server   cluster.ServerID
+	Fraction float64
+}
+
+func (AddServer) isAction()      {}
+func (RemoveServer) isAction()   {}
+func (MigrateContext) isAction() {}
+func (Rebalance) isAction()      {}
+
+// Policy decides elasticity actions from telemetry (§ 5.2: "AEON provides a
+// simple API to define when the eManager must perform a migration").
+type Policy interface {
+	Decide(Stats) []Action
+}
+
+// Constraint can veto actions ("AEON allows programmers to define
+// constraints on any attribute of the system similar to Tuba").
+type Constraint interface {
+	Allow(Action, *Manager) bool
+}
+
+// ConstraintFunc adapts a function to Constraint.
+type ConstraintFunc func(Action, *Manager) bool
+
+// Allow implements Constraint.
+func (f ConstraintFunc) Allow(a Action, m *Manager) bool { return f(a, m) }
+
+// MaxServers vetoes AddServer once the cluster reaches a size budget (the
+// paper's "disallow a migration to a new host if total cost reaches some
+// threshold").
+func MaxServers(n int) Constraint {
+	return ConstraintFunc(func(a Action, m *Manager) bool {
+		if _, ok := a.(AddServer); ok {
+			return m.Runtime().Cluster().Size() < n
+		}
+		return true
+	})
+}
+
+// PinContexts vetoes migration of the given contexts.
+func PinContexts(ids ...ownership.ID) Constraint {
+	pinned := make(map[ownership.ID]bool, len(ids))
+	for _, id := range ids {
+		pinned[id] = true
+	}
+	return ConstraintFunc(func(a Action, m *Manager) bool {
+		if mc, ok := a.(MigrateContext); ok {
+			return !pinned[mc.Context]
+		}
+		return true
+	})
+}
+
+// ResourceUtilizationPolicy is the paper's first built-in policy: "a
+// programmer defines a lower and upper bound of a resource utilization
+// along with an activation threshold. When a resource in a server reaches
+// its upper bound plus a threshold the eManager triggers a migration."
+type ResourceUtilizationPolicy struct {
+	// Lower and Upper bound target utilization; Threshold is the
+	// activation slack.
+	Lower, Upper, Threshold float64
+	// Fraction of movable contexts shed when overloaded.
+	Fraction float64
+}
+
+// Decide implements Policy.
+func (p ResourceUtilizationPolicy) Decide(s Stats) []Action {
+	frac := p.Fraction
+	if frac == 0 {
+		frac = 0.5
+	}
+	var actions []Action
+	for _, srv := range s.Servers {
+		if srv.Utilization > p.Upper+p.Threshold && srv.Hosted > 0 {
+			actions = append(actions, Rebalance{Server: srv.ID, Fraction: frac})
+		}
+	}
+	return actions
+}
+
+// ServerContentionPolicy is the paper's second built-in policy: "a
+// programmer defines the total number of acceptable contexts per server.
+// Once a server reaches its maximum, the eManager triggers a migration."
+type ServerContentionPolicy struct {
+	MaxContexts int
+}
+
+// Decide implements Policy.
+func (p ServerContentionPolicy) Decide(s Stats) []Action {
+	var actions []Action
+	for _, srv := range s.Servers {
+		if srv.Hosted > p.MaxContexts {
+			over := srv.Hosted - p.MaxContexts
+			actions = append(actions, Rebalance{
+				Server:   srv.ID,
+				Fraction: float64(over) / float64(srv.Hosted),
+			})
+		}
+	}
+	return actions
+}
+
+// SLAPolicy scales the cluster out when recent request latency exceeds the
+// SLA and back in when it is comfortably below (§ 6.2: "we set the SLA for
+// clients requests to 10ms. AEON automatically scales out if it takes more
+// than 10ms to handle a client request").
+type SLAPolicy struct {
+	// Target is the SLA latency.
+	Target time.Duration
+	// Profile of servers to add.
+	Profile cluster.Profile
+	// ScaleInBelow scales in when latency is under this fraction of Target
+	// (default 0.3).
+	ScaleInBelow float64
+	// MinServers floors scale-in.
+	MinServers int
+	// Cooldown between scaling actions (default: 2 poll rounds worth).
+	Cooldown time.Duration
+	// MaxStep caps how many servers a single breach adds; the policy
+	// scales out proportionally to the breach ratio (latency/Target), so a
+	// deep breach provisions several servers at once (default 1).
+	MaxStep int
+
+	lastAction time.Time
+}
+
+// Decide implements Policy.
+func (p *SLAPolicy) Decide(s Stats) []Action {
+	cool := p.Cooldown
+	if cool == 0 {
+		cool = time.Second
+	}
+	if time.Since(p.lastAction) < cool {
+		return nil
+	}
+	scaleIn := p.ScaleInBelow
+	if scaleIn == 0 {
+		scaleIn = 0.3
+	}
+	minServers := p.MinServers
+	if minServers == 0 {
+		minServers = 1
+	}
+
+	// Scale out proactively: trigger at 80% of the SLA (the paper's
+	// "upper bound plus an activation threshold" applied to latency), and
+	// proportionally to the breach depth.
+	if s.RecentLatency > time.Duration(float64(p.Target)*0.8) {
+		p.lastAction = time.Now()
+		maxStep := p.MaxStep
+		if maxStep == 0 {
+			maxStep = 1
+		}
+		step := int(2 * float64(s.RecentLatency) / float64(p.Target))
+		if step < 1 {
+			step = 1
+		}
+		if step > maxStep {
+			step = maxStep
+		}
+		var actions []Action
+		for i := 0; i < step; i++ {
+			actions = append(actions, AddServer{Profile: p.Profile})
+		}
+		// Shed load from the hottest servers onto the newcomers.
+		byUtil := append([]ServerStat(nil), s.Servers...)
+		sort.Slice(byUtil, func(i, j int) bool { return byUtil[i].Utilization > byUtil[j].Utilization })
+		for i := 0; i < step && i < len(byUtil); i++ {
+			if byUtil[i].Hosted > 1 {
+				actions = append(actions, Rebalance{Server: byUtil[i].ID, Fraction: 0.5})
+			}
+		}
+		return actions
+	}
+	if s.RecentLatency > 0 && s.RecentLatency < time.Duration(float64(p.Target)*scaleIn) &&
+		len(s.Servers) > minServers {
+		// Scale in: drain the emptiest server.
+		idle := emptiest(s.Servers)
+		if idle != nil {
+			p.lastAction = time.Now()
+			return []Action{RemoveServer{Server: idle.ID}}
+		}
+	}
+	return nil
+}
+
+func hottest(servers []ServerStat) *ServerStat {
+	var best *ServerStat
+	for i := range servers {
+		if best == nil || servers[i].Utilization > best.Utilization {
+			best = &servers[i]
+		}
+	}
+	return best
+}
+
+func emptiest(servers []ServerStat) *ServerStat {
+	var best *ServerStat
+	for i := range servers {
+		if best == nil || servers[i].Hosted < best.Hosted {
+			best = &servers[i]
+		}
+	}
+	return best
+}

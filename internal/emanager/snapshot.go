@@ -1,0 +1,114 @@
+package emanager
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync/atomic"
+
+	"aeon/internal/ownership"
+)
+
+// Checkpointer lets application state customize what a snapshot stores
+// (§ 5.3: "a programmer is able to override a method returning the state of
+// a context. In case the overridden method returns null ... the runtime
+// system will ignore that context during the checkpointing phase").
+type Checkpointer interface {
+	CheckpointState() any
+}
+
+// RegisterSnapshotType registers an application state type with the
+// snapshot codec (gob); call once per state type at startup.
+func RegisterSnapshotType(v any) { gob.Register(v) }
+
+type snapshotPayload struct {
+	Root   uint64
+	States map[uint64][]byte
+}
+
+type stateBox struct {
+	V any
+}
+
+var snapshotSeq atomic.Uint64
+
+// Snapshot takes a consistent checkpoint of a context and all its
+// descendants and writes it to the cloud store. It returns the storage key
+// and the number of contexts captured. Contexts whose Checkpointer returns
+// nil, and contexts with nil or unencodable state, are skipped.
+func (m *Manager) Snapshot(root ownership.ID) (string, int, error) {
+	payload := snapshotPayload{Root: uint64(root), States: make(map[uint64][]byte)}
+	err := m.rt.WithSubtreeShared(root, func(ids []ownership.ID) error {
+		for _, id := range ids {
+			c, err := m.rt.Context(id)
+			if err != nil {
+				continue
+			}
+			st := c.State()
+			if cp, ok := st.(Checkpointer); ok {
+				st = cp.CheckpointState()
+			}
+			if st == nil {
+				continue
+			}
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(stateBox{V: st}); err != nil {
+				continue // unregistered or unencodable state: skip
+			}
+			payload.States[uint64(id)] = buf.Bytes()
+		}
+		return nil
+	})
+	if err != nil {
+		return "", 0, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return "", 0, fmt.Errorf("encode snapshot: %w", err)
+	}
+	key := fmt.Sprintf("snapshot/%d/%d", uint64(root), snapshotSeq.Add(1))
+	if _, err := m.store.Put(key, buf.Bytes()); err != nil {
+		return "", 0, fmt.Errorf("store snapshot: %w", err)
+	}
+	return key, len(payload.States), nil
+}
+
+// LoadSnapshot reads a checkpoint back from the store.
+func (m *Manager) LoadSnapshot(key string) (map[ownership.ID]any, error) {
+	raw, _, err := m.store.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	var payload snapshotPayload
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("decode snapshot: %w", err)
+	}
+	out := make(map[ownership.ID]any, len(payload.States))
+	for id, b := range payload.States {
+		var box stateBox
+		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&box); err != nil {
+			return nil, fmt.Errorf("decode state %d: %w", id, err)
+		}
+		out[ownership.ID(id)] = box.V
+	}
+	return out, nil
+}
+
+// Restore applies a loaded checkpoint to the live contexts, taking each
+// context exclusively first.
+func (m *Manager) Restore(states map[ownership.ID]any) error {
+	for id, st := range states {
+		release, err := m.rt.LockForMigration(id)
+		if err != nil {
+			return fmt.Errorf("restore %v: %w", id, err)
+		}
+		c, err := m.rt.Context(id)
+		if err != nil {
+			release()
+			return err
+		}
+		c.SetState(st)
+		release()
+	}
+	return nil
+}

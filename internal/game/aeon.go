@@ -1,0 +1,230 @@
+package game
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"aeon/internal/cluster"
+	"aeon/internal/core"
+	"aeon/internal/ownership"
+)
+
+// ownershipID aliases the context ID type for terse handler casts.
+type ownershipID = ownership.ID
+
+func ownID(v uint64) ownership.ID { return ownership.ID(v) }
+
+// AEONApp is the game deployed on the AEON runtime, in either multiple-
+// ownership (the real AEON) or single-ownership (AEON_SO) wiring.
+//
+// Multiple ownership: each Player owns their Mine and Treasure directly, so
+// dom(Player) = Player and private-gold events parallelize within a room;
+// shared objects are owned by the Room and accessed through room events.
+//
+// Single ownership (the EventWave-identical structure of § 6.1.1): the Room
+// owns every item — "the implementation does not allow Players to access
+// Items directly. They could only access Items via Room" — so every item
+// operation is a room event and serializes per room.
+type AEONApp struct {
+	name string
+	cfg  Config
+	rt   *core.Runtime
+	so   bool
+
+	building ownership.ID
+	rooms    []ownership.ID
+	players  [][]ownership.ID              // per room
+	mines    map[ownership.ID]ownership.ID // player → mine (SO: room-held)
+	treasure map[ownership.ID]ownership.ID
+	shared   [][]ownership.ID // per room
+}
+
+var _ App = (*AEONApp)(nil)
+
+// BuildAEON deploys the game on a fresh AEON runtime over the cluster,
+// placing one batch of rooms round-robin across servers. singleOwnership
+// selects the AEON_SO wiring.
+func BuildAEON(cl *cluster.Cluster, cfg Config, singleOwnership bool) (*AEONApp, error) {
+	s, err := Schema(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := core.New(s, ownership.NewGraph(), cl, core.Config{
+		MessageBytes:     256,
+		ChargeClientHops: true,
+		AcquireTimeout:   30 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	app := &AEONApp{
+		name:     "AEON",
+		cfg:      cfg,
+		rt:       rt,
+		so:       singleOwnership,
+		mines:    make(map[ownership.ID]ownership.ID),
+		treasure: make(map[ownership.ID]ownership.ID),
+	}
+	if singleOwnership {
+		app.name = "AEON_SO"
+	}
+	if err := app.deploy(); err != nil {
+		rt.Close()
+		return nil, err
+	}
+	return app, nil
+}
+
+func (a *AEONApp) deploy() error {
+	servers := a.rt.Cluster().Servers()
+	if len(servers) == 0 {
+		return fmt.Errorf("game: cluster has no servers")
+	}
+	var err error
+	a.building, err = a.rt.CreateContextOn(servers[0].ID(), "Building")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < a.cfg.Rooms; i++ {
+		srv := servers[i%len(servers)].ID()
+		room, err := a.rt.CreateContextOn(srv, "Room", a.building)
+		if err != nil {
+			return err
+		}
+		a.rooms = append(a.rooms, room)
+
+		var roomPlayers []ownership.ID
+		for p := 0; p < a.cfg.PlayersPerRoom; p++ {
+			player, err := a.rt.CreateContext("Player", room)
+			if err != nil {
+				return err
+			}
+			roomPlayers = append(roomPlayers, player)
+
+			// Private items: owned by the player under multiple ownership,
+			// by the room under single ownership.
+			itemOwner := player
+			if a.so {
+				itemOwner = room
+			}
+			mine, err := a.rt.CreateContext("Item", itemOwner)
+			if err != nil {
+				return err
+			}
+			tre, err := a.rt.CreateContext("Item", itemOwner)
+			if err != nil {
+				return err
+			}
+			a.mines[player] = mine
+			a.treasure[player] = tre
+			a.seedItem(mine, 1_000_000)
+			if !a.so {
+				pc, err := a.rt.Context(player)
+				if err != nil {
+					return err
+				}
+				st := pc.State().(*PlayerState)
+				st.Mine = uint64(mine)
+				st.Treasure = uint64(tre)
+			}
+		}
+		a.players = append(a.players, roomPlayers)
+
+		var sharedItems []ownership.ID
+		for it := 0; it < a.cfg.SharedItemsPerRoom; it++ {
+			item, err := a.rt.CreateContext("Item", room)
+			if err != nil {
+				return err
+			}
+			a.seedItem(item, 1_000_000)
+			sharedItems = append(sharedItems, item)
+		}
+		a.shared = append(a.shared, sharedItems)
+
+		rc, err := a.rt.Context(room)
+		if err != nil {
+			return err
+		}
+		rc.State().(*RoomState).NPlayers = a.cfg.PlayersPerRoom
+	}
+	return nil
+}
+
+func (a *AEONApp) seedItem(id ownership.ID, gold int) {
+	if c, err := a.rt.Context(id); err == nil {
+		c.State().(*ItemState).Gold = gold
+	}
+}
+
+// Name implements App.
+func (a *AEONApp) Name() string { return a.name }
+
+// Runtime exposes the underlying runtime (elasticity experiments attach the
+// eManager to it).
+func (a *AEONApp) Runtime() *core.Runtime { return a.rt }
+
+// Rooms returns the room contexts (the movable unit for migration
+// experiments).
+func (a *AEONApp) Rooms() []ownership.ID { return a.rooms }
+
+// DoOp implements App.
+func (a *AEONApp) DoOp(rng *rand.Rand) error {
+	r := rng.Intn(len(a.rooms))
+	p := a.players[r][rng.Intn(len(a.players[r]))]
+	var err error
+	switch a.cfg.pickOp(rng) {
+	case opPrivateGold:
+		if a.so {
+			_, err = a.rt.Submit(a.rooms[r], "player_gold", a.mines[p], a.treasure[p], 10)
+		} else {
+			_, err = a.rt.Submit(p, "get_gold", 10)
+		}
+	case opInteract:
+		item := a.shared[r][rng.Intn(len(a.shared[r]))]
+		if a.so {
+			_, err = a.rt.Submit(a.rooms[r], "interact_so", item, a.treasure[p], 5)
+		} else {
+			_, err = a.rt.Submit(a.rooms[r], "interact", item, p, 5)
+		}
+	case opCount:
+		_, err = a.rt.Submit(a.rooms[r], "nr_players")
+	case opTimeOfDay:
+		_, err = a.rt.Submit(a.building, "updateTimeOfDay")
+	}
+	return err
+}
+
+// TotalGold sums all item gold (conservation checks in tests).
+func (a *AEONApp) TotalGold() (int, error) {
+	total := 0
+	add := func(id ownership.ID) error {
+		c, err := a.rt.Context(id)
+		if err != nil {
+			return err
+		}
+		total += c.State().(*ItemState).Gold
+		return nil
+	}
+	for _, roomPlayers := range a.players {
+		for _, p := range roomPlayers {
+			if err := add(a.mines[p]); err != nil {
+				return 0, err
+			}
+			if err := add(a.treasure[p]); err != nil {
+				return 0, err
+			}
+		}
+	}
+	for _, items := range a.shared {
+		for _, it := range items {
+			if err := add(it); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// Close implements App.
+func (a *AEONApp) Close() { a.rt.Close() }

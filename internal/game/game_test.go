@@ -1,0 +1,230 @@
+package game
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"aeon/internal/cluster"
+	"aeon/internal/transport"
+)
+
+func testCluster(t *testing.T, n int) *cluster.Cluster {
+	t.Helper()
+	cl := cluster.New(transport.NullNetwork{})
+	for i := 0; i < n; i++ {
+		cl.AddServer(cluster.M3Large)
+	}
+	return cl
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Rooms = 2
+	cfg.PlayersPerRoom = 3
+	cfg.SharedItemsPerRoom = 2
+	cfg.ActionCost = 0
+	return cfg
+}
+
+// driveApp runs concurrent clients against an app and fails on any error.
+func driveApp(t *testing.T, app App, clients, opsPerClient int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsPerClient; i++ {
+				if err := app.DoOp(rng); err != nil {
+					t.Errorf("%s: %v", app.Name(), err)
+					return
+				}
+			}
+		}(int64(c + 1))
+	}
+	wg.Wait()
+}
+
+func TestAEONGameOps(t *testing.T) {
+	app, err := BuildAEON(testCluster(t, 2), smallConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if app.Name() != "AEON" {
+		t.Fatalf("name = %s", app.Name())
+	}
+	before, err := app.TotalGold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveApp(t, app, 4, 50)
+	after, err := app.TotalGold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("gold not conserved: %d → %d", before, after)
+	}
+}
+
+func TestAEONSOGameOps(t *testing.T) {
+	app, err := BuildAEON(testCluster(t, 2), smallConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if app.Name() != "AEON_SO" {
+		t.Fatalf("name = %s", app.Name())
+	}
+	before, _ := app.TotalGold()
+	driveApp(t, app, 4, 50)
+	after, _ := app.TotalGold()
+	if before != after {
+		t.Fatalf("gold not conserved: %d → %d", before, after)
+	}
+}
+
+func TestAEONDominatorStructure(t *testing.T) {
+	// The multi-ownership wiring must give players their own dominators
+	// (the parallelism the paper credits), while SO rooms dominate
+	// everything they own.
+	app, err := BuildAEON(testCluster(t, 2), smallConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	g := app.Runtime().Graph()
+	for _, roomPlayers := range app.players {
+		for _, p := range roomPlayers {
+			d, err := g.Dom(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != p {
+				t.Fatalf("dom(player %v) = %v; want self (private items)", p, d)
+			}
+		}
+	}
+	for _, room := range app.rooms {
+		d, err := g.Dom(room)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != room {
+			t.Fatalf("dom(room %v) = %v; want self", room, d)
+		}
+	}
+}
+
+func TestEventWaveGameOps(t *testing.T) {
+	app, err := BuildEventWave(testCluster(t, 2), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	driveApp(t, app, 4, 40)
+}
+
+func TestOrleansGameOps(t *testing.T) {
+	app, err := BuildOrleans(testCluster(t, 2), smallConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if app.Name() != "Orleans" {
+		t.Fatalf("name = %s", app.Name())
+	}
+	driveApp(t, app, 4, 40)
+	if app.Runtime().Deadlocks.Value() != 0 {
+		t.Fatalf("deadlocks = %d; want 0", app.Runtime().Deadlocks.Value())
+	}
+}
+
+func TestOrleansStarGameOps(t *testing.T) {
+	app, err := BuildOrleans(testCluster(t, 2), smallConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if app.Name() != "Orleans*" {
+		t.Fatalf("name = %s", app.Name())
+	}
+	driveApp(t, app, 4, 40)
+}
+
+func TestAllSystemsAgreeOnWorkload(t *testing.T) {
+	// Same seed, same op stream; every system must execute it without
+	// error (apples-to-apples workload).
+	cfg := smallConfig()
+	systems := []func() (App, error){
+		func() (App, error) { return BuildAEON(testCluster(t, 2), cfg, false) },
+		func() (App, error) { return BuildAEON(testCluster(t, 2), cfg, true) },
+		func() (App, error) { return BuildEventWave(testCluster(t, 2), cfg) },
+		func() (App, error) { return BuildOrleans(testCluster(t, 2), cfg, false) },
+		func() (App, error) { return BuildOrleans(testCluster(t, 2), cfg, true) },
+	}
+	for _, build := range systems {
+		app, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 100; i++ {
+			if err := app.DoOp(rng); err != nil {
+				t.Fatalf("%s: %v", app.Name(), err)
+			}
+		}
+		app.Close()
+	}
+}
+
+// TestAEONPrivateOpsParallelism is a micro-benchmark-ish shape check: with
+// real per-op CPU, private gold ops across the players of one room finish
+// much faster under multiple ownership (parallel players) than under single
+// ownership (room-serialized).
+func TestAEONPrivateOpsParallelism(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Rooms = 1
+	cfg.PlayersPerRoom = 8
+	cfg.ActionCost = 2 * time.Millisecond
+	cfg.Mix = OpMix{PrivateGoldPct: 100}
+
+	elapsed := func(so bool) time.Duration {
+		cl := cluster.New(transport.NullNetwork{})
+		// Plenty of cores so CPU capacity is not the limiter; the lock
+		// structure is.
+		cl.AddServer(cluster.Profile{Name: "big", Cores: 16, Speed: 1, MigrationMBps: 100})
+		app, err := BuildAEON(cl, cfg, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer app.Close()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < 8; c++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 5; i++ {
+					if err := app.DoOp(rng); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(int64(c))
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	multi := elapsed(false)
+	single := elapsed(true)
+	if single < multi*2 {
+		t.Fatalf("single-ownership (%v) should be ≫ multi-ownership (%v) on private ops", single, multi)
+	}
+}

@@ -1,0 +1,241 @@
+package ownership
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dom computes the dominator of context id per § 3 of the paper:
+//
+//	share(G,C) = {C' | desc(G,C) ∩ children(G,C') ≠ ∅} ∪
+//	             {C' | desc(G,C') ∩ desc(G,C) ≠ ∅ ∧ C' ∉ desc(G,C) ∧ C ∉ desc(G,C')}
+//	dom(G,C)   = lub(G, share(G,C) ∪ {C})
+//
+// desc is the *strict* descendant relation (this reading makes the paper's
+// worked examples hold: dom(Sword) = Sword, dom(Player1) = Kings Room).
+//
+// The first set contains every direct owner of a descendant of C (including
+// owners comparable to C — e.g. an ancestor that reaches into C's subtree
+// directly); the second contains every context incomparable to C whose
+// descendants overlap C's. Both are computed with a single walk over
+// desc(G,C) plus upward walks from those descendants.
+//
+// When the lub does not exist because the network has multiple minimal common
+// ancestors (the semi-lattice has multiple maxima sharing descendants), Dom
+// transparently inserts an unnamed virtual context owning those maxima and
+// returns it, per the paper's footnote. The same virtual context is reused
+// for identical queries.
+func (g *Graph) Dom(id ID) (ID, error) {
+	// Fast path: cache hits only need the read lock, keeping concurrent
+	// event submission contention-free.
+	g.mu.RLock()
+	if _, ok := g.nodes[id]; !ok {
+		g.mu.RUnlock()
+		return None, fmt.Errorf("%v: %w", id, ErrNotFound)
+	}
+	if d, ok := g.domCache[id]; ok {
+		g.mu.RUnlock()
+		return d, nil
+	}
+	g.mu.RUnlock()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[id]; !ok {
+		return None, fmt.Errorf("%v: %w", id, ErrNotFound)
+	}
+	if d, ok := g.domCache[id]; ok {
+		return d, nil
+	}
+	d, err := g.domLocked(id)
+	if err != nil {
+		return None, err
+	}
+	g.domCache[id] = d
+	return d, nil
+}
+
+func (g *Graph) domLocked(id ID) (ID, error) {
+	members := g.shareMembersLocked(id)
+	if len(members) == 1 {
+		return members[0], nil
+	}
+	lub, ok := g.lubLocked(members)
+	if ok {
+		return lub, nil
+	}
+	// No unique least upper bound: restore the lattice with a virtual
+	// context owning the maximal members.
+	return g.ensureVirtualJoinLocked(members)
+}
+
+// shareMembersLocked returns share(G,id) ∪ {id}.
+func (g *Graph) shareMembersLocked(id ID) []ID {
+	descC := g.descSetLocked(id)
+	ancSelfC := g.ancSetLocked(id)
+
+	members := map[ID]bool{id: true}
+	// Set 1: direct owners of any descendant of C.
+	for d := range descC {
+		for _, p := range g.nodes[d].parents {
+			members[p] = true
+		}
+	}
+	// Set 2: ancestors of descendants of C that are incomparable to C.
+	// Upward walk from every descendant; membership filters exclude C's own
+	// subtree (descC) and C's ancestors-or-self (ancSelfC).
+	seen := make(map[ID]bool, len(descC))
+	stack := make([]ID, 0, len(descC))
+	for d := range descC {
+		stack = append(stack, d)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.nodes[cur].parents {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			stack = append(stack, p)
+			if !descC[p] && !ancSelfC[p] {
+				members[p] = true
+			}
+		}
+	}
+
+	out := make([]ID, 0, len(members))
+	for m := range members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// lubLocked computes the unique least upper bound of members under the
+// ownership order (X ≥ Y iff X transitively owns Y or X == Y). It returns
+// ok=false when no unique lub exists.
+func (g *Graph) lubLocked(members []ID) (ID, bool) {
+	if len(members) == 0 {
+		return None, false
+	}
+	// Common ancestors-or-self of every member.
+	common := g.ancSetLocked(members[0])
+	for _, m := range members[1:] {
+		next := g.ancSetLocked(m)
+		for c := range common {
+			if !next[c] {
+				delete(common, c)
+			}
+		}
+		if len(common) == 0 {
+			return None, false
+		}
+	}
+	minima := g.minimaLocked(common)
+	if len(minima) == 1 {
+		return minima[0], true
+	}
+	return None, false
+}
+
+// minimaLocked returns the minimal elements of set under the ownership order
+// (those with no strict descendant inside the set).
+func (g *Graph) minimaLocked(set map[ID]bool) []ID {
+	var minima []ID
+	for c := range set {
+		hasLower := false
+		stack := append([]ID(nil), g.nodes[c].children...)
+		seen := make(map[ID]bool)
+		for len(stack) > 0 && !hasLower {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[cur] {
+				continue
+			}
+			seen[cur] = true
+			if set[cur] {
+				hasLower = true
+				break
+			}
+			stack = append(stack, g.nodes[cur].children...)
+		}
+		if !hasLower {
+			minima = append(minima, c)
+		}
+	}
+	sort.Slice(minima, func(i, j int) bool { return minima[i] < minima[j] })
+	return minima
+}
+
+// ensureVirtualJoinLocked returns (creating on first use) an unnamed context
+// owning the maximal elements of members, restoring a unique upper bound.
+func (g *Graph) ensureVirtualJoinLocked(members []ID) (ID, error) {
+	// Use the maxima of the member set: owning them transitively owns all.
+	maxima := g.maximaLocked(members)
+	key := joinKey(maxima)
+	if v, ok := g.virtualJoin[key]; ok {
+		if _, alive := g.nodes[v]; alive {
+			return v, nil
+		}
+		delete(g.virtualJoin, key)
+	}
+	id := g.nextID
+	g.nextID++
+	n := &node{id: id, class: VirtualClass}
+	g.nodes[id] = n
+	for _, m := range maxima {
+		n.children = append(n.children, m)
+		g.nodes[m].parents = append(g.nodes[m].parents, id)
+	}
+	g.version++
+	// The new context only adds an upper element; it never lowers an
+	// existing lub, so cached dominators stay valid.
+	g.virtualJoin[key] = id
+	return id, nil
+}
+
+// maximaLocked returns the maximal elements of members under the ownership
+// order (those not strictly owned by another member).
+func (g *Graph) maximaLocked(members []ID) []ID {
+	memberSet := make(map[ID]bool, len(members))
+	for _, m := range members {
+		memberSet[m] = true
+	}
+	var maxima []ID
+	for _, m := range members {
+		hasUpper := false
+		stack := append([]ID(nil), g.nodes[m].parents...)
+		seen := make(map[ID]bool)
+		for len(stack) > 0 && !hasUpper {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[cur] {
+				continue
+			}
+			seen[cur] = true
+			if memberSet[cur] {
+				hasUpper = true
+				break
+			}
+			stack = append(stack, g.nodes[cur].parents...)
+		}
+		if !hasUpper {
+			maxima = append(maxima, m)
+		}
+	}
+	sort.Slice(maxima, func(i, j int) bool { return maxima[i] < maxima[j] })
+	return maxima
+}
+
+func joinKey(ids []ID) string {
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", uint64(id))
+	}
+	return b.String()
+}

@@ -1,0 +1,403 @@
+package ownership
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// gameGraph builds the Figure 3 network from the paper:
+//
+//	Castle owns Kings Room and Armory.
+//	Kings Room owns Player1, Player2 and Treasure.
+//	Player1 and Player2 also own Treasure and both own Horse.
+//	Armory owns Weapons Vault and Player3; Player3 owns Sword.
+type gameGraph struct {
+	g                                  *Graph
+	castle, kingsRoom, armory          ID
+	player1, player2, player3          ID
+	treasure, horse, sword, weaponsVlt ID
+}
+
+func buildGameGraph(t *testing.T) gameGraph {
+	t.Helper()
+	g := NewGraph()
+	var gg gameGraph
+	gg.g = g
+	var err error
+	check := func() {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	gg.castle, err = g.AddContext("Building")
+	check()
+	gg.kingsRoom, err = g.AddContext("Room", gg.castle)
+	check()
+	gg.armory, err = g.AddContext("Room", gg.castle)
+	check()
+	gg.player1, err = g.AddContext("Player", gg.kingsRoom)
+	check()
+	gg.player2, err = g.AddContext("Player", gg.kingsRoom)
+	check()
+	gg.treasure, err = g.AddContext("Item", gg.kingsRoom, gg.player1, gg.player2)
+	check()
+	gg.horse, err = g.AddContext("Item", gg.player1, gg.player2)
+	check()
+	gg.weaponsVlt, err = g.AddContext("Item", gg.armory)
+	check()
+	gg.player3, err = g.AddContext("Player", gg.armory)
+	check()
+	gg.sword, err = g.AddContext("Item", gg.player3)
+	check()
+	return gg
+}
+
+func mustDom(t *testing.T, g *Graph, id ID) ID {
+	t.Helper()
+	d, err := g.Dom(id)
+	if err != nil {
+		t.Fatalf("Dom(%v): %v", id, err)
+	}
+	return d
+}
+
+// TestDomGameExample checks the dominators the paper states for Figure 3.
+func TestDomGameExample(t *testing.T) {
+	gg := buildGameGraph(t)
+	g := gg.g
+
+	if d := mustDom(t, g, gg.player1); d != gg.kingsRoom {
+		t.Errorf("dom(Player1) = %v; want Kings Room %v", d, gg.kingsRoom)
+	}
+	if d := mustDom(t, g, gg.player2); d != gg.kingsRoom {
+		t.Errorf("dom(Player2) = %v; want Kings Room %v", d, gg.kingsRoom)
+	}
+	if d := mustDom(t, g, gg.sword); d != gg.sword {
+		t.Errorf("dom(Sword) = %v; want Sword itself %v", d, gg.sword)
+	}
+	if d := mustDom(t, g, gg.horse); d != gg.horse {
+		t.Errorf("dom(Horse) = %v; want Horse itself %v", d, gg.horse)
+	}
+	// Player3 shares nothing: its own dominator.
+	if d := mustDom(t, g, gg.player3); d != gg.player3 {
+		t.Errorf("dom(Player3) = %v; want itself", d)
+	}
+	// Single-owner interior contexts dominate themselves.
+	if d := mustDom(t, g, gg.castle); d != gg.castle {
+		t.Errorf("dom(Castle) = %v; want itself", d)
+	}
+	if d := mustDom(t, g, gg.armory); d != gg.armory {
+		t.Errorf("dom(Armory) = %v; want itself", d)
+	}
+	// Kings Room shares children (Treasure) with its own descendants
+	// (Player1/2) but no incomparable context: dominator is itself.
+	if d := mustDom(t, g, gg.kingsRoom); d != gg.kingsRoom {
+		t.Errorf("dom(Kings Room) = %v; want itself", d)
+	}
+}
+
+// TestDomTreeIsSelf: in a pure tree every context is its own dominator
+// (this is the AEON_SO configuration).
+func TestDomTreeIsSelf(t *testing.T) {
+	g := NewGraph()
+	root, _ := g.AddContext("Root")
+	ids := []ID{root}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		parent := ids[rng.Intn(len(ids))]
+		id, err := g.AddContext("N", parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if d := mustDom(t, g, id); d != id {
+			t.Fatalf("tree dom(%v) = %v; want self", id, d)
+		}
+	}
+}
+
+// TestDomCacheStableAcrossLeafAdds exercises the incremental fast path: a
+// cached dominator must be raised when a new shared leaf introduces sharing.
+func TestDomCacheStableAcrossLeafAdds(t *testing.T) {
+	g := NewGraph()
+	district, _ := g.AddContext("District")
+	customer, _ := g.AddContext("Customer", district)
+	// Prime the cache: no sharing yet.
+	if d := mustDom(t, g, customer); d != customer {
+		t.Fatalf("dom(customer) = %v; want self before sharing", d)
+	}
+	// A new Order shared by District and Customer makes District the
+	// customer's dominator (the § 6.1.2 TPC-C situation).
+	if _, err := g.AddContext("Order", district, customer); err != nil {
+		t.Fatal(err)
+	}
+	if d := mustDom(t, g, customer); d != district {
+		t.Fatalf("dom(customer) = %v; want district %v after shared order", d, district)
+	}
+	// Further shared orders keep it stable.
+	for i := 0; i < 5; i++ {
+		if _, err := g.AddContext("Order", district, customer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := mustDom(t, g, customer); d != district {
+		t.Fatalf("dom(customer) = %v; want district after more orders", d)
+	}
+}
+
+// TestDomVirtualJoin: two roots sharing a child have no common ancestor, so
+// Dom must insert a virtual context owning both.
+func TestDomVirtualJoin(t *testing.T) {
+	g := NewGraph()
+	a, _ := g.AddContext("A")
+	b, _ := g.AddContext("B")
+	if _, err := g.AddContext("Shared", a, b); err != nil {
+		t.Fatal(err)
+	}
+	da := mustDom(t, g, a)
+	db := mustDom(t, g, b)
+	if da != db {
+		t.Fatalf("dom(a)=%v dom(b)=%v; want a common virtual dominator", da, db)
+	}
+	class, err := g.Class(da)
+	if err != nil || class != VirtualClass {
+		t.Fatalf("dominator class = %q, %v; want virtual", class, err)
+	}
+	if !g.Owns(da, a) || !g.Owns(da, b) {
+		t.Fatal("virtual dominator must own both roots")
+	}
+	// Asking again must reuse the same virtual context, not mint new ones.
+	n := g.Len()
+	_ = mustDom(t, g, a)
+	_ = mustDom(t, g, b)
+	if g.Len() != n {
+		t.Fatal("repeated Dom queries must not create more virtual contexts")
+	}
+}
+
+// TestDomAfterEdgeMutation verifies full invalidation on structural changes.
+func TestDomAfterEdgeMutation(t *testing.T) {
+	gg := buildGameGraph(t)
+	g := gg.g
+	if d := mustDom(t, g, gg.player1); d != gg.kingsRoom {
+		t.Fatalf("precondition failed: dom(Player1) = %v", d)
+	}
+	// Player2 drops its claims to the shared items: Player1 no longer shares
+	// Treasure/Horse with an incomparable context... but Kings Room still
+	// directly owns Treasure which is a descendant of Player1, so Kings Room
+	// remains the dominator.
+	if err := g.RemoveEdge(gg.player2, gg.treasure); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveEdge(gg.player2, gg.horse); err != nil {
+		t.Fatal(err)
+	}
+	if d := mustDom(t, g, gg.player1); d != gg.kingsRoom {
+		t.Fatalf("dom(Player1) = %v; want Kings Room (owner sharing child)", d)
+	}
+	// Now the Kings Room lets go of the Treasure; Player1's subtree is
+	// private, so Player1 dominates itself.
+	if err := g.RemoveEdge(gg.kingsRoom, gg.treasure); err != nil {
+		t.Fatal(err)
+	}
+	if d := mustDom(t, g, gg.player1); d != gg.player1 {
+		t.Fatalf("dom(Player1) = %v; want self after unsharing", d)
+	}
+}
+
+// domBruteForce recomputes the dominator from the paper's literal definition
+// with naive full scans: share(G,C) evaluated once over all contexts, then
+// the lub of share ∪ {C}.
+func domBruteForce(g *Graph, id ID) (ID, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	descC := g.descSetLocked(id)
+	members := map[ID]bool{id: true}
+	for other := range g.nodes {
+		if other == id {
+			continue
+		}
+		// First set: children(other) ∩ desc(C) ≠ ∅.
+		inFirst := false
+		for _, ch := range g.nodes[other].children {
+			if descC[ch] {
+				inFirst = true
+				break
+			}
+		}
+		// Second set: desc(other) ∩ desc(C) ≠ ∅ and incomparable.
+		inSecond := false
+		if !inFirst {
+			descO := g.descSetLocked(other)
+			if !descC[other] && !descO[id] {
+				for d := range descO {
+					if descC[d] {
+						inSecond = true
+						break
+					}
+				}
+			}
+		}
+		if inFirst || inSecond {
+			members[other] = true
+		}
+	}
+	list := make([]ID, 0, len(members))
+	for m := range members {
+		list = append(list, m)
+	}
+	return g.lubLocked(list)
+}
+
+// TestDomMatchesBruteForce cross-checks the closure-based Dom against the
+// literal definition on randomized DAGs (only cases where a lub exists).
+func TestDomMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		g := NewGraph()
+		root, _ := g.AddContext("root")
+		ids := []ID{root}
+		n := 3 + rng.Intn(25)
+		for i := 0; i < n; i++ {
+			// Each new context gets 1-3 random parents from existing ones;
+			// rooting everything under a single root guarantees a lub exists.
+			nParents := 1 + rng.Intn(3)
+			parentSet := map[ID]bool{}
+			for j := 0; j < nParents; j++ {
+				parentSet[ids[rng.Intn(len(ids))]] = true
+			}
+			parents := make([]ID, 0, len(parentSet))
+			for p := range parentSet {
+				parents = append(parents, p)
+			}
+			id, err := g.AddContext("N", parents...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		for _, id := range ids {
+			want, ok := domBruteForce(g, id)
+			if !ok {
+				continue // ambiguous lub; virtual-join case tested elsewhere
+			}
+			got := mustDom(t, g, id)
+			if got != want {
+				t.Fatalf("trial %d: dom(%v) = %v; brute force says %v\n%s",
+					trial, id, got, want, g.DumpDOT())
+			}
+		}
+	}
+}
+
+// TestDomDominatesSharers is the core protocol invariant, checked with
+// testing/quick over random DAG shapes: for any context C, dom(C)
+// transitively owns C and every context that shares a descendant with C.
+func TestDomDominatesSharers(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		root, _ := g.AddContext("root")
+		ids := []ID{root}
+		n := 2 + int(size%28)
+		for i := 0; i < n; i++ {
+			nParents := 1 + rng.Intn(2)
+			parentSet := map[ID]bool{}
+			for j := 0; j < nParents; j++ {
+				parentSet[ids[rng.Intn(len(ids))]] = true
+			}
+			parents := make([]ID, 0, len(parentSet))
+			for p := range parentSet {
+				parents = append(parents, p)
+			}
+			id, err := g.AddContext("N", parents...)
+			if err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		for _, c := range ids {
+			dom, err := g.Dom(c)
+			if err != nil {
+				return false
+			}
+			if dom != c && !g.Owns(dom, c) {
+				return false
+			}
+			// Every sharer must be dominated too.
+			descC := map[ID]bool{}
+			dc, _ := g.Desc(c)
+			for _, d := range dc {
+				descC[d] = true
+			}
+			for _, other := range ids {
+				if other == c {
+					continue
+				}
+				do, _ := g.Desc(other)
+				shares := false
+				for _, d := range do {
+					if descC[d] {
+						shares = true
+						break
+					}
+				}
+				// Also "owner sharing a child": other directly owns a
+				// descendant of C.
+				if !shares {
+					ch, _ := g.Children(other)
+					for _, d := range ch {
+						if descC[d] {
+							shares = true
+							break
+						}
+					}
+				}
+				if shares {
+					comparable := g.Owns(c, other) || g.Owns(other, c)
+					if !comparable && dom != other && !g.Owns(dom, other) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDomGameGraph(b *testing.B) {
+	g := NewGraph()
+	castle, _ := g.AddContext("Building")
+	var players []ID
+	for r := 0; r < 16; r++ {
+		room, _ := g.AddContext("Room", castle)
+		var roomPlayers []ID
+		for p := 0; p < 8; p++ {
+			pl, _ := g.AddContext("Player", room)
+			roomPlayers = append(roomPlayers, pl)
+			for i := 0; i < 2; i++ {
+				if _, err := g.AddContext("Item", pl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		// One shared item per room.
+		if _, err := g.AddContext("Item", append([]ID{room}, roomPlayers...)...); err != nil {
+			b.Fatal(err)
+		}
+		players = append(players, roomPlayers...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Dom(players[i%len(players)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

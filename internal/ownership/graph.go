@@ -1,0 +1,544 @@
+// Package ownership implements AEON's context ownership network (§ 3 of the
+// paper): a directed acyclic graph of contexts in which an edge parent→child
+// means the parent "directly owns" the child. The graph supports the
+// dominator computation dom(G,C) = lub(share(G,C) ∪ {C}) that the runtime
+// uses as the sequencing point for events, path finding for top-down lock
+// activation, and dynamic mutation (context creation, ownership edge changes,
+// context removal) with acyclicity enforcement.
+//
+// The paper models the network as a join semi-lattice; when a dominator query
+// discovers multiple minimal common ancestors (the "multiple maxima which
+// share common descendants" case of § 3), the graph transparently inserts an
+// unnamed virtual context owning them, exactly as the paper's footnote
+// prescribes.
+package ownership
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ID identifies a context in the ownership network. IDs are assigned by the
+// graph and are never reused.
+type ID uint64
+
+// None is the zero ID; it never names a valid context.
+const None ID = 0
+
+// String renders the ID for logs and errors.
+func (id ID) String() string { return fmt.Sprintf("ctx#%d", uint64(id)) }
+
+// VirtualClass is the class name given to unnamed contexts the graph inserts
+// to restore the join semi-lattice property.
+const VirtualClass = "__virtual__"
+
+var (
+	// ErrNotFound is returned when an ID does not name a context.
+	ErrNotFound = errors.New("ownership: context not found")
+	// ErrCycle is returned when a mutation would create an ownership cycle.
+	ErrCycle = errors.New("ownership: mutation would create a cycle")
+	// ErrExists is returned when an edge or context already exists.
+	ErrExists = errors.New("ownership: already exists")
+	// ErrHasEdges is returned when removing a context that still owns or is
+	// owned by others.
+	ErrHasEdges = errors.New("ownership: context still has ownership edges")
+	// ErrNoPath is returned when no downward path connects two contexts.
+	ErrNoPath = errors.New("ownership: no ownership path")
+)
+
+type node struct {
+	id       ID
+	class    string
+	parents  []ID
+	children []ID
+}
+
+// Graph is a mutable, internally synchronized ownership network.
+//
+// The zero value is not usable; construct with NewGraph.
+type Graph struct {
+	mu      sync.RWMutex
+	nodes   map[ID]*node
+	nextID  ID
+	version uint64
+
+	// domCache memoizes dominator results; entries are invalidated precisely
+	// on mutation (see invalidateUp) so that steady-state workloads that
+	// create fresh leaf contexts (e.g. TPC-C orders) do not pay repeated
+	// recomputation for stable interior contexts.
+	domCache map[ID]ID
+	// virtualJoin memoizes virtual contexts created for a given set of
+	// minimal upper bounds so repeated queries reuse the same context.
+	virtualJoin map[string]ID
+}
+
+// NewGraph returns an empty ownership network.
+func NewGraph() *Graph {
+	return &Graph{
+		nodes:       make(map[ID]*node),
+		nextID:      1,
+		domCache:    make(map[ID]ID),
+		virtualJoin: make(map[string]ID),
+	}
+}
+
+// Version returns a counter incremented by every mutation. Server-side
+// caches use it to detect staleness.
+func (g *Graph) Version() uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.version
+}
+
+// Len reports the number of contexts in the network.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
+
+// AddContext creates a new context of the given class owned by the given
+// parents and returns its ID. Creating a context with no parents makes it a
+// root. A fresh context is necessarily a leaf, so this mutation can never
+// introduce a cycle; dominator caches of its ancestors are updated
+// incrementally rather than invalidated wholesale.
+func (g *Graph) AddContext(class string, parents ...ID) (ID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	for _, p := range parents {
+		if _, ok := g.nodes[p]; !ok {
+			return None, fmt.Errorf("parent %v: %w", p, ErrNotFound)
+		}
+	}
+	id := g.nextID
+	g.nextID++
+	n := &node{id: id, class: class}
+	g.nodes[id] = n
+	seen := make(map[ID]bool, len(parents))
+	for _, p := range parents {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		n.parents = append(n.parents, p)
+		pn := g.nodes[p]
+		pn.children = append(pn.children, id)
+	}
+	g.version++
+	g.reviewDomsForNewLeaf(id, n.parents)
+	return id, nil
+}
+
+// Class reports the class of a context.
+func (g *Graph) Class(id ID) (string, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return "", fmt.Errorf("%v: %w", id, ErrNotFound)
+	}
+	return n.class, nil
+}
+
+// Contains reports whether the context exists.
+func (g *Graph) Contains(id ID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.nodes[id]
+	return ok
+}
+
+// AddEdge records that parent directly owns child. It fails with ErrCycle if
+// the edge would make the network cyclic.
+func (g *Graph) AddEdge(parent, child ID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	pn, ok := g.nodes[parent]
+	if !ok {
+		return fmt.Errorf("parent %v: %w", parent, ErrNotFound)
+	}
+	cn, ok := g.nodes[child]
+	if !ok {
+		return fmt.Errorf("child %v: %w", child, ErrNotFound)
+	}
+	for _, c := range pn.children {
+		if c == child {
+			return fmt.Errorf("edge %v→%v: %w", parent, child, ErrExists)
+		}
+	}
+	if parent == child || g.reachableLocked(child, parent) {
+		return fmt.Errorf("edge %v→%v: %w", parent, child, ErrCycle)
+	}
+	pn.children = append(pn.children, child)
+	cn.parents = append(cn.parents, parent)
+	g.version++
+	g.invalidateAllLocked()
+	return nil
+}
+
+// RemoveEdge deletes a direct-ownership edge.
+func (g *Graph) RemoveEdge(parent, child ID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	pn, ok := g.nodes[parent]
+	if !ok {
+		return fmt.Errorf("parent %v: %w", parent, ErrNotFound)
+	}
+	cn, ok := g.nodes[child]
+	if !ok {
+		return fmt.Errorf("child %v: %w", child, ErrNotFound)
+	}
+	if !removeID(&pn.children, child) {
+		return fmt.Errorf("edge %v→%v: %w", parent, child, ErrNotFound)
+	}
+	removeID(&cn.parents, parent)
+	g.version++
+	g.invalidateAllLocked()
+	return nil
+}
+
+// RemoveContext deletes a context that has no remaining ownership edges.
+func (g *Graph) RemoveContext(id ID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("%v: %w", id, ErrNotFound)
+	}
+	if len(n.parents) != 0 || len(n.children) != 0 {
+		return fmt.Errorf("%v: %w", id, ErrHasEdges)
+	}
+	delete(g.nodes, id)
+	delete(g.domCache, id)
+	g.version++
+	return nil
+}
+
+// DetachContext removes every ownership edge touching id and then deletes the
+// context. Used when destroying subtree leaves (e.g. delivered orders).
+func (g *Graph) DetachContext(id ID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("%v: %w", id, ErrNotFound)
+	}
+	for _, p := range n.parents {
+		removeID(&g.nodes[p].children, id)
+	}
+	for _, c := range n.children {
+		removeID(&g.nodes[c].parents, id)
+	}
+	delete(g.nodes, id)
+	g.version++
+	g.invalidateAllLocked()
+	return nil
+}
+
+// Children returns a copy of the direct children of id.
+func (g *Graph) Children(id ID) ([]ID, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%v: %w", id, ErrNotFound)
+	}
+	out := make([]ID, len(n.children))
+	copy(out, n.children)
+	return out, nil
+}
+
+// Parents returns a copy of the direct owners of id.
+func (g *Graph) Parents(id ID) ([]ID, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%v: %w", id, ErrNotFound)
+	}
+	out := make([]ID, len(n.parents))
+	copy(out, n.parents)
+	return out, nil
+}
+
+// OwnsDirectly reports whether parent directly owns child.
+func (g *Graph) OwnsDirectly(parent, child ID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	pn, ok := g.nodes[parent]
+	if !ok {
+		return false
+	}
+	for _, c := range pn.children {
+		if c == child {
+			return true
+		}
+	}
+	return false
+}
+
+// Owns reports whether anc transitively owns desc (strictly).
+func (g *Graph) Owns(anc, desc ID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if anc == desc {
+		return false
+	}
+	return g.reachableLocked(anc, desc)
+}
+
+// Desc returns the strict descendants of id (excluding id itself), in
+// unspecified order.
+func (g *Graph) Desc(id ID) ([]ID, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if _, ok := g.nodes[id]; !ok {
+		return nil, fmt.Errorf("%v: %w", id, ErrNotFound)
+	}
+	set := g.descSetLocked(id)
+	out := make([]ID, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Roots returns the contexts with no owners.
+func (g *Graph) Roots() []ID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []ID
+	for id, n := range g.nodes {
+		if len(n.parents) == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Path returns a downward direct-ownership path from anc to desc, inclusive
+// on both ends. If anc == desc the path is the single context. The runtime
+// activates the returned contexts top-down when escorting an event from its
+// dominator to its target (Algorithm 2, activatePath).
+func (g *Graph) Path(anc, desc ID) ([]ID, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if _, ok := g.nodes[anc]; !ok {
+		return nil, fmt.Errorf("%v: %w", anc, ErrNotFound)
+	}
+	if _, ok := g.nodes[desc]; !ok {
+		return nil, fmt.Errorf("%v: %w", desc, ErrNotFound)
+	}
+	if anc == desc {
+		return []ID{anc}, nil
+	}
+	// BFS upward from desc to anc following parent edges; shortest path.
+	prev := map[ID]ID{desc: None}
+	queue := []ID{desc}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range g.nodes[cur].parents {
+			if _, seen := prev[p]; seen {
+				continue
+			}
+			prev[p] = cur
+			if p == anc {
+				var path []ID
+				for c := anc; c != None; c = prev[c] {
+					path = append(path, c)
+				}
+				return path, nil
+			}
+			queue = append(queue, p)
+		}
+	}
+	return nil, fmt.Errorf("%v→%v: %w", anc, desc, ErrNoPath)
+}
+
+// reachableLocked reports whether to is reachable from from via child edges.
+func (g *Graph) reachableLocked(from, to ID) bool {
+	if from == to {
+		return true
+	}
+	seen := map[ID]bool{from: true}
+	stack := []ID{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range g.nodes[cur].children {
+			if c == to {
+				return true
+			}
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return false
+}
+
+// descSetLocked computes the strict descendant set of id.
+func (g *Graph) descSetLocked(id ID) map[ID]bool {
+	set := make(map[ID]bool)
+	stack := []ID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range g.nodes[cur].children {
+			if !set[c] {
+				set[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return set
+}
+
+// ancSetLocked computes the ancestors-or-self set of id.
+func (g *Graph) ancSetLocked(id ID) map[ID]bool {
+	set := map[ID]bool{id: true}
+	stack := []ID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.nodes[cur].parents {
+			if !set[p] {
+				set[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return set
+}
+
+func (g *Graph) invalidateAllLocked() {
+	// Structural edge mutations can move dominators arbitrarily; wholesale
+	// invalidation keeps correctness simple. The hot mutation path (fresh
+	// leaf creation via AddContext) avoids this entirely.
+	clear(g.domCache)
+}
+
+// reviewDomsForNewLeaf audits cached dominators after a fresh leaf L was
+// added under the given parents.
+//
+// A single-owner leaf introduces no new sharing: the only new share member
+// any ancestor A gains is L's sole parent P, which lies on the A→L path and
+// is therefore already ≤ A; no lub can move, so every cache entry stays.
+//
+// A multi-owner leaf L enlarges share(A) for every ancestor A of L: set 1
+// gains L's parents, and set 2 gains every ancestor of those parents that is
+// incomparable to A. A cached dom(A) stays valid iff it already covers every
+// such potential new member. The check below verifies that condition for
+// every cached ancestor entry; if any entry would move — or a parent's own
+// dominator is unknown — the whole cache is dropped (dominators of contexts
+// far from L that share with the parents' subtrees could move too, and
+// tracking them precisely is not worth the complexity). In the steady state
+// of leaf-creating workloads (TPC-C order creation: dom(District) =
+// dom(Customer) = District and Warehouse comparable to both) every check
+// passes and no invalidation happens.
+func (g *Graph) reviewDomsForNewLeaf(leaf ID, parents []ID) {
+	if len(parents) <= 1 {
+		return
+	}
+	for _, p := range parents {
+		if _, ok := g.domCache[p]; !ok {
+			g.invalidateAllLocked()
+			return
+		}
+	}
+	// Potential new share members for any ancestor of L: the parents and all
+	// their ancestors. Upward chains are short in practice.
+	newMembers := make(map[ID]bool)
+	parentSet := make(map[ID]bool, len(parents))
+	for _, p := range parents {
+		parentSet[p] = true
+		for a := range g.ancSetLocked(p) {
+			newMembers[a] = true
+		}
+	}
+	ancSelfLeaf := g.ancSetLocked(leaf)
+	for a := range ancSelfLeaf {
+		if a == leaf {
+			continue
+		}
+		cached, ok := g.domCache[a]
+		if !ok {
+			continue
+		}
+		ancSelfA := g.ancSetLocked(a)
+		ancSelfDom := g.ancSetLocked(cached)
+		for m := range newMembers {
+			if m == a {
+				continue
+			}
+			if !parentSet[m] {
+				// Non-parent ancestors join share(A) only when incomparable
+				// to A (set 2); comparable ones are not members.
+				if ancSelfA[m] || g.ancSetLocked(m)[a] {
+					continue
+				}
+			}
+			// Member m must already be covered by the cached dominator:
+			// cached ≥ m, i.e. cached ∈ ancestors-or-self of m.
+			if m != cached && !containsInAncSelf(g, m, cached, ancSelfDom) {
+				g.invalidateAllLocked()
+				return
+			}
+		}
+	}
+}
+
+// containsInAncSelf reports whether dom is an ancestor-or-self of m.
+// ancSelfDom (the ancestors of dom) is passed in to short-circuit the
+// common case where m is below dom on a chain through dom.
+func containsInAncSelf(g *Graph, m, dom ID, ancSelfDom map[ID]bool) bool {
+	if ancSelfDom[m] {
+		// m is an ancestor of dom; dom cannot cover it (m != dom checked).
+		return false
+	}
+	return g.ancSetLocked(m)[dom]
+}
+
+func removeID(s *[]ID, id ID) bool {
+	for i, v := range *s {
+		if v == id {
+			*s = append((*s)[:i], (*s)[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// DumpDOT renders the graph in Graphviz DOT form (debugging aid).
+func (g *Graph) DumpDOT() string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var b strings.Builder
+	b.WriteString("digraph ownership {\n")
+	ids := make([]ID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := g.nodes[id]
+		fmt.Fprintf(&b, "  %d [label=%q];\n", uint64(id), fmt.Sprintf("%s#%d", n.class, uint64(id)))
+		for _, c := range n.children {
+			fmt.Fprintf(&b, "  %d -> %d;\n", uint64(id), uint64(c))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,231 @@
+package ownership
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAddContextAndLookup(t *testing.T) {
+	g := NewGraph()
+	room, err := g.AddContext("Room")
+	if err != nil {
+		t.Fatalf("AddContext: %v", err)
+	}
+	player, err := g.AddContext("Player", room)
+	if err != nil {
+		t.Fatalf("AddContext: %v", err)
+	}
+	if !g.Contains(room) || !g.Contains(player) {
+		t.Fatal("contexts should exist")
+	}
+	class, err := g.Class(player)
+	if err != nil || class != "Player" {
+		t.Fatalf("Class = %q, %v; want Player", class, err)
+	}
+	if !g.OwnsDirectly(room, player) {
+		t.Fatal("room should directly own player")
+	}
+	if g.OwnsDirectly(player, room) {
+		t.Fatal("player must not own room")
+	}
+}
+
+func TestAddContextUnknownParent(t *testing.T) {
+	g := NewGraph()
+	if _, err := g.AddContext("X", ID(42)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v; want ErrNotFound", err)
+	}
+}
+
+func TestAddContextDedupesParents(t *testing.T) {
+	g := NewGraph()
+	room, _ := g.AddContext("Room")
+	item, err := g.AddContext("Item", room, room)
+	if err != nil {
+		t.Fatalf("AddContext: %v", err)
+	}
+	parents, _ := g.Parents(item)
+	if len(parents) != 1 {
+		t.Fatalf("parents = %v; want exactly one", parents)
+	}
+}
+
+func TestAddEdgeRejectsCycle(t *testing.T) {
+	g := NewGraph()
+	a, _ := g.AddContext("A")
+	b, _ := g.AddContext("B", a)
+	c, _ := g.AddContext("C", b)
+	if err := g.AddEdge(c, a); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v; want ErrCycle", err)
+	}
+	if err := g.AddEdge(a, a); !errors.Is(err, ErrCycle) {
+		t.Fatalf("self edge err = %v; want ErrCycle", err)
+	}
+}
+
+func TestAddEdgeRejectsDuplicate(t *testing.T) {
+	g := NewGraph()
+	a, _ := g.AddContext("A")
+	b, _ := g.AddContext("B", a)
+	if err := g.AddEdge(a, b); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v; want ErrExists", err)
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := NewGraph()
+	a, _ := g.AddContext("A")
+	b, _ := g.AddContext("B", a)
+	if err := g.RemoveEdge(a, b); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	if g.OwnsDirectly(a, b) {
+		t.Fatal("edge should be gone")
+	}
+	if err := g.RemoveEdge(a, b); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second remove err = %v; want ErrNotFound", err)
+	}
+}
+
+func TestRemoveContextRequiresNoEdges(t *testing.T) {
+	g := NewGraph()
+	a, _ := g.AddContext("A")
+	b, _ := g.AddContext("B", a)
+	if err := g.RemoveContext(b); !errors.Is(err, ErrHasEdges) {
+		t.Fatalf("err = %v; want ErrHasEdges", err)
+	}
+	if err := g.RemoveEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveContext(b); err != nil {
+		t.Fatalf("RemoveContext: %v", err)
+	}
+	if g.Contains(b) {
+		t.Fatal("b should be gone")
+	}
+}
+
+func TestDetachContext(t *testing.T) {
+	g := NewGraph()
+	a, _ := g.AddContext("A")
+	b, _ := g.AddContext("B", a)
+	c, _ := g.AddContext("C", b)
+	if err := g.DetachContext(b); err != nil {
+		t.Fatalf("DetachContext: %v", err)
+	}
+	if g.Contains(b) {
+		t.Fatal("b should be gone")
+	}
+	children, _ := g.Children(a)
+	if len(children) != 0 {
+		t.Fatalf("a children = %v; want empty", children)
+	}
+	parents, _ := g.Parents(c)
+	if len(parents) != 0 {
+		t.Fatalf("c parents = %v; want empty", parents)
+	}
+}
+
+func TestOwnsTransitive(t *testing.T) {
+	g := NewGraph()
+	a, _ := g.AddContext("A")
+	b, _ := g.AddContext("B", a)
+	c, _ := g.AddContext("C", b)
+	if !g.Owns(a, c) {
+		t.Fatal("a should transitively own c")
+	}
+	if g.Owns(c, a) || g.Owns(a, a) {
+		t.Fatal("Owns must be strict and directed")
+	}
+}
+
+func TestDescAndRoots(t *testing.T) {
+	g := NewGraph()
+	a, _ := g.AddContext("A")
+	b, _ := g.AddContext("B", a)
+	c, _ := g.AddContext("C", a, b) // shared child
+	d, _ := g.AddContext("D", c)
+
+	desc, err := g.Desc(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[ID]bool{b: true, c: true, d: true}
+	if len(desc) != len(want) {
+		t.Fatalf("desc = %v; want %v", desc, want)
+	}
+	for _, id := range desc {
+		if !want[id] {
+			t.Fatalf("unexpected descendant %v", id)
+		}
+	}
+	roots := g.Roots()
+	if len(roots) != 1 || roots[0] != a {
+		t.Fatalf("roots = %v; want [%v]", roots, a)
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := NewGraph()
+	a, _ := g.AddContext("A")
+	b, _ := g.AddContext("B", a)
+	c, _ := g.AddContext("C", b)
+
+	path, err := g.Path(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[0] != a || path[1] != b || path[2] != c {
+		t.Fatalf("path = %v; want [a b c]", path)
+	}
+
+	self, err := g.Path(b, b)
+	if err != nil || len(self) != 1 || self[0] != b {
+		t.Fatalf("self path = %v, %v", self, err)
+	}
+
+	if _, err := g.Path(c, a); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("upward path err = %v; want ErrNoPath", err)
+	}
+}
+
+func TestPathPrefersShortest(t *testing.T) {
+	g := NewGraph()
+	a, _ := g.AddContext("A")
+	b, _ := g.AddContext("B", a)
+	c, _ := g.AddContext("C", b)
+	d, _ := g.AddContext("D", c, a) // both long (a,b,c,d) and short (a,d) paths
+
+	path, err := g.Path(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 || path[0] != a || path[1] != d {
+		t.Fatalf("path = %v; want direct [a d]", path)
+	}
+}
+
+func TestVersionBumpsOnMutation(t *testing.T) {
+	g := NewGraph()
+	v0 := g.Version()
+	a, _ := g.AddContext("A")
+	if g.Version() == v0 {
+		t.Fatal("AddContext should bump version")
+	}
+	v1 := g.Version()
+	b, _ := g.AddContext("B")
+	_ = g.AddEdge(a, b)
+	if g.Version() <= v1 {
+		t.Fatal("AddEdge should bump version")
+	}
+}
+
+func TestDumpDOT(t *testing.T) {
+	g := NewGraph()
+	a, _ := g.AddContext("A")
+	_, _ = g.AddContext("B", a)
+	dot := g.DumpDOT()
+	if dot == "" {
+		t.Fatal("DumpDOT should render something")
+	}
+}

@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Message is a request or response exchanged between mesh endpoints.
+type Message struct {
+	// Kind routes the message to a handler action (e.g. "migrate.prepare").
+	Kind string `json:"kind"`
+	// Payload is an opaque, codec-encoded body.
+	Payload []byte `json:"payload"`
+}
+
+// Handler processes a request and produces a response.
+type Handler func(ctx context.Context, from NodeID, req Message) (Message, error)
+
+// Endpoint is one node's attachment to a mesh.
+type Endpoint interface {
+	// ID returns this endpoint's node ID.
+	ID() NodeID
+	// Call sends a request to another node and waits for its response.
+	Call(ctx context.Context, to NodeID, req Message) (Message, error)
+	// Close detaches the endpoint.
+	Close() error
+}
+
+// Mesh connects endpoints so they can exchange request/response messages.
+type Mesh interface {
+	// Attach registers a node with its request handler and returns its
+	// endpoint.
+	Attach(id NodeID, h Handler) (Endpoint, error)
+}
+
+var (
+	// ErrNodeUnknown is returned when calling a node that is not attached.
+	ErrNodeUnknown = errors.New("transport: unknown node")
+	// ErrNodeAttached is returned when attaching an already-attached node.
+	ErrNodeAttached = errors.New("transport: node already attached")
+	// ErrClosed is returned when using a closed endpoint.
+	ErrClosed = errors.New("transport: endpoint closed")
+)
+
+// InMemMesh is a Mesh connecting endpoints within one process. Delivery cost
+// is charged through the supplied Network (both directions).
+type InMemMesh struct {
+	net Network
+
+	mu    sync.RWMutex
+	nodes map[NodeID]*inMemEndpoint
+}
+
+var _ Mesh = (*InMemMesh)(nil)
+
+// NewInMemMesh returns a mesh whose message latency is charged via net.
+func NewInMemMesh(net Network) *InMemMesh {
+	return &InMemMesh{net: net, nodes: make(map[NodeID]*inMemEndpoint)}
+}
+
+// Attach implements Mesh.
+func (m *InMemMesh) Attach(id NodeID, h Handler) (Endpoint, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.nodes[id]; ok {
+		return nil, fmt.Errorf("%v: %w", id, ErrNodeAttached)
+	}
+	ep := &inMemEndpoint{mesh: m, id: id, handler: h}
+	m.nodes[id] = ep
+	return ep, nil
+}
+
+type inMemEndpoint struct {
+	mesh    *InMemMesh
+	id      NodeID
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Endpoint = (*inMemEndpoint)(nil)
+
+func (e *inMemEndpoint) ID() NodeID { return e.id }
+
+func (e *inMemEndpoint) Call(ctx context.Context, to NodeID, req Message) (Message, error) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return Message{}, ErrClosed
+	}
+	e.mesh.mu.RLock()
+	dst, ok := e.mesh.nodes[to]
+	e.mesh.mu.RUnlock()
+	if !ok {
+		return Message{}, fmt.Errorf("%v: %w", to, ErrNodeUnknown)
+	}
+	if err := e.mesh.net.Hop(e.id, to, len(req.Payload)); err != nil {
+		return Message{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Message{}, err
+	}
+	resp, err := dst.handler(ctx, e.id, req)
+	if err != nil {
+		return Message{}, err
+	}
+	if err := e.mesh.net.Hop(to, e.id, len(resp.Payload)); err != nil {
+		return Message{}, err
+	}
+	return resp, nil
+}
+
+func (e *inMemEndpoint) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.mesh.mu.Lock()
+	delete(e.mesh.nodes, e.id)
+	e.mesh.mu.Unlock()
+	return nil
+}

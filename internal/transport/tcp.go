@@ -1,0 +1,270 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPMesh is a Mesh whose endpoints communicate over real TCP sockets with
+// gob-encoded frames. It supports multi-process deployments: each process
+// attaches its node and dials peers by address.
+//
+// Wire protocol: each connection carries a stream of gob-encoded wireReq
+// frames from client to server and wireResp frames back, strictly
+// request/response (one outstanding call per connection; the client pools
+// connections).
+type TCPMesh struct {
+	mu     sync.RWMutex
+	addrs  map[NodeID]string
+	locals map[NodeID]*tcpEndpoint
+}
+
+var _ Mesh = (*TCPMesh)(nil)
+
+type wireReq struct {
+	From NodeID
+	Req  Message
+}
+
+type wireResp struct {
+	Resp Message
+	Err  string
+}
+
+// NewTCPMesh returns a TCP mesh. Peers must be registered with Register
+// before they can be called.
+func NewTCPMesh() *TCPMesh {
+	return &TCPMesh{
+		addrs:  make(map[NodeID]string),
+		locals: make(map[NodeID]*tcpEndpoint),
+	}
+}
+
+// Register associates a node ID with a dialable address.
+func (m *TCPMesh) Register(id NodeID, addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.addrs[id] = addr
+}
+
+// Attach implements Mesh: it starts a TCP listener on an ephemeral port (use
+// AttachListener to control the address) and serves requests with h.
+func (m *TCPMesh) Attach(id NodeID, h Handler) (Endpoint, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("listen: %w", err)
+	}
+	return m.AttachListener(id, h, ln)
+}
+
+// AttachListener attaches a node serving on the given listener.
+func (m *TCPMesh) AttachListener(id NodeID, h Handler, ln net.Listener) (Endpoint, error) {
+	m.mu.Lock()
+	if _, ok := m.locals[id]; ok {
+		m.mu.Unlock()
+		_ = ln.Close()
+		return nil, fmt.Errorf("%v: %w", id, ErrNodeAttached)
+	}
+	ep := &tcpEndpoint{
+		mesh:    m,
+		id:      id,
+		handler: h,
+		ln:      ln,
+		conns:   make(map[NodeID][]*clientConn),
+		served:  make(map[net.Conn]bool),
+		done:    make(chan struct{}),
+	}
+	m.locals[id] = ep
+	m.addrs[id] = ln.Addr().String()
+	m.mu.Unlock()
+
+	ep.wg.Add(1)
+	go ep.serve()
+	return ep, nil
+}
+
+// Addr returns the registered address of a node.
+func (m *TCPMesh) Addr(id NodeID) (string, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	a, ok := m.addrs[id]
+	return a, ok
+}
+
+type clientConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+type tcpEndpoint struct {
+	mesh    *TCPMesh
+	id      NodeID
+	handler Handler
+	ln      net.Listener
+
+	mu     sync.Mutex
+	conns  map[NodeID][]*clientConn
+	served map[net.Conn]bool
+	closed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+var _ Endpoint = (*tcpEndpoint)(nil)
+
+func (e *tcpEndpoint) ID() NodeID { return e.id }
+
+func (e *tcpEndpoint) serve() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			select {
+			case <-e.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		e.wg.Add(1)
+		go e.serveConn(conn)
+	}
+}
+
+func (e *tcpEndpoint) serveConn(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() { _ = conn.Close() }()
+	// Track the accepted connection so Close can unblock the decoder even
+	// when the remote side keeps the connection open.
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.served[conn] = true
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.served, conn)
+		e.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req wireReq
+		if err := dec.Decode(&req); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			return
+		}
+		resp, err := e.handler(context.Background(), req.From, req.Req)
+		out := wireResp{Resp: resp}
+		if err != nil {
+			out.Err = err.Error()
+		}
+		if err := enc.Encode(out); err != nil {
+			return
+		}
+	}
+}
+
+func (e *tcpEndpoint) Call(ctx context.Context, to NodeID, req Message) (Message, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return Message{}, ErrClosed
+	}
+	var cc *clientConn
+	if pool := e.conns[to]; len(pool) > 0 {
+		cc = pool[len(pool)-1]
+		e.conns[to] = pool[:len(pool)-1]
+	}
+	e.mu.Unlock()
+
+	if cc == nil {
+		addr, ok := e.mesh.Addr(to)
+		if !ok {
+			return Message{}, fmt.Errorf("%v: %w", to, ErrNodeUnknown)
+		}
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return Message{}, fmt.Errorf("dial %v: %w", to, err)
+		}
+		cc = &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	}
+
+	if err := cc.enc.Encode(wireReq{From: e.id, Req: req}); err != nil {
+		_ = cc.conn.Close()
+		return Message{}, fmt.Errorf("send to %v: %w", to, err)
+	}
+	var resp wireResp
+	if err := cc.dec.Decode(&resp); err != nil {
+		_ = cc.conn.Close()
+		return Message{}, fmt.Errorf("recv from %v: %w", to, err)
+	}
+
+	e.mu.Lock()
+	if !e.closed {
+		e.conns[to] = append(e.conns[to], cc)
+		e.mu.Unlock()
+	} else {
+		e.mu.Unlock()
+		_ = cc.conn.Close()
+	}
+
+	if resp.Err != "" {
+		return Message{}, &RemoteError{Node: to, Msg: resp.Err}
+	}
+	return resp.Resp, nil
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	for _, pool := range e.conns {
+		for _, cc := range pool {
+			_ = cc.conn.Close()
+		}
+	}
+	e.conns = make(map[NodeID][]*clientConn)
+	for conn := range e.served {
+		_ = conn.Close() // unblock serveConn decoders
+	}
+	e.mu.Unlock()
+
+	close(e.done)
+	err := e.ln.Close()
+	e.wg.Wait()
+
+	e.mesh.mu.Lock()
+	delete(e.mesh.locals, e.id)
+	e.mesh.mu.Unlock()
+	return err
+}
+
+// RemoteError carries an error string returned by a remote handler.
+type RemoteError struct {
+	Node NodeID
+	Msg  string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote %v: %s", e.Node, e.Msg)
+}

@@ -1,0 +1,215 @@
+// Package workload provides the client load generators the benchmark
+// harness drives the applications with: a closed-loop generator (N clients,
+// each issuing the next operation as soon as the previous one returns) for
+// the throughput/latency experiments, and a normally distributed client
+// ramp reproducing the elasticity experiment of § 6.2 ("we varied the
+// number of clients on each client machine from 1 to 16 according to the
+// normal distribution. At its peak time, there were 128 active clients").
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aeon/internal/metrics"
+)
+
+// Op is one client operation.
+type Op func(rng *rand.Rand) error
+
+// Result summarizes a load run.
+type Result struct {
+	// Ops completed and Errors observed.
+	Ops, Errors uint64
+	// Elapsed wall-clock time.
+	Elapsed time.Duration
+	// Throughput in operations per second.
+	Throughput float64
+	// Latency distribution summary.
+	Latency metrics.Snapshot
+	// Hist is the full latency histogram.
+	Hist *metrics.Histogram
+}
+
+// RunClosedLoop drives op with the given number of closed-loop clients for
+// the duration and returns the measured result.
+func RunClosedLoop(op Op, clients int, think, duration time.Duration, seed int64) Result {
+	res, _ := RunClosedLoopSeries(op, clients, think, duration, 0, seed)
+	return res
+}
+
+// RunClosedLoopSeries is RunClosedLoop that additionally returns an
+// ops-per-window time series when window > 0 (used by the migration-impact
+// experiment to see the throughput dip).
+func RunClosedLoopSeries(op Op, clients int, think, duration, window time.Duration, seed int64) (Result, *metrics.TimeSeries) {
+	var (
+		hist   metrics.Histogram
+		ops    atomic.Uint64
+		errs   atomic.Uint64
+		stopAt = time.Now().Add(duration)
+		wg     sync.WaitGroup
+		series *metrics.TimeSeries
+	)
+	if window > 0 {
+		series = metrics.NewTimeSeries(window)
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for time.Now().Before(stopAt) {
+				start := time.Now()
+				if err := op(rng); err != nil {
+					errs.Add(1)
+				} else {
+					hist.Record(time.Since(start))
+					ops.Add(1)
+					if series != nil {
+						series.Observe(1)
+					}
+				}
+				if think > 0 {
+					time.Sleep(think)
+				}
+			}
+		}(seed + int64(c))
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start) + 0 // clients stop on their own clocks
+	res := Result{
+		Ops:     ops.Load(),
+		Errors:  errs.Load(),
+		Elapsed: elapsed,
+		Latency: hist.Snapshot(),
+		Hist:    &hist,
+	}
+	if sec := duration.Seconds(); sec > 0 {
+		res.Throughput = float64(res.Ops) / sec
+	}
+	return res, series
+}
+
+// Ramp describes a normally distributed active-client schedule.
+type Ramp struct {
+	// Machines is the number of client machines (8 in the paper).
+	Machines int
+	// PeakPerMachine is the per-machine client peak (16 in the paper).
+	PeakPerMachine int
+	// Duration of the whole experiment.
+	Duration time.Duration
+}
+
+// ActiveAt returns the number of active clients at offset t: a bell curve
+// peaking at Machines×PeakPerMachine mid-run, floored at Machines (one
+// client per machine).
+func (r Ramp) ActiveAt(t time.Duration) int {
+	if t < 0 || t > r.Duration {
+		return 0
+	}
+	mid := r.Duration.Seconds() / 2
+	sigma := r.Duration.Seconds() / 6
+	x := t.Seconds()
+	bell := math.Exp(-((x - mid) * (x - mid)) / (2 * sigma * sigma))
+	peak := float64(r.Machines * r.PeakPerMachine)
+	floor := float64(r.Machines)
+	n := floor + (peak-floor)*bell
+	return int(n + 0.5)
+}
+
+// RampResult is the time-series output of a ramp run.
+type RampResult struct {
+	// LatencySeries has one point per sampling window with the mean
+	// latency of ops completing in that window (seconds → ms).
+	LatencySeries *metrics.TimeSeries
+	// ClientSeries records the active client count per window.
+	ClientSeries *metrics.TimeSeries
+	// ThroughputSeries records completed ops per window.
+	ThroughputSeries *metrics.TimeSeries
+	// Hist is the full latency distribution of the run.
+	Hist *metrics.Histogram
+	// Ops completed and Errors observed.
+	Ops, Errors uint64
+}
+
+// RunRamp drives op with a client population following the ramp schedule,
+// adjusting the number of active clients every window. Window also sets the
+// sampling granularity of the returned series.
+func RunRamp(op Op, ramp Ramp, window time.Duration, seed int64) *RampResult {
+	res := &RampResult{
+		LatencySeries:    metrics.NewTimeSeries(window),
+		ClientSeries:     metrics.NewTimeSeries(window),
+		ThroughputSeries: metrics.NewTimeSeries(window),
+		Hist:             &metrics.Histogram{},
+	}
+	var (
+		ops  atomic.Uint64
+		errs atomic.Uint64
+		stop = make(chan struct{})
+		wg   sync.WaitGroup
+	)
+
+	// client goroutine: runs until its quit channel closes.
+	client := func(quit <-chan struct{}, seed int64) {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed))
+		for {
+			select {
+			case <-quit:
+				return
+			case <-stop:
+				return
+			default:
+			}
+			start := time.Now()
+			if err := op(rng); err != nil {
+				errs.Add(1)
+			} else {
+				d := time.Since(start)
+				res.Hist.Record(d)
+				res.LatencySeries.Observe(d.Seconds() * 1000) // ms
+				res.ThroughputSeries.Observe(1)
+				ops.Add(1)
+			}
+		}
+	}
+
+	begin := time.Now()
+	var quits []chan struct{}
+	nextSeed := seed
+	ticker := time.NewTicker(window)
+	defer ticker.Stop()
+
+	adjust := func(now time.Time) {
+		want := ramp.ActiveAt(now.Sub(begin))
+		for len(quits) < want {
+			q := make(chan struct{})
+			quits = append(quits, q)
+			wg.Add(1)
+			nextSeed++
+			go client(q, nextSeed)
+		}
+		for len(quits) > want {
+			close(quits[len(quits)-1])
+			quits = quits[:len(quits)-1]
+		}
+		res.ClientSeries.ObserveAt(now, float64(want))
+	}
+
+	adjust(begin)
+	for now := range ticker.C {
+		if now.Sub(begin) >= ramp.Duration {
+			break
+		}
+		adjust(now)
+	}
+	close(stop)
+	wg.Wait()
+	res.Ops = ops.Load()
+	res.Errors = errs.Load()
+	return res
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestClosedLoopRuns(t *testing.T) {
+	var n atomic.Uint64
+	op := func(rng *rand.Rand) error {
+		n.Add(1)
+		time.Sleep(time.Millisecond)
+		return nil
+	}
+	res := RunClosedLoop(op, 4, 0, 100*time.Millisecond, 1)
+	if res.Ops == 0 || res.Ops != n.Load() {
+		t.Fatalf("ops = %d (counter %d)", res.Ops, n.Load())
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %v", res.Throughput)
+	}
+	if res.Latency.Count != res.Ops {
+		t.Fatalf("latency count = %d; want %d", res.Latency.Count, res.Ops)
+	}
+	// 4 clients at ~1ms/op for 100ms ≈ 400 ops, give wide slack.
+	if res.Ops < 100 || res.Ops > 800 {
+		t.Fatalf("ops = %d; implausible for 4 closed-loop clients", res.Ops)
+	}
+}
+
+func TestClosedLoopCountsErrors(t *testing.T) {
+	op := func(rng *rand.Rand) error { return errors.New("boom") }
+	res := RunClosedLoop(op, 2, time.Millisecond, 50*time.Millisecond, 1)
+	if res.Errors == 0 || res.Ops != 0 {
+		t.Fatalf("ops=%d errors=%d", res.Ops, res.Errors)
+	}
+}
+
+func TestClosedLoopThinkTime(t *testing.T) {
+	var n atomic.Uint64
+	op := func(rng *rand.Rand) error { n.Add(1); return nil }
+	RunClosedLoop(op, 1, 10*time.Millisecond, 100*time.Millisecond, 1)
+	// ~10 ops with 10ms think; allow slack.
+	if v := n.Load(); v > 30 {
+		t.Fatalf("ops = %d; think time not honored", v)
+	}
+}
+
+func TestRampShape(t *testing.T) {
+	r := Ramp{Machines: 8, PeakPerMachine: 16, Duration: 600 * time.Second}
+	if n := r.ActiveAt(300 * time.Second); n != 128 {
+		t.Fatalf("peak = %d; want 128", n)
+	}
+	if n := r.ActiveAt(0); n < 8 || n > 20 {
+		t.Fatalf("start = %d; want near the 8-client floor", n)
+	}
+	if n := r.ActiveAt(600 * time.Second); n < 8 || n > 20 {
+		t.Fatalf("end = %d; want near the 8-client floor", n)
+	}
+	if r.ActiveAt(-time.Second) != 0 || r.ActiveAt(601*time.Second) != 0 {
+		t.Fatal("outside the window should be 0")
+	}
+	// Monotone rise to the midpoint.
+	prev := 0
+	for s := 0; s <= 300; s += 30 {
+		n := r.ActiveAt(time.Duration(s) * time.Second)
+		if n < prev {
+			t.Fatalf("ramp not monotone rising at %ds: %d < %d", s, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestRunRamp(t *testing.T) {
+	op := func(rng *rand.Rand) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	}
+	res := RunRamp(op, Ramp{Machines: 2, PeakPerMachine: 4, Duration: 300 * time.Millisecond},
+		50*time.Millisecond, 1)
+	if res.Ops == 0 {
+		t.Fatal("no ops completed")
+	}
+	clientPts := res.ClientSeries.Points()
+	if len(clientPts) < 3 {
+		t.Fatalf("client series too short: %d", len(clientPts))
+	}
+	// Mid-run should have more clients than the edges.
+	first := clientPts[0].Mean
+	var peak float64
+	for _, p := range clientPts {
+		if p.Mean > peak {
+			peak = p.Mean
+		}
+	}
+	if peak <= first {
+		t.Fatalf("peak clients %v not above start %v", peak, first)
+	}
+	if res.LatencySeries.Points() == nil || res.ThroughputSeries.Points() == nil {
+		t.Fatal("missing series")
+	}
+}
