@@ -115,6 +115,15 @@ var (
 	Cost = schema.Cost
 )
 
+// Runtime errors callers are expected to branch on.
+var (
+	// ErrBackpressure completes a SubmitAsync Future when the target
+	// server's executor queue is full; retry later or shed load.
+	ErrBackpressure = core.ErrBackpressure
+	// ErrClosed is returned when submitting to a closed runtime.
+	ErrClosed = core.ErrClosed
+)
+
 // Server instance profiles (calibrated against the paper's EC2 types).
 var (
 	M3Large  = cluster.M3Large

@@ -32,6 +32,8 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut  = flag.String("json", "", "also write a machine-readable report to this file (e.g. BENCH_1.json)")
+		label    = flag.String("label", "", "label recorded in the JSON report")
 	)
 	flag.Parse()
 
@@ -46,16 +48,44 @@ func run() error {
 		Verbose:  true,
 		Out:      os.Stderr,
 	}
-	names := []string{*exp}
+	var names []string
 	if *exp == "all" {
 		names = bench.Experiments()
+	} else {
+		for _, n := range strings.Split(*exp, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	report := bench.NewJSONReport(*label, *quick)
+	writeReport := func() error {
+		if *jsonOut == "" || len(report.Experiments) == 0 {
+			return nil
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.Write(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[json report written to %s]\n", *jsonOut)
+		return nil
 	}
 	for _, name := range names {
 		start := time.Now()
 		tables, err := bench.Run(name, opts)
 		if err != nil {
+			// Preserve the experiments that already finished: a failure late
+			// in a long sweep must not discard hours of measurement.
+			if werr := writeReport(); werr != nil {
+				fmt.Fprintln(os.Stderr, "aeon-bench:", werr)
+			}
 			return fmt.Errorf("%s: %w", name, err)
 		}
+		report.Add(name, tables)
 		for _, t := range tables {
 			if *csv {
 				fmt.Printf("# %s\n%s", t.Title, t.CSV())
@@ -65,5 +95,5 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
 	}
-	return nil
+	return writeReport()
 }

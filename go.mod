@@ -1,0 +1,3 @@
+module aeon
+
+go 1.22

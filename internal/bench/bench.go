@@ -116,15 +116,16 @@ func (t *Table) CSV() string {
 
 // Experiment names map to runner functions.
 var experiments = map[string]func(Options) ([]*Table, error){
-	"fig1":   func(o Options) ([]*Table, error) { return []*Table{Fig1()}, nil },
-	"fig5a":  func(o Options) ([]*Table, error) { t, err := Fig5a(o); return wrap(t, err) },
-	"fig5b":  func(o Options) ([]*Table, error) { t, err := Fig5b(o); return wrap(t, err) },
-	"fig6a":  func(o Options) ([]*Table, error) { t, err := Fig6a(o); return wrap(t, err) },
-	"fig6b":  func(o Options) ([]*Table, error) { t, err := Fig6b(o); return wrap(t, err) },
-	"fig7":   Fig7,
-	"table1": func(o Options) ([]*Table, error) { t, err := Table1(o); return wrap(t, err) },
-	"fig8":   func(o Options) ([]*Table, error) { t, err := Fig8(o); return wrap(t, err) },
-	"fig9":   func(o Options) ([]*Table, error) { t, err := Fig9(o); return wrap(t, err) },
+	"fig1":    func(o Options) ([]*Table, error) { return []*Table{Fig1()}, nil },
+	"fig5a":   func(o Options) ([]*Table, error) { t, err := Fig5a(o); return wrap(t, err) },
+	"fig5b":   func(o Options) ([]*Table, error) { t, err := Fig5b(o); return wrap(t, err) },
+	"fig6a":   func(o Options) ([]*Table, error) { t, err := Fig6a(o); return wrap(t, err) },
+	"fig6b":   func(o Options) ([]*Table, error) { t, err := Fig6b(o); return wrap(t, err) },
+	"fig7":    Fig7,
+	"table1":  func(o Options) ([]*Table, error) { t, err := Table1(o); return wrap(t, err) },
+	"fig8":    func(o Options) ([]*Table, error) { t, err := Fig8(o); return wrap(t, err) },
+	"fig9":    func(o Options) ([]*Table, error) { t, err := Fig9(o); return wrap(t, err) },
+	"hotpath": func(o Options) ([]*Table, error) { t, err := Hotpath(o); return wrap(t, err) },
 }
 
 func wrap(t *Table, err error) ([]*Table, error) {

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aeon/internal/cluster"
+	"aeon/internal/core"
+	"aeon/internal/ownership"
+	"aeon/internal/schema"
+	"aeon/internal/transport"
+)
+
+// Hotpath measures raw runtime hot-path throughput, independent of any
+// paper figure: events on disjoint single-context ownership trees with zero
+// simulated network and zero method cost, so the only work is registry
+// lookup, directory routing, activation, execution, and latency recording.
+// It runs a closed loop at several worker counts; on multi-core hardware
+// throughput should grow with workers now that no per-event operation takes
+// a process-global lock (the PR-1 sharding refactor). The numbers feed
+// BENCH_N.json so the perf trajectory is tracked across PRs.
+func Hotpath(o Options) (*Table, error) {
+	workerCounts := []int{1, 2, 4, 8}
+	dur := o.duration()
+	if o.Quick && dur > 500*time.Millisecond {
+		dur = 500 * time.Millisecond
+	}
+
+	t := &Table{
+		Title:   "Hot path: disjoint-event throughput (events/s)",
+		Columns: []string{"workers", "events/s", "ns/event"},
+		Notes: []string{
+			fmt.Sprintf("GOMAXPROCS=%d; scaling with workers requires real cores", runtime.GOMAXPROCS(0)),
+		},
+	}
+
+	for _, workers := range workerCounts {
+		o.progressf("hotpath: %d workers\n", workers)
+		evs, err := hotpathRun(workers, dur)
+		if err != nil {
+			return nil, err
+		}
+		perSec := float64(evs) / dur.Seconds()
+		nsPer := float64(dur.Nanoseconds()) * float64(workers) / float64(evs)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", workers), fmtK(perSec), fmt.Sprintf("%.0f", nsPer),
+		})
+	}
+	return t, nil
+}
+
+func hotpathRun(workers int, dur time.Duration) (uint64, error) {
+	s := schema.New()
+	leaf := s.MustDeclareClass("Leaf", func() any { return new(int) })
+	leaf.MustDeclareMethod("bump", func(call schema.Call, args []any) (any, error) {
+		n := call.State().(*int)
+		*n++
+		return *n, nil
+	})
+	if err := s.Freeze(); err != nil {
+		return 0, err
+	}
+	cl := cluster.New(transport.NullNetwork{})
+	for i := 0; i < 8; i++ {
+		cl.AddServer(cluster.M3Large)
+	}
+	rt, err := core.New(s, ownership.NewGraph(), cl, core.Config{ChargeClientHops: false})
+	if err != nil {
+		return 0, err
+	}
+	defer rt.Close()
+
+	const nCtx = 1024
+	ids := make([]ownership.ID, nCtx)
+	for i := range ids {
+		if ids[i], err = rt.CreateContext("Leaf"); err != nil {
+			return 0, err
+		}
+	}
+
+	var total atomic.Uint64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var n uint64
+			// Workers cycle within private context ranges: events are
+			// always disjoint.
+			span := nCtx / workers
+			base := w * span
+			for i := 0; !stop.Load(); i++ {
+				if _, err := rt.Submit(ids[base+i%span], "bump"); err != nil {
+					break
+				}
+				n++
+			}
+			total.Add(n)
+		}(w)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return total.Load(), nil
+}

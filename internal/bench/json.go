@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+)
+
+// JSONReport is the machine-readable form of a benchmark run, written as
+// BENCH_<n>.json at the repo root so the performance trajectory is tracked
+// across PRs. Keep the schema additive: downstream tooling diffs these
+// files between revisions.
+type JSONReport struct {
+	// Schema identifies the report format version.
+	Schema int `json:"schema"`
+	// Label names the run (e.g. "PR 1").
+	Label string `json:"label,omitempty"`
+	// GoMaxProcs records the parallelism available to the run — scaling
+	// numbers are meaningless without it.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Quick indicates shrunk CI-speed sweeps.
+	Quick bool `json:"quick"`
+	// Experiments holds one entry per experiment run.
+	Experiments []JSONExperiment `json:"experiments"`
+}
+
+// JSONExperiment is one experiment's tables.
+type JSONExperiment struct {
+	Name   string      `json:"name"`
+	Tables []JSONTable `json:"tables"`
+}
+
+// JSONTable mirrors Table.
+type JSONTable struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// NewJSONReport assembles a report from experiment results.
+func NewJSONReport(label string, quick bool) *JSONReport {
+	return &JSONReport{
+		Schema:     1,
+		Label:      label,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+}
+
+// Add appends one experiment's tables to the report.
+func (r *JSONReport) Add(name string, tables []*Table) {
+	exp := JSONExperiment{Name: name}
+	for _, t := range tables {
+		exp.Tables = append(exp.Tables, JSONTable{
+			Title:   t.Title,
+			Columns: t.Columns,
+			Rows:    t.Rows,
+			Notes:   t.Notes,
+		})
+	}
+	r.Experiments = append(r.Experiments, exp)
+}
+
+// Write emits the report as indented JSON.
+func (r *JSONReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -140,8 +140,8 @@ func (c *callEnv) Crab(child ownership.ID, method string, args ...any) error {
 		return fmt.Errorf("%s.%s: %w", cc.class.Name(), method, ErrUnknownMethod)
 	}
 	// Reserve the child's queue slot now, under the current hold.
-	w := cc.lock.enqueue(c.ev.id, c.ev.mode)
-	if w != nil && !c.ev.recordHold(cc) {
+	w, admitted := cc.lock.enqueue(c.ev.id, c.ev.mode)
+	if (w != nil || admitted) && !c.ev.recordHold(cc) {
 		// A concurrent same-event branch is mid-acquisition on this child;
 		// crabbing into it would race admission tracking. This pattern is
 		// unsupported — crab targets must be untouched children.

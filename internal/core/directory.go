@@ -17,9 +17,18 @@ import (
 // runtime can charge the forwarding hop the paper describes ("s1 will
 // forward those events to s2 directly and notify source host to update its
 // context map").
+//
+// The directory is striped the same way as the context registry: per-event
+// operations (Locate, Route, Place, Move, Forget) touch only the shard the
+// context hashes to, so events on distinct contexts never serialize here.
+// Whole-directory reads (HostedOn, Len, Snapshot) walk the shards one at a
+// time; they serve the eManager's control plane, not the event hot path.
 type Directory struct {
 	staleFor time.Duration
+	shards   [shardCount]dirShard
+}
 
+type dirShard struct {
 	mu    sync.RWMutex
 	loc   map[ownership.ID]cluster.ServerID
 	moved map[ownership.ID]movedRecord
@@ -33,25 +42,32 @@ type movedRecord struct {
 // NewDirectory returns an empty directory whose moved-context forwarding
 // window is staleFor.
 func NewDirectory(staleFor time.Duration) *Directory {
-	return &Directory{
-		staleFor: staleFor,
-		loc:      make(map[ownership.ID]cluster.ServerID),
-		moved:    make(map[ownership.ID]movedRecord),
+	d := &Directory{staleFor: staleFor}
+	for i := range d.shards {
+		d.shards[i].loc = make(map[ownership.ID]cluster.ServerID)
+		d.shards[i].moved = make(map[ownership.ID]movedRecord)
 	}
+	return d
+}
+
+func (d *Directory) shard(id ownership.ID) *dirShard {
+	return &d.shards[shardFor(id)]
 }
 
 // Place records the initial placement of a context.
 func (d *Directory) Place(id ownership.ID, s cluster.ServerID) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.loc[id] = s
+	sh := d.shard(id)
+	sh.mu.Lock()
+	sh.loc[id] = s
+	sh.mu.Unlock()
 }
 
 // Locate returns the current host of a context.
 func (d *Directory) Locate(id ownership.ID) (cluster.ServerID, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	s, ok := d.loc[id]
+	sh := d.shard(id)
+	sh.mu.RLock()
+	s, ok := sh.loc[id]
+	sh.mu.RUnlock()
 	return s, ok
 }
 
@@ -59,13 +75,14 @@ func (d *Directory) Locate(id ownership.ID) (cluster.ServerID, bool) {
 // within the staleness window, the old host a stale cache would still point
 // at (the caller charges the extra forwarding hop).
 func (d *Directory) Route(id ownership.ID) (host cluster.ServerID, staleVia cluster.ServerID, forwarded bool, ok bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	s, ok := d.loc[id]
+	sh := d.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s, ok := sh.loc[id]
 	if !ok {
 		return 0, 0, false, false
 	}
-	if rec, moved := d.moved[id]; moved && time.Since(rec.at) < d.staleFor {
+	if rec, moved := sh.moved[id]; moved && time.Since(rec.at) < d.staleFor {
 		return s, rec.old, true, true
 	}
 	return s, 0, false, true
@@ -73,41 +90,68 @@ func (d *Directory) Route(id ownership.ID) (host cluster.ServerID, staleVia clus
 
 // Move rehosts a context and opens its forwarding window.
 func (d *Directory) Move(id ownership.ID, to cluster.ServerID) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	old, ok := d.loc[id]
+	sh := d.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old, ok := sh.loc[id]
 	if !ok {
 		return fmt.Errorf("%v: %w", id, ErrUnknownContext)
 	}
-	d.loc[id] = to
-	d.moved[id] = movedRecord{old: old, at: time.Now()}
+	sh.loc[id] = to
+	sh.moved[id] = movedRecord{old: old, at: time.Now()}
 	return nil
 }
 
 // Forget removes a context from the directory.
 func (d *Directory) Forget(id ownership.ID) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	delete(d.loc, id)
-	delete(d.moved, id)
+	sh := d.shard(id)
+	sh.mu.Lock()
+	delete(sh.loc, id)
+	delete(sh.moved, id)
+	sh.mu.Unlock()
 }
 
 // HostedOn returns the contexts currently placed on the given server.
 func (d *Directory) HostedOn(s cluster.ServerID) []ownership.ID {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
 	var out []ownership.ID
-	for id, host := range d.loc {
-		if host == s {
-			out = append(out, id)
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.RLock()
+		for id, host := range sh.loc {
+			if host == s {
+				out = append(out, id)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // Len returns the number of placed contexts.
 func (d *Directory) Len() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.loc)
+	n := 0
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.RLock()
+		n += len(sh.loc)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Snapshot copies the full context→server mapping, shard by shard. The
+// eManager uses it to persist the authoritative copy to cloud storage
+// (§ 5.1); each shard is internally consistent, and placements that race the
+// walk land in the next snapshot.
+func (d *Directory) Snapshot() map[ownership.ID]cluster.ServerID {
+	out := make(map[ownership.ID]cluster.ServerID)
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.RLock()
+		for id, host := range sh.loc {
+			out[id] = host
+		}
+		sh.mu.RUnlock()
+	}
+	return out
 }

@@ -40,4 +40,9 @@ var (
 	// ErrMigrating is returned when an operation races an in-progress
 	// migration in a way the runtime cannot serve.
 	ErrMigrating = errors.New("core: context is migrating")
+	// ErrBackpressure is returned when an asynchronous submission finds the
+	// target server's executor queue full. Callers should retry later or
+	// shed load; synchronous Submit is unaffected (it runs on the caller's
+	// goroutine).
+	ErrBackpressure = errors.New("core: server executor queue full")
 )

@@ -17,15 +17,19 @@ type event struct {
 	dom    ownership.ID
 
 	mu       sync.Mutex
-	held     []*Context // acquisition order
-	heldSet  map[ownership.ID]*heldState
+	held     []heldEntry // acquisition order
+	heldBuf  [4]heldEntry
 	subs     []subEvent
 	finished bool
 
 	asyncWG sync.WaitGroup
 }
 
-type heldState struct {
+// heldEntry records one context hold inline in the event (no per-hold heap
+// allocation; lookups are linear scans — events hold a handful of contexts).
+// Pointers into e.held are only ever used under e.mu and never retained
+// across an append.
+type heldEntry struct {
 	ctx      *Context
 	released bool // crab-released early
 	crabbed  bool // no further calls may route through this context
@@ -37,14 +41,43 @@ type subEvent struct {
 	args   []any
 }
 
+// eventPool recycles event structs: one event is born and dies per Submit,
+// and at ~1M events/s the allocation churn alone throttles multi-core
+// scaling (GC sweep serializes on runtime-internal locks). Events are
+// returned to the pool by putEvent only after runWith is completely done
+// with them (asyncWG drained, subs taken, locks released).
+var eventPool = sync.Pool{New: func() any { return new(event) }}
+
 func newEvent(id uint64, mode AccessMode, target ownership.ID, method string) *event {
-	return &event{
-		id:      id,
-		mode:    mode,
-		target:  target,
-		method:  method,
-		heldSet: make(map[ownership.ID]*heldState, 4),
+	e := eventPool.Get().(*event)
+	e.id = id
+	e.mode = mode
+	e.target = target
+	e.method = method
+	e.dom = ownership.None
+	e.finished = false
+	e.held = e.heldBuf[:0]
+	return e
+}
+
+// putEvent returns a finished event to the pool. The caller must guarantee
+// no goroutine still references it (all async calls joined, subs taken).
+func putEvent(e *event) {
+	clear(e.heldBuf[:]) // drop *Context references so contexts can be GC'd
+	e.held = nil
+	e.subs = nil
+	eventPool.Put(e)
+}
+
+// find returns the hold entry for a context, or nil. Caller holds e.mu; the
+// pointer must not be kept across any mutation of e.held.
+func (e *event) find(id ownership.ID) *heldEntry {
+	for i := range e.held {
+		if e.held[i].ctx.id == id {
+			return &e.held[i]
+		}
 	}
+	return nil
 }
 
 // holds reports whether the event currently holds the context (and has not
@@ -52,16 +85,16 @@ func newEvent(id uint64, mode AccessMode, target ownership.ID, method string) *e
 func (e *event) holds(id ownership.ID) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	h, ok := e.heldSet[id]
-	return ok && !h.released
+	h := e.find(id)
+	return h != nil && !h.released
 }
 
 // crabbed reports whether the event crab-released the context.
 func (e *event) crabbedCtx(id ownership.ID) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	h, ok := e.heldSet[id]
-	return ok && h.crabbed
+	h := e.find(id)
+	return h != nil && h.crabbed
 }
 
 // recordHold registers a newly acquired context. It returns false when the
@@ -70,11 +103,10 @@ func (e *event) crabbedCtx(id ownership.ID) bool {
 func (e *event) recordHold(c *Context) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, ok := e.heldSet[c.ID()]; ok {
+	if e.find(c.id) != nil {
 		return false
 	}
-	e.heldSet[c.ID()] = &heldState{ctx: c}
-	e.held = append(e.held, c)
+	e.held = append(e.held, heldEntry{ctx: c})
 	return true
 }
 
@@ -83,8 +115,8 @@ func (e *event) recordHold(c *Context) bool {
 func (e *event) markCrab(id ownership.ID) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	h, ok := e.heldSet[id]
-	if !ok || h.crabbed {
+	h := e.find(id)
+	if h == nil || h.crabbed {
 		return false
 	}
 	h.crabbed = true
@@ -92,17 +124,17 @@ func (e *event) markCrab(id ownership.ID) bool {
 }
 
 // markCrabReleasable atomically claims the early release of a crabbed
-// context: it returns the hold exactly once, after Crab was called and
-// before event termination.
-func (e *event) markCrabReleasable(id ownership.ID) *heldState {
+// context: it reports true exactly once, after Crab was called and before
+// event termination.
+func (e *event) markCrabReleasable(id ownership.ID) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	h, ok := e.heldSet[id]
-	if !ok || !h.crabbed || h.released {
-		return nil
+	h := e.find(id)
+	if h == nil || !h.crabbed || h.released {
+		return false
 	}
 	h.released = true
-	return h
+	return true
 }
 
 // releaseAll releases every still-held context in reverse acquisition order
@@ -110,20 +142,21 @@ func (e *event) markCrabReleasable(id ownership.ID) *heldState {
 // reverse order on which they are locked").
 func (e *event) releaseAll() {
 	e.mu.Lock()
-	held := make([]*heldState, 0, len(e.held))
-	for _, c := range e.held {
-		held = append(held, e.heldSet[c.ID()])
-	}
-	e.finished = true
-	e.mu.Unlock()
-
-	for i := len(held) - 1; i >= 0; i-- {
-		h := held[i]
+	var buf [8]*Context
+	rel := buf[:0]
+	for i := len(e.held) - 1; i >= 0; i-- {
+		h := &e.held[i]
 		if h.released {
 			continue
 		}
 		h.released = true
-		h.ctx.lock.release(e.id)
+		rel = append(rel, h.ctx)
+	}
+	e.finished = true
+	e.mu.Unlock()
+
+	for _, c := range rel {
+		c.lock.release(e.id)
 	}
 }
 

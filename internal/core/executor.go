@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sync"
+
+	"aeon/internal/cluster"
+)
+
+// executor runs asynchronous work (SubmitAsync events and dispatched
+// sub-events) on bounded per-server worker pools instead of one goroutine
+// per event. Each cluster.ServerID gets its own submission queue and worker
+// set, created lazily on first use, so asynchronous load lands on the pool
+// of the server hosting the target context and saturation on one server
+// never steals scheduler capacity from the others.
+//
+// When a server's queue is full, trySubmit fails with ErrBackpressure; the
+// runtime surfaces that on the Future (SubmitAsync) or falls back to running
+// the sub-event inline so dispatched work is never dropped.
+type executor struct {
+	workers int
+	depth   int
+
+	pools  sync.Map // cluster.ServerID → *serverPool; read-mostly after warmup
+	stop   chan struct{}
+	stopMu sync.Mutex
+	wg     sync.WaitGroup
+}
+
+type serverPool struct {
+	queue chan func()
+}
+
+func newExecutor(workersPerServer, queueDepth int) *executor {
+	if workersPerServer <= 0 {
+		workersPerServer = 8
+	}
+	if queueDepth <= 0 {
+		queueDepth = 1024
+	}
+	return &executor{
+		workers: workersPerServer,
+		depth:   queueDepth,
+		stop:    make(chan struct{}),
+	}
+}
+
+// pool returns the submission queue for a server, creating its workers on
+// first use. Pools are never torn down individually: a removed server's pool
+// just idles, and the same ServerID re-added reuses it.
+func (e *executor) pool(srv cluster.ServerID) *serverPool {
+	if p, ok := e.pools.Load(srv); ok {
+		return p.(*serverPool)
+	}
+	p := &serverPool{queue: make(chan func(), e.depth)}
+	if actual, loaded := e.pools.LoadOrStore(srv, p); loaded {
+		return actual.(*serverPool)
+	}
+	e.stopMu.Lock()
+	defer e.stopMu.Unlock()
+	select {
+	case <-e.stop:
+		// Executor already stopped; leave the pool workerless. Submissions
+		// will fail cleanly with ErrBackpressure once the queue fills.
+		return p
+	default:
+	}
+	for i := 0; i < e.workers; i++ {
+		e.wg.Add(1)
+		go e.worker(p)
+	}
+	return p
+}
+
+func (e *executor) worker(p *serverPool) {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.stop:
+			// Shutdown happens after the runtime drained its in-flight work
+			// (subWG), so the queue is normally empty here — but a submission
+			// racing Close can still slip a task in between the stop check
+			// and the enqueue. Drain instead of abandoning it: the task runs,
+			// observes the closed runtime, and completes its Future with
+			// ErrClosed rather than leaving a waiter blocked forever.
+			drain(p)
+			return
+		case task := <-p.queue:
+			task()
+		}
+	}
+}
+
+// drain runs every task currently queued on a pool, without blocking.
+func drain(p *serverPool) {
+	for {
+		select {
+		case task := <-p.queue:
+			task()
+		default:
+			return
+		}
+	}
+}
+
+// trySubmit enqueues a task for the given server without blocking. It
+// returns ErrBackpressure when the server's queue is full and ErrClosed
+// after shutdown.
+func (e *executor) trySubmit(srv cluster.ServerID, task func()) error {
+	select {
+	case <-e.stop:
+		return ErrClosed
+	default:
+	}
+	p := e.pool(srv)
+	select {
+	case p.queue <- task:
+		// Re-check after the enqueue: shutdown may have closed stop and run
+		// its final sweep between our check above and the send, leaving the
+		// task on a pool whose workers are gone. If so, drain it ourselves
+		// (it will observe the closed runtime and fail with ErrClosed).
+		select {
+		case <-e.stop:
+			drain(p)
+		default:
+		}
+		return nil
+	default:
+		return ErrBackpressure
+	}
+}
+
+// shutdown stops all workers and waits for them to exit. The caller must
+// have drained outstanding tasks first.
+func (e *executor) shutdown() {
+	e.stopMu.Lock()
+	select {
+	case <-e.stop:
+		e.stopMu.Unlock()
+		return
+	default:
+	}
+	close(e.stop)
+	e.stopMu.Unlock()
+	e.wg.Wait()
+	// Final sweep: a submission racing shutdown can enqueue onto a pool
+	// whose workers already exited (or one created workerless after stop).
+	// Run anything left so no Future is stranded; tasks observe the closed
+	// runtime and fail with ErrClosed. (trySubmit also re-checks stop after
+	// its enqueue and drains, covering a send that lands after this sweep.)
+	e.pools.Range(func(_, v any) bool {
+		drain(v.(*serverPool))
+		return true
+	})
+}

@@ -52,30 +52,45 @@ func newEventLock() *eventLock {
 	return &eventLock{holders: make(map[uint64]AccessMode)}
 }
 
-// enqueue joins the activation queue without blocking and returns the
-// waiter to block on, or nil when the event already holds the context. The
-// queue position is taken synchronously, so ordering established by the
-// caller (e.g. a crabbed parent still being held) is preserved even though
-// admission is awaited later.
-func (l *eventLock) enqueue(eventID uint64, mode AccessMode) *waiter {
+// enqueue joins the activation queue without blocking. The queue position
+// is taken synchronously, so ordering established by the caller (e.g. a
+// crabbed parent still being held) is preserved even though admission is
+// awaited later. Returns:
+//
+//	(nil, false) — the event already holds the context (re-entrant)
+//	(nil, true)  — admitted synchronously (uncontended fast path; no
+//	               waiter was allocated)
+//	(w, false)   — queued; block on w via waitAdmitted
+func (l *eventLock) enqueue(eventID uint64, mode AccessMode) (*waiter, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if _, ok := l.holders[eventID]; ok {
-		return nil
+		return nil, false
+	}
+	// Fast path: nobody queued ahead and the admission rule of pump() holds
+	// right now — admit without allocating a waiter and its channel. This
+	// is the common case for events on disjoint subtrees and keeps the
+	// per-event hot path allocation-free here.
+	if len(l.queue) == 0 && ((mode == RO && l.exCount == 0) || len(l.holders) == 0) {
+		l.holders[eventID] = mode
+		if mode == EX {
+			l.exCount++
+		}
+		return nil, true
 	}
 	w := &waiter{eventID: eventID, mode: mode, ready: make(chan struct{})}
 	l.queue = append(l.queue, w)
 	l.pump()
-	return w
+	return w, false
 }
 
 // acquire blocks until the event holds the context in the given mode.
 // It returns false if the event already held the context (re-entrant; no
 // state change), and an error only if the optional timeout fires.
 func (l *eventLock) acquire(eventID uint64, mode AccessMode, timeout time.Duration) (bool, error) {
-	w := l.enqueue(eventID, mode)
+	w, admitted := l.enqueue(eventID, mode)
 	if w == nil {
-		return false, nil
+		return admitted, nil
 	}
 
 	if timeout <= 0 {

@@ -32,6 +32,20 @@ type Config struct {
 	// StalenessWindow is how long after a migration routing to the moved
 	// context still pays the stale-cache forwarding hop (§ 5.2).
 	StalenessWindow time.Duration
+	// ExecWorkersPerServer bounds how many asynchronous events (SubmitAsync
+	// and dispatched sub-events) execute concurrently per server. Zero means
+	// 8. Synchronous Submit runs on the caller's goroutine and is not
+	// bounded here. Because the pool is bounded, application code running
+	// inside an event handler must not block on a Future from SubmitAsync:
+	// if every worker of a server blocks waiting on futures whose events
+	// are queued behind them, the pool deadlocks. Handlers should use the
+	// intra-event Async/Crab calls (unbounded, joined by the event) or
+	// Dispatch sub-events instead.
+	ExecWorkersPerServer int
+	// ExecQueueDepth bounds each server's pending asynchronous submissions.
+	// A full queue surfaces as ErrBackpressure on the Future (sub-events
+	// instead run inline on the dispatching goroutine). Zero means 1024.
+	ExecQueueDepth int
 	// SharedOwnershipUpdateCost charges the creation of a *multi-owned*
 	// context: sharing edges are part of the authoritative ownership
 	// network the eManager keeps in cloud storage (§ 5.1), so creating a
@@ -59,9 +73,15 @@ type Runtime struct {
 	cluster *cluster.Cluster
 	dir     *Directory
 
-	mu          sync.RWMutex
-	contexts    map[ownership.ID]*Context
-	placeCursor int
+	// reg is the striped context registry: per-event lookups and
+	// registrations take only the shard the context hashes to, never a
+	// process-global lock.
+	reg *registry
+	// exec runs asynchronous events and sub-events on bounded per-server
+	// worker pools.
+	exec *executor
+
+	placeCursor atomic.Uint64
 
 	// sharedCreateMu serializes multi-owned context creation when
 	// SharedOwnershipUpdateCost is configured (the global ownership-network
@@ -72,14 +92,18 @@ type Runtime struct {
 	closed   atomic.Bool
 	subWG    sync.WaitGroup
 
-	// Latency records end-to-end event latency; Completed counts finished
-	// events. The eManager's SLA policy reads RecentLatency.
-	Latency   metrics.Histogram
-	Completed metrics.Counter
+	// Latency records end-to-end event latency striped by event sequence
+	// number (merged on read); Completed counts finished events. The
+	// eManager's SLA policy reads RecentLatency.
+	Latency   metrics.StripedHistogram
+	Completed metrics.StripedCounter
 	// SubEventErrors counts sub-events that failed (they have no client to
 	// report to).
 	SubEventErrors metrics.Counter
-	ewmaNs         atomic.Int64
+	// Backpressure counts asynchronous submissions that found their
+	// server's executor queue full.
+	Backpressure metrics.Counter
+	ewma         metrics.StripedEWMA
 }
 
 // New creates a runtime over a frozen schema, an ownership graph, and a
@@ -95,12 +119,13 @@ func New(s *schema.Schema, g *ownership.Graph, cl *cluster.Cluster, cfg Config) 
 		cfg.StalenessWindow = 2 * time.Second
 	}
 	return &Runtime{
-		cfg:      cfg,
-		schema:   s,
-		graph:    g,
-		cluster:  cl,
-		dir:      NewDirectory(cfg.StalenessWindow),
-		contexts: make(map[ownership.ID]*Context),
+		cfg:     cfg,
+		schema:  s,
+		graph:   g,
+		cluster: cl,
+		dir:     NewDirectory(cfg.StalenessWindow),
+		reg:     newRegistry(),
+		exec:    newExecutor(cfg.ExecWorkersPerServer, cfg.ExecQueueDepth),
 	}, nil
 }
 
@@ -116,10 +141,12 @@ func (r *Runtime) Cluster() *cluster.Cluster { return r.cluster }
 // Schema returns the application schema.
 func (r *Runtime) Schema() *schema.Schema { return r.schema }
 
-// Close stops accepting events and waits for in-flight sub-events.
+// Close stops accepting events, waits for in-flight sub-events, then stops
+// the per-server executors.
 func (r *Runtime) Close() {
 	r.closed.Store(true)
 	r.subWG.Wait()
+	r.exec.shutdown()
 }
 
 // CreateContext creates a context of the given class owned by owners and
@@ -156,9 +183,7 @@ func (r *Runtime) CreateContextOn(srv cluster.ServerID, class string, owners ...
 		return ownership.None, fmt.Errorf("create %q: %w", class, err)
 	}
 	c := &Context{id: id, class: cls, lock: newEventLock(), state: cls.NewState()}
-	r.mu.Lock()
-	r.contexts[id] = c
-	r.mu.Unlock()
+	r.reg.put(id, c)
 	r.dir.Place(id, srv)
 	server.AddHosted(1)
 	return id, nil
@@ -174,10 +199,7 @@ func (r *Runtime) defaultPlacement(owners []ownership.ID) (cluster.ServerID, err
 	if len(servers) == 0 {
 		return 0, fmt.Errorf("core: cluster has no servers")
 	}
-	r.mu.Lock()
-	idx := r.placeCursor % len(servers)
-	r.placeCursor++
-	r.mu.Unlock()
+	idx := int((r.placeCursor.Add(1) - 1) % uint64(len(servers)))
 	return servers[idx].ID(), nil
 }
 
@@ -185,39 +207,35 @@ func (r *Runtime) defaultPlacement(owners []ownership.ID) (cluster.ServerID, err
 // entries for virtual contexts the ownership graph created as sequencing
 // points.
 func (r *Runtime) Context(id ownership.ID) (*Context, error) {
-	r.mu.RLock()
-	c, ok := r.contexts[id]
-	r.mu.RUnlock()
-	if ok {
+	if c, ok := r.reg.get(id); ok {
 		return c, nil
 	}
 	class, err := r.graph.Class(id)
 	if err != nil || class != ownership.VirtualClass {
 		return nil, fmt.Errorf("%v: %w", id, ErrUnknownContext)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if c, ok := r.contexts[id]; ok {
-		return c, nil
-	}
-	c = &Context{id: id, class: schema.VirtualContextClass(), lock: newEventLock()}
-	r.contexts[id] = c
-	// Place the virtual sequencer alongside its first child for locality.
-	srv := cluster.ServerID(0)
-	if children, err := r.graph.Children(id); err == nil && len(children) > 0 {
-		if s, ok := r.dir.Locate(children[0]); ok {
-			srv = s
+	// Materialize under the registry shard lock so racing callers observe
+	// the virtual sequencer only once it is placed and counted.
+	c, _ := r.reg.getOrPut(id, func() *Context {
+		c := &Context{id: id, class: schema.VirtualContextClass(), lock: newEventLock()}
+		// Place the virtual sequencer alongside its first child for locality.
+		srv := cluster.ServerID(0)
+		if children, err := r.graph.Children(id); err == nil && len(children) > 0 {
+			if s, ok := r.dir.Locate(children[0]); ok {
+				srv = s
+			}
 		}
-	}
-	if srv == 0 {
-		if servers := r.cluster.Servers(); len(servers) > 0 {
-			srv = servers[0].ID()
+		if srv == 0 {
+			if servers := r.cluster.Servers(); len(servers) > 0 {
+				srv = servers[0].ID()
+			}
 		}
-	}
-	r.dir.Place(id, srv)
-	if server, ok := r.cluster.Server(srv); ok {
-		server.AddHosted(1)
-	}
+		r.dir.Place(id, srv)
+		if server, ok := r.cluster.Server(srv); ok {
+			server.AddHosted(1)
+		}
+		return c
+	})
 	return c, nil
 }
 
@@ -234,9 +252,7 @@ func (r *Runtime) DestroyContext(id ownership.ID) error {
 		}
 	}
 	r.dir.Forget(id)
-	r.mu.Lock()
-	delete(r.contexts, id)
-	r.mu.Unlock()
+	r.reg.delete(id)
 	return nil
 }
 
@@ -246,15 +262,40 @@ func (r *Runtime) Submit(target ownership.ID, method string, args ...any) (any, 
 	return r.run(target, method, args)
 }
 
-// SubmitAsync runs an event in the background and returns a Future.
+// SubmitAsync runs an event on the executor pool of the server hosting the
+// target context and returns a Future. When that server's submission queue
+// is full the Future completes immediately with ErrBackpressure.
+//
+// Do not call Future.Wait from inside an event handler: workers are a
+// bounded pool (Config.ExecWorkersPerServer), and a handler blocking on an
+// event queued behind it can exhaust the pool and deadlock. Handlers should
+// use Call.Async/Call.Crab for intra-event concurrency or Call.Dispatch for
+// follow-on events.
 func (r *Runtime) SubmitAsync(target ownership.ID, method string, args ...any) *Future {
 	f := newFuture()
 	r.subWG.Add(1)
-	go func() {
+	err := r.exec.trySubmit(r.execServer(target), func() {
 		defer r.subWG.Done()
 		f.complete(r.run(target, method, args))
-	}()
+	})
+	if err != nil {
+		r.subWG.Done()
+		if err == ErrBackpressure {
+			r.Backpressure.Inc()
+		}
+		f.complete(nil, err)
+	}
 	return f
+}
+
+// execServer picks the executor pool for an asynchronous submission: the
+// server currently hosting the target, or server 0's pool (shared overflow)
+// for targets not yet placed (e.g. unmaterialized virtual sequencers).
+func (r *Runtime) execServer(target ownership.ID) cluster.ServerID {
+	if srv, ok := r.dir.Locate(target); ok {
+		return srv
+	}
+	return 0
 }
 
 func (r *Runtime) run(target ownership.ID, method string, args []any) (any, error) {
@@ -285,9 +326,12 @@ func (r *Runtime) runWith(target ownership.ID, method string, args []any, asSub 
 
 	res, err := r.executeEvent(ev, tc, m, args)
 
-	r.recordLatency(time.Since(start))
-	r.Completed.Inc()
+	r.recordLatency(ev.id, time.Since(start))
+	r.Completed.IncAt(ev.id)
 	r.launchSubs(ev)
+	// executeEvent joined every async call and takeSubs drained the subs, so
+	// nothing references the event anymore: recycle it.
+	putEvent(ev)
 	return res, err
 }
 
@@ -432,47 +476,55 @@ func (r *Runtime) invoke(ev *event, c *Context, m *schema.Method, args []any) (a
 	// Crab: release this context as soon as its handler returns (§ 6.1.2),
 	// letting the next event enter while our asynchronous tail call runs
 	// below the crabbed child.
-	if h := ev.markCrabReleasable(c.id); h != nil {
+	if ev.markCrabReleasable(c.id) {
 		c.lock.release(ev.id)
 	}
 	return res, err
 }
 
 // launchSubs starts the sub-events dispatched within a completed event
-// (§ 3: they execute after their creator finishes).
+// (§ 3: they execute after their creator finishes). Each sub-event runs on
+// the executor pool of the server hosting its target; when that queue is
+// full the sub-event runs inline on this goroutine instead — dispatched
+// work is never dropped, and the producer pays the cost (backpressure).
 func (r *Runtime) launchSubs(ev *event) {
 	for _, sub := range ev.takeSubs() {
+		s := sub
 		r.subWG.Add(1)
-		go func(s subEvent) {
+		task := func() {
 			defer r.subWG.Done()
 			if _, err := r.runWith(s.target, s.method, s.args, true); err != nil {
 				r.SubEventErrors.Inc()
 			}
-		}(sub)
+		}
+		if err := r.exec.trySubmit(r.execServer(s.target), task); err != nil {
+			if err == ErrBackpressure {
+				r.Backpressure.Inc()
+			}
+			task()
+		}
 	}
 }
 
-func (r *Runtime) recordLatency(d time.Duration) {
-	r.Latency.Record(d)
-	const alpha = 0.05
-	for {
-		old := r.ewmaNs.Load()
-		var next int64
-		if old == 0 {
-			next = d.Nanoseconds()
-		} else {
-			next = int64((1-alpha)*float64(old) + alpha*float64(d.Nanoseconds()))
-		}
-		if r.ewmaNs.CompareAndSwap(old, next) {
-			return
-		}
-	}
+// recordLatency stripes both the histogram and the EWMA by event sequence
+// number, so concurrent completions never contend on a shared counter; the
+// merged view is assembled on read (RecentLatency, Latency queries).
+func (r *Runtime) recordLatency(eventID uint64, d time.Duration) {
+	r.Latency.RecordAt(eventID, d)
+	// Each stripe sees only every 64th event, so the per-stripe smoothing
+	// factor is raised to keep the *merged* signal's time constant at the
+	// pre-sharding ~20 events: alpha = 1 - (1-0.05)^64 ≈ 0.96. A single
+	// stripe is noisy, but RecentLatency averages 64 of them.
+	r.ewma.ObserveAt(eventID, d, 0.96)
 }
 
 // RecentLatency returns an exponentially weighted moving average of event
-// latency — the signal the eManager's SLA policy consumes (§ 6.2).
+// latency — the signal the eManager's SLA policy consumes (§ 6.2). Events
+// are striped across per-stripe EWMAs on the record path; the merged view
+// is the mean of the occupied stripes (event IDs spread uniformly, so
+// stripes are equally weighted).
 func (r *Runtime) RecentLatency() time.Duration {
-	return time.Duration(r.ewmaNs.Load())
+	return r.ewma.Value()
 }
 
 // LockForMigration exclusively activates a context as the paper's migratec

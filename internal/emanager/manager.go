@@ -529,13 +529,12 @@ func (m *Manager) Recover() error {
 
 // PersistMapping journals the current context mapping to the cloud store
 // (done in bulk at deployment time; individual migrations update entries).
+// It reads one directory snapshot — a single pass over the shards — instead
+// of a HostedOn scan per server.
 func (m *Manager) PersistMapping() error {
-	dir := m.rt.Directory()
-	for _, s := range m.rt.Cluster().Servers() {
-		for _, id := range dir.HostedOn(s.ID()) {
-			if _, err := m.store.Put(mapKey(id), []byte(fmt.Sprintf("%d", int(s.ID())))); err != nil {
-				return err
-			}
+	for id, srv := range m.rt.Directory().Snapshot() {
+		if _, err := m.store.Put(mapKey(id), []byte(fmt.Sprintf("%d", int(srv)))); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStripedHistogramMergesOnRead(t *testing.T) {
+	var s StripedHistogram
+	// Spread observations across every stripe with known values.
+	for i := uint64(0); i < 10*stripeCount; i++ {
+		s.RecordAt(i, 5*time.Millisecond)
+	}
+	s.RecordAt(3, time.Second) // one outlier on one stripe
+	if n := s.Count(); n != 10*stripeCount+1 {
+		t.Fatalf("Count = %d; want %d", n, 10*stripeCount+1)
+	}
+	if max := s.Max(); max < time.Second {
+		t.Fatalf("Max = %v; want >= 1s", max)
+	}
+	if p50 := s.Quantile(0.5); p50 < 4*time.Millisecond || p50 > 7*time.Millisecond {
+		t.Fatalf("p50 = %v; want ~5ms", p50)
+	}
+	if f := s.FractionAbove(100 * time.Millisecond); f <= 0 || f > 0.01 {
+		t.Fatalf("FractionAbove(100ms) = %v; want one outlier's worth", f)
+	}
+	snap := s.Snapshot()
+	if snap.Count != 10*stripeCount+1 {
+		t.Fatalf("snapshot count = %d", snap.Count)
+	}
+}
+
+func TestStripedHistogramConcurrentRecord(t *testing.T) {
+	var s StripedHistogram
+	const goroutines = 8
+	const per = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.RecordAt(uint64(g*per+i), time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := s.Count(); n != goroutines*per {
+		t.Fatalf("Count = %d; want %d", n, goroutines*per)
+	}
+}
+
+func TestStripedCounter(t *testing.T) {
+	var c StripedCounter
+	const goroutines = 8
+	const per = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.IncAt(uint64(g*per + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v := c.Value(); v != goroutines*per {
+		t.Fatalf("Value = %d; want %d", v, goroutines*per)
+	}
+}
