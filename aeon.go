@@ -75,6 +75,9 @@ type (
 
 	// Graph is the ownership network.
 	Graph = ownership.Graph
+	// GraphSnapshot is an immutable, lock-free view of the ownership
+	// network at one version (Graph.Snapshot / Graph.Resolve).
+	GraphSnapshot = ownership.Snapshot
 
 	// Manager is the elasticity manager (eManager, § 5).
 	Manager = emanager.Manager

@@ -126,6 +126,7 @@ var experiments = map[string]func(Options) ([]*Table, error){
 	"fig8":    func(o Options) ([]*Table, error) { t, err := Fig8(o); return wrap(t, err) },
 	"fig9":    func(o Options) ([]*Table, error) { t, err := Fig9(o); return wrap(t, err) },
 	"hotpath": func(o Options) ([]*Table, error) { t, err := Hotpath(o); return wrap(t, err) },
+	"graph":   func(o Options) ([]*Table, error) { t, err := GraphRead(o); return wrap(t, err) },
 }
 
 func wrap(t *Table, err error) ([]*Table, error) {

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aeon/internal/ownership"
+)
+
+// GraphRead measures parallel ownership-graph read throughput — the Dom +
+// Path + Children mix event admission issues 2–4 times per event — for the
+// copy-on-write snapshot graph versus an RWMutex baseline replicating the
+// pre-COW read path (read lock around plain maps with a warmed dominator
+// cache). On real cores the snapshot holds flat with workers while the
+// RWMutex baseline serializes on the lock's cache line; the numbers feed
+// BENCH_N.json so the perf trajectory is tracked across PRs.
+func GraphRead(o Options) (*Table, error) {
+	workerCounts := []int{1, 2, 4, 8}
+	dur := o.duration()
+	if o.Quick && dur > 500*time.Millisecond {
+		dur = 500 * time.Millisecond
+	}
+
+	t := &Table{
+		Title:   "Graph reads: parallel Dom+Path+Children throughput (reads/s)",
+		Columns: []string{"workers", "snapshot", "rwmutex", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("GOMAXPROCS=%d; scaling with workers requires real cores", runtime.GOMAXPROCS(0)),
+			"one read = Dom(player) + Path(dom,player) + Children(room) on the castle fixture",
+		},
+	}
+
+	g, players, rooms, err := buildGraphFixture()
+	if err != nil {
+		return nil, err
+	}
+	base := newRWBaseline(g)
+
+	for _, workers := range workerCounts {
+		o.progressf("graph: %d workers\n", workers)
+		snap := runGraphReaders(workers, dur, func(i int) {
+			p := players[i%len(players)]
+			// Dominators are pre-warmed, so s.Dom is a pure cache hit and the
+			// result is always present in s (no mints during measurement).
+			s := g.Snapshot()
+			d, _ := s.Dom(p)
+			if d != p {
+				s.Path(d, p)
+			}
+			s.Children(rooms[i%len(rooms)])
+		})
+		rw := runGraphReaders(workers, dur, func(i int) {
+			p := players[i%len(players)]
+			d := base.dom1(p)
+			if d != p {
+				base.path(d, p)
+			}
+			base.childrenOf(rooms[i%len(rooms)])
+		})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", workers),
+			fmtK(float64(snap) / dur.Seconds()),
+			fmtK(float64(rw) / dur.Seconds()),
+			fmt.Sprintf("%.2fx", float64(snap)/float64(rw)),
+		})
+	}
+	return t, nil
+}
+
+// buildGraphFixture assembles the castle graph (16 rooms × 8 players × 2
+// private items + 1 room-shared item) with dominators pre-warmed.
+func buildGraphFixture() (*ownership.Graph, []ownership.ID, []ownership.ID, error) {
+	g := ownership.NewGraph()
+	castle, _ := g.AddContext("Building")
+	var players, rooms []ownership.ID
+	for r := 0; r < 16; r++ {
+		room, _ := g.AddContext("Room", castle)
+		rooms = append(rooms, room)
+		var roomPlayers []ownership.ID
+		for p := 0; p < 8; p++ {
+			pl, _ := g.AddContext("Player", room)
+			roomPlayers = append(roomPlayers, pl)
+			for i := 0; i < 2; i++ {
+				if _, err := g.AddContext("Item", pl); err != nil {
+					return nil, nil, nil, err
+				}
+			}
+		}
+		if _, err := g.AddContext("Item", append([]ownership.ID{room}, roomPlayers...)...); err != nil {
+			return nil, nil, nil, err
+		}
+		players = append(players, roomPlayers...)
+	}
+	for {
+		before := g.Len()
+		for _, id := range g.Snapshot().IDs() {
+			if _, err := g.Dom(id); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		if g.Len() == before {
+			break
+		}
+	}
+	return g, players, rooms, nil
+}
+
+// rwBaseline replicates the pre-COW read path: one RWMutex around plain
+// adjacency maps and a warmed dominator cache.
+type rwBaseline struct {
+	mu       sync.RWMutex
+	children map[ownership.ID][]ownership.ID
+	parents  map[ownership.ID][]ownership.ID
+	dom      map[ownership.ID]ownership.ID
+}
+
+func newRWBaseline(g *ownership.Graph) *rwBaseline {
+	s := g.Snapshot()
+	r := &rwBaseline{
+		children: make(map[ownership.ID][]ownership.ID),
+		parents:  make(map[ownership.ID][]ownership.ID),
+		dom:      make(map[ownership.ID]ownership.ID),
+	}
+	for _, id := range s.IDs() {
+		ch, _ := s.Children(id)
+		pa, _ := s.Parents(id)
+		d, _ := s.Dom(id)
+		r.children[id] = ch
+		r.parents[id] = pa
+		r.dom[id] = d
+	}
+	return r
+}
+
+func (r *rwBaseline) dom1(id ownership.ID) ownership.ID {
+	r.mu.RLock()
+	d := r.dom[id]
+	r.mu.RUnlock()
+	return d
+}
+
+func (r *rwBaseline) childrenOf(id ownership.ID) []ownership.ID {
+	r.mu.RLock()
+	out := append([]ownership.ID(nil), r.children[id]...)
+	r.mu.RUnlock()
+	return out
+}
+
+func (r *rwBaseline) path(anc, desc ownership.ID) []ownership.ID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	prev := map[ownership.ID]ownership.ID{desc: ownership.None}
+	queue := []ownership.ID{desc}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range r.parents[cur] {
+			if _, seen := prev[p]; seen {
+				continue
+			}
+			prev[p] = cur
+			if p == anc {
+				var path []ownership.ID
+				for c := anc; c != ownership.None; c = prev[c] {
+					path = append(path, c)
+				}
+				return path
+			}
+			queue = append(queue, p)
+		}
+	}
+	return nil
+}
+
+// runGraphReaders runs a closed read loop on the given worker count for dur
+// and returns the total reads completed.
+func runGraphReaders(workers int, dur time.Duration, read func(i int)) uint64 {
+	var total atomic.Uint64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var n uint64
+			for i := w; !stop.Load(); i++ {
+				read(i)
+				n++
+			}
+			total.Add(n)
+		}(w)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return total.Load()
+}

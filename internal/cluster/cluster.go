@@ -138,22 +138,45 @@ func (s *Server) Utilization() float64 {
 // Removed reports whether the server was removed from the cluster.
 func (s *Server) Removed() bool { return s.removed.Load() }
 
-// Cluster is a set of servers joined by a network.
+// Cluster is a set of servers joined by a network. Like the ownership graph,
+// the server map is copy-on-write: membership lives in an immutable view
+// behind an atomic pointer, so the per-event lookups (Server on every route
+// and Work charge) never take a lock; AddServer/RemoveServer — rare
+// elasticity actions — rebuild the view under a writer-only mutex.
 type Cluster struct {
 	net transport.Network
 
-	mu      sync.RWMutex
-	servers map[ServerID]*Server
-	nextID  ServerID
+	mu     sync.Mutex // writers only: AddServer / RemoveServer
+	view   atomic.Pointer[clusterView]
+	nextID ServerID
+}
+
+// clusterView is one immutable version of cluster membership.
+type clusterView struct {
+	byID    map[ServerID]*Server
+	ordered []*Server // sorted by ID
 }
 
 // New returns an empty cluster on the given network.
 func New(net transport.Network) *Cluster {
-	return &Cluster{net: net, servers: make(map[ServerID]*Server), nextID: 1}
+	c := &Cluster{net: net, nextID: 1}
+	c.view.Store(&clusterView{byID: make(map[ServerID]*Server)})
+	return c
 }
 
 // Net returns the cluster's network.
 func (c *Cluster) Net() transport.Network { return c.net }
+
+// publishLocked installs a new membership view built from byID. Caller holds
+// c.mu.
+func (c *Cluster) publishLocked(byID map[ServerID]*Server) {
+	ordered := make([]*Server, 0, len(byID))
+	for _, s := range byID {
+		ordered = append(ordered, s)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].id < ordered[j].id })
+	c.view.Store(&clusterView{byID: byID, ordered: ordered})
+}
 
 // AddServer provisions a server with the given profile ("scale out").
 func (c *Cluster) AddServer(p Profile) *Server {
@@ -162,7 +185,13 @@ func (c *Cluster) AddServer(p Profile) *Server {
 	id := c.nextID
 	c.nextID++
 	s := &Server{id: id, profile: p, slots: make(chan struct{}, p.Cores)}
-	c.servers[id] = s
+	cur := c.view.Load()
+	byID := make(map[ServerID]*Server, len(cur.byID)+1)
+	for k, v := range cur.byID {
+		byID[k] = v
+	}
+	byID[id] = s
+	c.publishLocked(byID)
 	return s
 }
 
@@ -171,7 +200,8 @@ func (c *Cluster) AddServer(p Profile) *Server {
 func (c *Cluster) RemoveServer(id ServerID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s, ok := c.servers[id]
+	cur := c.view.Load()
+	s, ok := cur.byID[id]
 	if !ok {
 		return fmt.Errorf("%v: %w", id, ErrNoSuchServer)
 	}
@@ -179,35 +209,30 @@ func (c *Cluster) RemoveServer(id ServerID) error {
 		return fmt.Errorf("cluster: server %v still hosts %d contexts", id, n)
 	}
 	s.removed.Store(true)
-	delete(c.servers, id)
+	byID := make(map[ServerID]*Server, len(cur.byID)-1)
+	for k, v := range cur.byID {
+		if k != id {
+			byID[k] = v
+		}
+	}
+	c.publishLocked(byID)
 	return nil
 }
 
-// Server returns the server with the given ID.
+// Server returns the server with the given ID (lock-free).
 func (c *Cluster) Server(id ServerID) (*Server, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	s, ok := c.servers[id]
+	s, ok := c.view.Load().byID[id]
 	return s, ok
 }
 
-// Servers returns all live servers ordered by ID.
+// Servers returns all live servers ordered by ID (lock-free).
 func (c *Cluster) Servers() []*Server {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]*Server, 0, len(c.servers))
-	for _, s := range c.servers {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
-	return out
+	return append([]*Server(nil), c.view.Load().ordered...)
 }
 
-// Size returns the number of live servers.
+// Size returns the number of live servers (lock-free).
 func (c *Cluster) Size() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.servers)
+	return len(c.view.Load().ordered)
 }
 
 // Hop charges one cross-server message of the given size.

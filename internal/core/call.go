@@ -216,7 +216,10 @@ func (c *callEnv) AddOwner(parent, child ownership.ID) error {
 
 // Children implements schema.Call.
 func (c *callEnv) Children(class string) ([]ownership.ID, error) {
-	children, err := c.rt.graph.Children(c.ctx.id)
+	// One snapshot for the listing and the class filter, so a concurrent
+	// mutation can never yield a child whose class lookup then misses.
+	view := c.rt.graph.Snapshot()
+	children, err := view.Children(c.ctx.id)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +228,7 @@ func (c *callEnv) Children(class string) ([]ownership.ID, error) {
 	}
 	out := children[:0]
 	for _, ch := range children {
-		if cls, err := c.rt.graph.Class(ch); err == nil && cls == class {
+		if cls, err := view.Class(ch); err == nil && cls == class {
 			out = append(out, ch)
 		}
 	}

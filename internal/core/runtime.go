@@ -210,7 +210,8 @@ func (r *Runtime) Context(id ownership.ID) (*Context, error) {
 	if c, ok := r.reg.get(id); ok {
 		return c, nil
 	}
-	class, err := r.graph.Class(id)
+	view := r.graph.Snapshot()
+	class, err := view.Class(id)
 	if err != nil || class != ownership.VirtualClass {
 		return nil, fmt.Errorf("%v: %w", id, ErrUnknownContext)
 	}
@@ -220,7 +221,7 @@ func (r *Runtime) Context(id ownership.ID) (*Context, error) {
 		c := &Context{id: id, class: schema.VirtualContextClass(), lock: newEventLock()}
 		// Place the virtual sequencer alongside its first child for locality.
 		srv := cluster.ServerID(0)
-		if children, err := r.graph.Children(id); err == nil && len(children) > 0 {
+		if children, err := view.Children(id); err == nil && len(children) > 0 {
 			if s, ok := r.dir.Locate(children[0]); ok {
 				srv = s
 			}
@@ -338,8 +339,11 @@ func (r *Runtime) runWith(target ownership.ID, method string, args []any, asSub 
 // executeEvent drives Algorithm 2 for one event: dominator activation, path
 // activation down to the target, execution, then release of everything.
 func (r *Runtime) executeEvent(ev *event, tc *Context, m *schema.Method, args []any) (any, error) {
-	// Resolve the dominator (getDom, Algorithm 2 line 3).
-	dom, err := r.graph.Dom(ev.target)
+	// Resolve the dominator (getDom, Algorithm 2 line 3) together with one
+	// consistent ownership snapshot; the activation path below is computed
+	// against the same snapshot, so the admission sequence never mixes two
+	// versions of the network.
+	dom, view, err := r.graph.Resolve(ev.target)
 	if err != nil {
 		return nil, fmt.Errorf("dominator of %v: %w", ev.target, err)
 	}
@@ -366,7 +370,7 @@ func (r *Runtime) executeEvent(ev *event, tc *Context, m *schema.Method, args []
 
 	// Path activation dominator → target, top-down (activatePath).
 	if dom != ev.target {
-		path, err := r.graph.Path(dom, ev.target)
+		path, err := view.Path(dom, ev.target)
 		if err != nil {
 			return nil, fmt.Errorf("activate path %v→%v: %w", dom, ev.target, err)
 		}

@@ -21,7 +21,10 @@ func (r *Runtime) WithSubtreeShared(root ownership.ID, fn func(ids []ownership.I
 	ev := newEvent(r.eventSeq.Add(1), RO, root, "__snapshot__")
 	defer ev.releaseAll()
 
-	dom, err := r.graph.Dom(root)
+	// One consistent ownership snapshot drives the whole acquisition: the
+	// dominator, the activation path, and the subtree walk all observe the
+	// same version of the network.
+	dom, view, err := r.graph.Resolve(root)
 	if err != nil {
 		return fmt.Errorf("dominator of %v: %w", root, err)
 	}
@@ -33,7 +36,7 @@ func (r *Runtime) WithSubtreeShared(root ownership.ID, fn func(ids []ownership.I
 		return err
 	}
 	if dom != root {
-		path, err := r.graph.Path(dom, root)
+		path, err := view.Path(dom, root)
 		if err != nil {
 			return err
 		}
@@ -52,9 +55,9 @@ func (r *Runtime) WithSubtreeShared(root ownership.ID, fn func(ids []ownership.I
 	ids := []ownership.ID{root}
 	seen := map[ownership.ID]bool{root: true}
 	for i := 0; i < len(ids); i++ {
-		children, err := r.graph.Children(ids[i])
+		children, err := view.Children(ids[i])
 		if err != nil {
-			continue // context destroyed concurrently; its parent is held
+			continue
 		}
 		for _, ch := range children {
 			if seen[ch] {
@@ -63,7 +66,9 @@ func (r *Runtime) WithSubtreeShared(root ownership.ID, fn func(ids []ownership.I
 			seen[ch] = true
 			c, err := r.Context(ch)
 			if err != nil {
-				return err
+				// Destroyed after the snapshot was taken; its parent is held,
+				// so nothing can be mid-flight below it.
+				continue
 			}
 			if err := r.acquireCtx(ev, c); err != nil {
 				return err

@@ -254,12 +254,14 @@ func (m *Manager) pickDestination(from cluster.ServerID) (cluster.ServerID, erro
 	return best, nil
 }
 
-// movableOn lists policy-movable contexts hosted on a server.
+// movableOn lists policy-movable contexts hosted on a server. One ownership
+// snapshot serves every class lookup of the sweep.
 func (m *Manager) movableOn(srv cluster.ServerID) []ownership.ID {
 	hosted := m.rt.Directory().HostedOn(srv)
+	view := m.rt.Graph().Snapshot()
 	var out []ownership.ID
 	for _, id := range hosted {
-		if m.classAllowed(id) {
+		if m.classAllowedIn(view, id) {
 			out = append(out, id)
 		}
 	}
@@ -268,7 +270,11 @@ func (m *Manager) movableOn(srv cluster.ServerID) []ownership.ID {
 }
 
 func (m *Manager) classAllowed(id ownership.ID) bool {
-	class, err := m.rt.Graph().Class(id)
+	return m.classAllowedIn(m.rt.Graph().Snapshot(), id)
+}
+
+func (m *Manager) classAllowedIn(view *ownership.Snapshot, id ownership.ID) bool {
+	class, err := view.Class(id)
 	if err != nil || class == ownership.VirtualClass {
 		return false
 	}
@@ -479,7 +485,7 @@ func (m *Manager) MigrateGroup(root ownership.ID, to cluster.ServerID) error {
 		return fmt.Errorf("%v: %w", root, core.ErrUnknownContext)
 	}
 	group := []ownership.ID{root}
-	if desc, err := m.rt.Graph().Desc(root); err == nil {
+	if desc, err := m.rt.Graph().Snapshot().Desc(root); err == nil {
 		for _, d := range desc {
 			if srv, ok := dir.Locate(d); ok && srv == from {
 				group = append(group, d)

@@ -25,60 +25,168 @@ import (
 // ancestors (the semi-lattice has multiple maxima sharing descendants), Dom
 // transparently inserts an unnamed virtual context owning those maxima and
 // returns it, per the paper's footnote. The same virtual context is reused
-// for identical queries.
+// for identical queries while it still covers them.
 func (g *Graph) Dom(id ID) (ID, error) {
-	// Fast path: cache hits only need the read lock, keeping concurrent
-	// event submission contention-free.
-	g.mu.RLock()
-	if _, ok := g.nodes[id]; !ok {
-		g.mu.RUnlock()
-		return None, fmt.Errorf("%v: %w", id, ErrNotFound)
-	}
-	if d, ok := g.domCache[id]; ok {
-		g.mu.RUnlock()
-		return d, nil
-	}
-	g.mu.RUnlock()
-
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if _, ok := g.nodes[id]; !ok {
-		return None, fmt.Errorf("%v: %w", id, ErrNotFound)
-	}
-	if d, ok := g.domCache[id]; ok {
-		return d, nil
-	}
-	d, err := g.domLocked(id)
-	if err != nil {
-		return None, err
-	}
-	g.domCache[id] = d
-	return d, nil
+	d, _, err := g.Snapshot().resolveDom(id)
+	return d, err
 }
 
-func (g *Graph) domLocked(id ID) (ID, error) {
-	members := g.shareMembersLocked(id)
-	if len(members) == 1 {
-		return members[0], nil
+// Resolve returns the dominator of target together with a snapshot that
+// contains both target and dominator, so the caller can run the rest of its
+// admission sequence (Path, Children) against one consistent version of the
+// network. When the query mints a virtual join, the returned snapshot is the
+// newly published one.
+func (g *Graph) Resolve(target ID) (ID, *Snapshot, error) {
+	return g.Snapshot().resolveDom(target)
+}
+
+// Dom computes the dominator of id against this snapshot. Cache hits and
+// pure recomputation are lock-free; only a cache fill or a virtual-join mint
+// touches the graph's writer mutex.
+//
+// When the query has to mint a virtual join, the returned ID exists only in
+// snapshots at or after the mint, not necessarily in the receiver. Callers
+// that go on to query the dominator (Path, Contains, ...) should use
+// Graph.Resolve, which returns the snapshot the dominator is valid in.
+func (s *Snapshot) Dom(id ID) (ID, error) {
+	d, _, err := s.resolveDom(id)
+	return d, err
+}
+
+// resolveDom returns the dominator and the snapshot it is valid in (s
+// itself, unless a virtual join had to be minted into a newer snapshot).
+func (s *Snapshot) resolveDom(id ID) (ID, *Snapshot, error) {
+	if s.nodes.get(id) == nil {
+		return None, s, fmt.Errorf("%v: %w", id, ErrNotFound)
 	}
-	lub, ok := g.lubLocked(members)
-	if ok {
-		return lub, nil
+	// Lock-free fast path: the cache is valid for every snapshot sharing it.
+	if d, ok := s.dom.get(id); ok {
+		return d, s, nil
+	}
+	members := s.shareMembers(id)
+	if len(members) == 1 {
+		s.g.fillDomCache(s, id, members[0])
+		return members[0], s, nil
+	}
+	if lub, ok := s.lub(members); ok {
+		s.g.fillDomCache(s, id, lub)
+		return lub, s, nil
 	}
 	// No unique least upper bound: restore the lattice with a virtual
 	// context owning the maximal members.
-	return g.ensureVirtualJoinLocked(members)
+	return s.g.mintVirtualJoin(s, id)
 }
 
-// shareMembersLocked returns share(G,id) ∪ {id}.
-func (g *Graph) shareMembersLocked(id ID) []ID {
-	descC := g.descSetLocked(id)
-	ancSelfC := g.ancSetLocked(id)
+// fillDomCache opportunistically memoizes a dominator computed lock-free
+// against s. The store happens under the writer mutex and only if s is still
+// the current snapshot: a value computed against a superseded structure must
+// not leak into a cache handle newer snapshots share.
+func (g *Graph) fillDomCache(s *Snapshot, id, d ID) {
+	if g.snap.Load() != s {
+		// Already superseded: the store below would be discarded anyway, so
+		// don't contend with writers. The authoritative re-check still runs
+		// under the mutex.
+		return
+	}
+	g.mu.Lock()
+	if g.snap.Load() == s {
+		s.dom.put(id, d)
+	}
+	g.mu.Unlock()
+}
+
+// mintVirtualJoin creates (or reuses) the unnamed context owning the maximal
+// share members of id, publishing a new snapshot that contains it. If the
+// caller's snapshot is no longer current the dominator is re-derived against
+// the current one, matching the previous single-lock behavior of answering
+// against the latest structure.
+func (g *Graph) mintVirtualJoin(s *Snapshot, id ID) (ID, *Snapshot, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	cur := g.snap.Load()
+	if cur != s {
+		if cur.nodes.get(id) == nil {
+			return None, cur, fmt.Errorf("%v: %w", id, ErrNotFound)
+		}
+		if d, ok := cur.dom.get(id); ok {
+			return d, cur, nil
+		}
+	}
+	members := cur.shareMembers(id)
+	if len(members) == 1 {
+		cur.dom.put(id, members[0])
+		return members[0], cur, nil
+	}
+	if lub, ok := cur.lub(members); ok {
+		cur.dom.put(id, lub)
+		return lub, cur, nil
+	}
+
+	// Use the maxima of the member set: owning them transitively owns all.
+	maxima := cur.maxima(members)
+	key := joinKey(maxima)
+	if v, ok := g.virtualJoin[key]; ok {
+		// The memo entry is only reusable while the virtual context is both
+		// alive and still covering every maximum; edge removals and context
+		// removals drop entries eagerly (dropVirtualKeyLocked), and this
+		// check keeps a stale entry from ever resurfacing a deleted or
+		// non-covering context ID.
+		if cur.coversAll(v, maxima) {
+			cur.dom.put(id, v)
+			return v, cur, nil
+		}
+		g.dropVirtualKeyLocked(v)
+	}
+
+	vid := g.nextID
+	g.nextID++
+	vn := &node{id: vid, class: VirtualClass}
+	nodes := cur.nodes
+	for _, m := range maxima {
+		mc := nodes.get(m).clone()
+		mc.parents = append(mc.parents, vid)
+		vn.children = append(vn.children, m)
+		nodes = nodes.set(m, mc)
+	}
+	nodes = nodes.set(vid, vn)
+	// Minting is a structural edge mutation like any other: the new virtual
+	// becomes a second upper bound that can make a previously unique lub
+	// ambiguous, and as a fresh direct owner of its maxima it can even join
+	// other contexts' share sets — so cached dominators do NOT carry over.
+	// (The differential fuzzer caught exactly this against the pre-COW
+	// implementation, which shared the cache across mints.)
+	dom := newDomCache()
+	dom.put(id, vid)
+	next := g.publishLocked(nodes, dom)
+	g.virtualJoin[key] = vid
+	g.virtualKey[vid] = key
+	return vid, next, nil
+}
+
+// coversAll reports whether v is alive and directly owns every given context.
+func (s *Snapshot) coversAll(v ID, ids []ID) bool {
+	n := s.nodes.get(v)
+	if n == nil {
+		return false
+	}
+	for _, m := range ids {
+		if !containsID(n.children, m) {
+			return false
+		}
+	}
+	return true
+}
+
+// shareMembers returns share(G,id) ∪ {id}.
+func (s *Snapshot) shareMembers(id ID) []ID {
+	descC := s.descSet(id)
+	ancSelfC := s.ancSet(id)
 
 	members := map[ID]bool{id: true}
 	// Set 1: direct owners of any descendant of C.
 	for d := range descC {
-		for _, p := range g.nodes[d].parents {
+		for _, p := range s.nodes.get(d).parents {
 			members[p] = true
 		}
 	}
@@ -93,7 +201,7 @@ func (g *Graph) shareMembersLocked(id ID) []ID {
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, p := range g.nodes[cur].parents {
+		for _, p := range s.nodes.get(cur).parents {
 			if seen[p] {
 				continue
 			}
@@ -113,17 +221,17 @@ func (g *Graph) shareMembersLocked(id ID) []ID {
 	return out
 }
 
-// lubLocked computes the unique least upper bound of members under the
-// ownership order (X ≥ Y iff X transitively owns Y or X == Y). It returns
-// ok=false when no unique lub exists.
-func (g *Graph) lubLocked(members []ID) (ID, bool) {
+// lub computes the unique least upper bound of members under the ownership
+// order (X ≥ Y iff X transitively owns Y or X == Y). It returns ok=false
+// when no unique lub exists.
+func (s *Snapshot) lub(members []ID) (ID, bool) {
 	if len(members) == 0 {
 		return None, false
 	}
 	// Common ancestors-or-self of every member.
-	common := g.ancSetLocked(members[0])
+	common := s.ancSet(members[0])
 	for _, m := range members[1:] {
-		next := g.ancSetLocked(m)
+		next := s.ancSet(m)
 		for c := range common {
 			if !next[c] {
 				delete(common, c)
@@ -133,20 +241,20 @@ func (g *Graph) lubLocked(members []ID) (ID, bool) {
 			return None, false
 		}
 	}
-	minima := g.minimaLocked(common)
+	minima := s.minima(common)
 	if len(minima) == 1 {
 		return minima[0], true
 	}
 	return None, false
 }
 
-// minimaLocked returns the minimal elements of set under the ownership order
+// minima returns the minimal elements of set under the ownership order
 // (those with no strict descendant inside the set).
-func (g *Graph) minimaLocked(set map[ID]bool) []ID {
+func (s *Snapshot) minima(set map[ID]bool) []ID {
 	var minima []ID
 	for c := range set {
 		hasLower := false
-		stack := append([]ID(nil), g.nodes[c].children...)
+		stack := append([]ID(nil), s.nodes.get(c).children...)
 		seen := make(map[ID]bool)
 		for len(stack) > 0 && !hasLower {
 			cur := stack[len(stack)-1]
@@ -159,7 +267,7 @@ func (g *Graph) minimaLocked(set map[ID]bool) []ID {
 				hasLower = true
 				break
 			}
-			stack = append(stack, g.nodes[cur].children...)
+			stack = append(stack, s.nodes.get(cur).children...)
 		}
 		if !hasLower {
 			minima = append(minima, c)
@@ -169,36 +277,9 @@ func (g *Graph) minimaLocked(set map[ID]bool) []ID {
 	return minima
 }
 
-// ensureVirtualJoinLocked returns (creating on first use) an unnamed context
-// owning the maximal elements of members, restoring a unique upper bound.
-func (g *Graph) ensureVirtualJoinLocked(members []ID) (ID, error) {
-	// Use the maxima of the member set: owning them transitively owns all.
-	maxima := g.maximaLocked(members)
-	key := joinKey(maxima)
-	if v, ok := g.virtualJoin[key]; ok {
-		if _, alive := g.nodes[v]; alive {
-			return v, nil
-		}
-		delete(g.virtualJoin, key)
-	}
-	id := g.nextID
-	g.nextID++
-	n := &node{id: id, class: VirtualClass}
-	g.nodes[id] = n
-	for _, m := range maxima {
-		n.children = append(n.children, m)
-		g.nodes[m].parents = append(g.nodes[m].parents, id)
-	}
-	g.version++
-	// The new context only adds an upper element; it never lowers an
-	// existing lub, so cached dominators stay valid.
-	g.virtualJoin[key] = id
-	return id, nil
-}
-
-// maximaLocked returns the maximal elements of members under the ownership
-// order (those not strictly owned by another member).
-func (g *Graph) maximaLocked(members []ID) []ID {
+// maxima returns the maximal elements of members under the ownership order
+// (those not strictly owned by another member).
+func (s *Snapshot) maxima(members []ID) []ID {
 	memberSet := make(map[ID]bool, len(members))
 	for _, m := range members {
 		memberSet[m] = true
@@ -206,7 +287,7 @@ func (g *Graph) maximaLocked(members []ID) []ID {
 	var maxima []ID
 	for _, m := range members {
 		hasUpper := false
-		stack := append([]ID(nil), g.nodes[m].parents...)
+		stack := append([]ID(nil), s.nodes.get(m).parents...)
 		seen := make(map[ID]bool)
 		for len(stack) > 0 && !hasUpper {
 			cur := stack[len(stack)-1]
@@ -219,7 +300,7 @@ func (g *Graph) maximaLocked(members []ID) []ID {
 				hasUpper = true
 				break
 			}
-			stack = append(stack, g.nodes[cur].parents...)
+			stack = append(stack, s.nodes.get(cur).parents...)
 		}
 		if !hasUpper {
 			maxima = append(maxima, m)
@@ -227,6 +308,89 @@ func (g *Graph) maximaLocked(members []ID) []ID {
 	}
 	sort.Slice(maxima, func(i, j int) bool { return maxima[i] < maxima[j] })
 	return maxima
+}
+
+// leafDomCacheStable audits whether the dominator cache can be carried to
+// the snapshot that adds a fresh leaf under the given parents.
+//
+// A single-owner leaf introduces no new sharing: the only new share member
+// any ancestor A gains is L's sole parent P, which lies on the A→L path and
+// is therefore already ≤ A; no lub can move, so every cache entry stays.
+//
+// A multi-owner leaf L enlarges share(A) for every ancestor A of L: set 1
+// gains L's parents, and set 2 gains every ancestor of those parents that is
+// incomparable to A. A cached dom(A) stays valid iff it already covers every
+// such potential new member. The check below verifies that condition for
+// every cached ancestor entry; if any entry would move — or a parent's own
+// dominator is unknown — the whole cache is dropped (dominators of contexts
+// far from L that share with the parents' subtrees could move too, and
+// tracking them precisely is not worth the complexity). In the steady state
+// of leaf-creating workloads (TPC-C order creation: dom(District) =
+// dom(Customer) = District and Warehouse comparable to both) every check
+// passes and no invalidation happens.
+//
+// next is the snapshot being built (with the leaf already wired in); cache
+// is the previous snapshot's handle. Caller holds the writer mutex.
+func leafDomCacheStable(next *Snapshot, cache *domCache, leaf ID, parents []ID) bool {
+	if len(parents) <= 1 {
+		return true
+	}
+	for _, p := range parents {
+		if _, ok := cache.get(p); !ok {
+			return false
+		}
+	}
+	// Potential new share members for any ancestor of L: the parents and all
+	// their ancestors. Upward chains are short in practice.
+	newMembers := make(map[ID]bool)
+	parentSet := make(map[ID]bool, len(parents))
+	for _, p := range parents {
+		parentSet[p] = true
+		for a := range next.ancSet(p) {
+			newMembers[a] = true
+		}
+	}
+	ancSelfLeaf := next.ancSet(leaf)
+	for a := range ancSelfLeaf {
+		if a == leaf {
+			continue
+		}
+		cached, ok := cache.get(a)
+		if !ok {
+			continue
+		}
+		ancSelfA := next.ancSet(a)
+		ancSelfDom := next.ancSet(cached)
+		for m := range newMembers {
+			if m == a {
+				continue
+			}
+			if !parentSet[m] {
+				// Non-parent ancestors join share(A) only when incomparable
+				// to A (set 2); comparable ones are not members.
+				if ancSelfA[m] || next.ancSet(m)[a] {
+					continue
+				}
+			}
+			// Member m must already be covered by the cached dominator:
+			// cached ≥ m, i.e. cached ∈ ancestors-or-self of m.
+			if m != cached && !next.inAncSelf(m, cached, ancSelfDom) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// inAncSelf reports whether dom is an ancestor-or-self of m. ancSelfDom (the
+// ancestors of dom) is passed in to short-circuit the common case where m is
+// below dom on a chain through dom.
+func (s *Snapshot) inAncSelf(m, dom ID, ancSelfDom map[ID]bool) bool {
+	if ancSelfDom[m] {
+		// m is an ancestor of dom; dom cannot cover it (m != dom checked).
+		return false
+	}
+	return s.ancSet(m)[dom]
 }
 
 func joinKey(ids []ID) string {

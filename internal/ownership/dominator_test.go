@@ -210,20 +210,19 @@ func TestDomAfterEdgeMutation(t *testing.T) {
 
 // domBruteForce recomputes the dominator from the paper's literal definition
 // with naive full scans: share(G,C) evaluated once over all contexts, then
-// the lub of share ∪ {C}.
+// the lub of share ∪ {C}. It runs against one snapshot.
 func domBruteForce(g *Graph, id ID) (ID, bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-
-	descC := g.descSetLocked(id)
+	s := g.Snapshot()
+	descC := s.descSet(id)
 	members := map[ID]bool{id: true}
-	for other := range g.nodes {
+	for _, other := range s.IDs() {
 		if other == id {
 			continue
 		}
 		// First set: children(other) ∩ desc(C) ≠ ∅.
 		inFirst := false
-		for _, ch := range g.nodes[other].children {
+		children, _ := s.Children(other)
+		for _, ch := range children {
 			if descC[ch] {
 				inFirst = true
 				break
@@ -232,7 +231,7 @@ func domBruteForce(g *Graph, id ID) (ID, bool) {
 		// Second set: desc(other) ∩ desc(C) ≠ ∅ and incomparable.
 		inSecond := false
 		if !inFirst {
-			descO := g.descSetLocked(other)
+			descO := s.descSet(other)
 			if !descC[other] && !descO[id] {
 				for d := range descO {
 					if descC[d] {
@@ -250,7 +249,7 @@ func domBruteForce(g *Graph, id ID) (ID, bool) {
 	for m := range members {
 		list = append(list, m)
 	}
-	return g.lubLocked(list)
+	return s.lub(list)
 }
 
 // TestDomMatchesBruteForce cross-checks the closure-based Dom against the

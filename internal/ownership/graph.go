@@ -11,14 +11,19 @@
 // share common descendants" case of § 3), the graph transparently inserts an
 // unnamed virtual context owning them, exactly as the paper's footnote
 // prescribes.
+//
+// The graph is copy-on-write: the current state lives in an immutable
+// Snapshot published through an atomic pointer, so every read API is
+// lock-free, while mutations serialize on a writer-only mutex and build the
+// next snapshot with path-copied structural sharing (a fresh leaf — the
+// TPC-C hot mutation — copies O(parents) nodes, never the whole graph).
 package ownership
 
 import (
 	"errors"
 	"fmt"
-	"sort"
-	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // ID identifies a context in the ownership network. IDs are assigned by the
@@ -49,6 +54,8 @@ var (
 	ErrNoPath = errors.New("ownership: no ownership path")
 )
 
+// node is an immutable record of one context. Mutations clone the nodes they
+// touch; unchanged nodes are shared between snapshots.
 type node struct {
 	id       ID
 	class    string
@@ -56,68 +63,120 @@ type node struct {
 	children []ID
 }
 
-// Graph is a mutable, internally synchronized ownership network.
+func (n *node) clone() *node {
+	return &node{
+		id:       n.id,
+		class:    n.class,
+		parents:  append([]ID(nil), n.parents...),
+		children: append([]ID(nil), n.children...),
+	}
+}
+
+// Graph is a mutable ownership network with lock-free reads: the current
+// state is an immutable Snapshot behind an atomic pointer, and all read
+// methods delegate to it. Mutations take the writer-only mutex, build the
+// next snapshot by path copying, and publish it atomically.
 //
 // The zero value is not usable; construct with NewGraph.
 type Graph struct {
-	mu      sync.RWMutex
-	nodes   map[ID]*node
-	nextID  ID
-	version uint64
+	// mu serializes writers: structural mutations, dominator-cache fills
+	// (which re-validate snapshot currency) and virtual-join minting. No
+	// read path acquires it.
+	mu   sync.Mutex
+	snap atomic.Pointer[Snapshot]
 
-	// domCache memoizes dominator results; entries are invalidated precisely
-	// on mutation (see invalidateUp) so that steady-state workloads that
-	// create fresh leaf contexts (e.g. TPC-C orders) do not pay repeated
-	// recomputation for stable interior contexts.
-	domCache map[ID]ID
+	nextID ID
+
 	// virtualJoin memoizes virtual contexts created for a given set of
-	// minimal upper bounds so repeated queries reuse the same context.
+	// minimal upper bounds so repeated queries reuse the same context;
+	// virtualKey is its reverse index, so removing a virtual context (or one
+	// of its edges) invalidates the memo entry instead of leaving it to
+	// resurrect a deleted or no-longer-covering context ID.
 	virtualJoin map[string]ID
+	virtualKey  map[ID]string
 }
 
 // NewGraph returns an empty ownership network.
 func NewGraph() *Graph {
-	return &Graph{
-		nodes:       make(map[ID]*node),
+	g := &Graph{
 		nextID:      1,
-		domCache:    make(map[ID]ID),
 		virtualJoin: make(map[string]ID),
+		virtualKey:  make(map[ID]string),
 	}
+	g.snap.Store(&Snapshot{g: g, nodes: &trie{}, dom: newDomCache()})
+	return g
+}
+
+// Snapshot returns the current immutable view of the network. All reads on
+// it are lock-free and mutually consistent; an event should resolve one
+// snapshot and issue every query of its admission sequence against it.
+func (g *Graph) Snapshot() *Snapshot { return g.snap.Load() }
+
+// publishLocked installs the next snapshot. Caller holds g.mu.
+func (g *Graph) publishLocked(nodes *trie, dom *domCache) *Snapshot {
+	next := &Snapshot{g: g, nodes: nodes, version: g.snap.Load().version + 1, dom: dom}
+	g.snap.Store(next)
+	return next
 }
 
 // Version returns a counter incremented by every mutation. Server-side
 // caches use it to detect staleness.
-func (g *Graph) Version() uint64 {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.version
-}
+func (g *Graph) Version() uint64 { return g.Snapshot().version }
 
 // Len reports the number of contexts in the network.
-func (g *Graph) Len() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return len(g.nodes)
-}
+func (g *Graph) Len() int { return g.Snapshot().Len() }
+
+// Class reports the class of a context.
+func (g *Graph) Class(id ID) (string, error) { return g.Snapshot().Class(id) }
+
+// Contains reports whether the context exists.
+func (g *Graph) Contains(id ID) bool { return g.Snapshot().Contains(id) }
+
+// Children returns a copy of the direct children of id.
+func (g *Graph) Children(id ID) ([]ID, error) { return g.Snapshot().Children(id) }
+
+// Parents returns a copy of the direct owners of id.
+func (g *Graph) Parents(id ID) ([]ID, error) { return g.Snapshot().Parents(id) }
+
+// OwnsDirectly reports whether parent directly owns child.
+func (g *Graph) OwnsDirectly(parent, child ID) bool { return g.Snapshot().OwnsDirectly(parent, child) }
+
+// Owns reports whether anc transitively owns desc (strictly).
+func (g *Graph) Owns(anc, desc ID) bool { return g.Snapshot().Owns(anc, desc) }
+
+// Desc returns the strict descendants of id (excluding id itself), sorted.
+func (g *Graph) Desc(id ID) ([]ID, error) { return g.Snapshot().Desc(id) }
+
+// Roots returns the contexts with no owners.
+func (g *Graph) Roots() []ID { return g.Snapshot().Roots() }
+
+// Path returns a downward direct-ownership path from anc to desc, inclusive
+// on both ends.
+func (g *Graph) Path(anc, desc ID) ([]ID, error) { return g.Snapshot().Path(anc, desc) }
+
+// DumpDOT renders the graph in Graphviz DOT form (debugging aid).
+func (g *Graph) DumpDOT() string { return g.Snapshot().DumpDOT() }
 
 // AddContext creates a new context of the given class owned by the given
 // parents and returns its ID. Creating a context with no parents makes it a
 // root. A fresh context is necessarily a leaf, so this mutation can never
-// introduce a cycle; dominator caches of its ancestors are updated
-// incrementally rather than invalidated wholesale.
+// introduce a cycle; the dominator cache is carried over to the next snapshot
+// whenever the leaf-audit proves every cached entry still holds (see
+// leafDomCacheStable), which is the steady state of leaf-creating workloads.
 func (g *Graph) AddContext(class string, parents ...ID) (ID, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	cur := g.snap.Load()
 
 	for _, p := range parents {
-		if _, ok := g.nodes[p]; !ok {
+		if cur.nodes.get(p) == nil {
 			return None, fmt.Errorf("parent %v: %w", p, ErrNotFound)
 		}
 	}
 	id := g.nextID
 	g.nextID++
 	n := &node{id: id, class: class}
-	g.nodes[id] = n
+	nodes := cur.nodes
 	seen := make(map[ID]bool, len(parents))
 	for _, p := range parents {
 		if seen[p] {
@@ -125,31 +184,20 @@ func (g *Graph) AddContext(class string, parents ...ID) (ID, error) {
 		}
 		seen[p] = true
 		n.parents = append(n.parents, p)
-		pn := g.nodes[p]
-		pn.children = append(pn.children, id)
+		pc := nodes.get(p).clone()
+		pc.children = append(pc.children, id)
+		nodes = nodes.set(p, pc)
 	}
-	g.version++
-	g.reviewDomsForNewLeaf(id, n.parents)
+	nodes = nodes.set(id, n)
+
+	next := &Snapshot{g: g, nodes: nodes, version: cur.version + 1}
+	if leafDomCacheStable(next, cur.dom, id, n.parents) {
+		next.dom = cur.dom
+	} else {
+		next.dom = newDomCache()
+	}
+	g.snap.Store(next)
 	return id, nil
-}
-
-// Class reports the class of a context.
-func (g *Graph) Class(id ID) (string, error) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	n, ok := g.nodes[id]
-	if !ok {
-		return "", fmt.Errorf("%v: %w", id, ErrNotFound)
-	}
-	return n.class, nil
-}
-
-// Contains reports whether the context exists.
-func (g *Graph) Contains(id ID) bool {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	_, ok := g.nodes[id]
-	return ok
 }
 
 // AddEdge records that parent directly owns child. It fails with ErrCycle if
@@ -157,27 +205,30 @@ func (g *Graph) Contains(id ID) bool {
 func (g *Graph) AddEdge(parent, child ID) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	cur := g.snap.Load()
 
-	pn, ok := g.nodes[parent]
-	if !ok {
+	pn := cur.nodes.get(parent)
+	if pn == nil {
 		return fmt.Errorf("parent %v: %w", parent, ErrNotFound)
 	}
-	cn, ok := g.nodes[child]
-	if !ok {
+	cn := cur.nodes.get(child)
+	if cn == nil {
 		return fmt.Errorf("child %v: %w", child, ErrNotFound)
 	}
-	for _, c := range pn.children {
-		if c == child {
-			return fmt.Errorf("edge %v→%v: %w", parent, child, ErrExists)
-		}
+	if containsID(pn.children, child) {
+		return fmt.Errorf("edge %v→%v: %w", parent, child, ErrExists)
 	}
-	if parent == child || g.reachableLocked(child, parent) {
+	if parent == child || cur.reachable(child, parent) {
 		return fmt.Errorf("edge %v→%v: %w", parent, child, ErrCycle)
 	}
-	pn.children = append(pn.children, child)
-	cn.parents = append(cn.parents, parent)
-	g.version++
-	g.invalidateAllLocked()
+	pc := pn.clone()
+	pc.children = append(pc.children, child)
+	cc := cn.clone()
+	cc.parents = append(cc.parents, parent)
+	nodes := cur.nodes.set(parent, pc).set(child, cc)
+	// Structural edge mutations can move dominators arbitrarily; the next
+	// snapshot starts with a fresh cache.
+	g.publishLocked(nodes, newDomCache())
 	return nil
 }
 
@@ -185,21 +236,29 @@ func (g *Graph) AddEdge(parent, child ID) error {
 func (g *Graph) RemoveEdge(parent, child ID) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	cur := g.snap.Load()
 
-	pn, ok := g.nodes[parent]
-	if !ok {
+	pn := cur.nodes.get(parent)
+	if pn == nil {
 		return fmt.Errorf("parent %v: %w", parent, ErrNotFound)
 	}
-	cn, ok := g.nodes[child]
-	if !ok {
+	cn := cur.nodes.get(child)
+	if cn == nil {
 		return fmt.Errorf("child %v: %w", child, ErrNotFound)
 	}
-	if !removeID(&pn.children, child) {
+	if !containsID(pn.children, child) {
 		return fmt.Errorf("edge %v→%v: %w", parent, child, ErrNotFound)
 	}
-	removeID(&cn.parents, parent)
-	g.version++
-	g.invalidateAllLocked()
+	pc := pn.clone()
+	removeID(&pc.children, child)
+	cc := cn.clone()
+	removeID(&cc.parents, parent)
+	nodes := cur.nodes.set(parent, pc).set(child, cc)
+	// If parent is a memoized virtual join it no longer covers the maxima it
+	// was minted for; drop the memo entry so a later dominator query mints a
+	// correct replacement instead of reusing a non-upper-bound.
+	g.dropVirtualKeyLocked(parent)
+	g.publishLocked(nodes, newDomCache())
 	return nil
 }
 
@@ -207,17 +266,20 @@ func (g *Graph) RemoveEdge(parent, child ID) error {
 func (g *Graph) RemoveContext(id ID) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	cur := g.snap.Load()
 
-	n, ok := g.nodes[id]
-	if !ok {
+	n := cur.nodes.get(id)
+	if n == nil {
 		return fmt.Errorf("%v: %w", id, ErrNotFound)
 	}
 	if len(n.parents) != 0 || len(n.children) != 0 {
 		return fmt.Errorf("%v: %w", id, ErrHasEdges)
 	}
-	delete(g.nodes, id)
-	delete(g.domCache, id)
-	g.version++
+	// The dominator cache carries over: an edgeless context can only have
+	// dominated itself, and that entry is unreachable once the existence
+	// check on the new snapshot fails.
+	g.dropVirtualKeyLocked(id)
+	g.publishLocked(cur.nodes.delete(id), cur.dom)
 	return nil
 }
 
@@ -226,289 +288,36 @@ func (g *Graph) RemoveContext(id ID) error {
 func (g *Graph) DetachContext(id ID) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	cur := g.snap.Load()
 
-	n, ok := g.nodes[id]
-	if !ok {
+	n := cur.nodes.get(id)
+	if n == nil {
 		return fmt.Errorf("%v: %w", id, ErrNotFound)
 	}
+	nodes := cur.nodes
 	for _, p := range n.parents {
-		removeID(&g.nodes[p].children, id)
+		pc := nodes.get(p).clone()
+		removeID(&pc.children, id)
+		nodes = nodes.set(p, pc)
 	}
 	for _, c := range n.children {
-		removeID(&g.nodes[c].parents, id)
+		cc := nodes.get(c).clone()
+		removeID(&cc.parents, id)
+		nodes = nodes.set(c, cc)
 	}
-	delete(g.nodes, id)
-	g.version++
-	g.invalidateAllLocked()
+	nodes = nodes.delete(id)
+	g.dropVirtualKeyLocked(id)
+	g.publishLocked(nodes, newDomCache())
 	return nil
 }
 
-// Children returns a copy of the direct children of id.
-func (g *Graph) Children(id ID) ([]ID, error) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	n, ok := g.nodes[id]
-	if !ok {
-		return nil, fmt.Errorf("%v: %w", id, ErrNotFound)
+// dropVirtualKeyLocked invalidates the virtual-join memo entry owned by id,
+// if any. Caller holds g.mu.
+func (g *Graph) dropVirtualKeyLocked(id ID) {
+	if key, ok := g.virtualKey[id]; ok {
+		delete(g.virtualJoin, key)
+		delete(g.virtualKey, id)
 	}
-	out := make([]ID, len(n.children))
-	copy(out, n.children)
-	return out, nil
-}
-
-// Parents returns a copy of the direct owners of id.
-func (g *Graph) Parents(id ID) ([]ID, error) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	n, ok := g.nodes[id]
-	if !ok {
-		return nil, fmt.Errorf("%v: %w", id, ErrNotFound)
-	}
-	out := make([]ID, len(n.parents))
-	copy(out, n.parents)
-	return out, nil
-}
-
-// OwnsDirectly reports whether parent directly owns child.
-func (g *Graph) OwnsDirectly(parent, child ID) bool {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	pn, ok := g.nodes[parent]
-	if !ok {
-		return false
-	}
-	for _, c := range pn.children {
-		if c == child {
-			return true
-		}
-	}
-	return false
-}
-
-// Owns reports whether anc transitively owns desc (strictly).
-func (g *Graph) Owns(anc, desc ID) bool {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	if anc == desc {
-		return false
-	}
-	return g.reachableLocked(anc, desc)
-}
-
-// Desc returns the strict descendants of id (excluding id itself), in
-// unspecified order.
-func (g *Graph) Desc(id ID) ([]ID, error) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	if _, ok := g.nodes[id]; !ok {
-		return nil, fmt.Errorf("%v: %w", id, ErrNotFound)
-	}
-	set := g.descSetLocked(id)
-	out := make([]ID, 0, len(set))
-	for d := range set {
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
-}
-
-// Roots returns the contexts with no owners.
-func (g *Graph) Roots() []ID {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	var out []ID
-	for id, n := range g.nodes {
-		if len(n.parents) == 0 {
-			out = append(out, id)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// Path returns a downward direct-ownership path from anc to desc, inclusive
-// on both ends. If anc == desc the path is the single context. The runtime
-// activates the returned contexts top-down when escorting an event from its
-// dominator to its target (Algorithm 2, activatePath).
-func (g *Graph) Path(anc, desc ID) ([]ID, error) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	if _, ok := g.nodes[anc]; !ok {
-		return nil, fmt.Errorf("%v: %w", anc, ErrNotFound)
-	}
-	if _, ok := g.nodes[desc]; !ok {
-		return nil, fmt.Errorf("%v: %w", desc, ErrNotFound)
-	}
-	if anc == desc {
-		return []ID{anc}, nil
-	}
-	// BFS upward from desc to anc following parent edges; shortest path.
-	prev := map[ID]ID{desc: None}
-	queue := []ID{desc}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, p := range g.nodes[cur].parents {
-			if _, seen := prev[p]; seen {
-				continue
-			}
-			prev[p] = cur
-			if p == anc {
-				var path []ID
-				for c := anc; c != None; c = prev[c] {
-					path = append(path, c)
-				}
-				return path, nil
-			}
-			queue = append(queue, p)
-		}
-	}
-	return nil, fmt.Errorf("%v→%v: %w", anc, desc, ErrNoPath)
-}
-
-// reachableLocked reports whether to is reachable from from via child edges.
-func (g *Graph) reachableLocked(from, to ID) bool {
-	if from == to {
-		return true
-	}
-	seen := map[ID]bool{from: true}
-	stack := []ID{from}
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, c := range g.nodes[cur].children {
-			if c == to {
-				return true
-			}
-			if !seen[c] {
-				seen[c] = true
-				stack = append(stack, c)
-			}
-		}
-	}
-	return false
-}
-
-// descSetLocked computes the strict descendant set of id.
-func (g *Graph) descSetLocked(id ID) map[ID]bool {
-	set := make(map[ID]bool)
-	stack := []ID{id}
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, c := range g.nodes[cur].children {
-			if !set[c] {
-				set[c] = true
-				stack = append(stack, c)
-			}
-		}
-	}
-	return set
-}
-
-// ancSetLocked computes the ancestors-or-self set of id.
-func (g *Graph) ancSetLocked(id ID) map[ID]bool {
-	set := map[ID]bool{id: true}
-	stack := []ID{id}
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, p := range g.nodes[cur].parents {
-			if !set[p] {
-				set[p] = true
-				stack = append(stack, p)
-			}
-		}
-	}
-	return set
-}
-
-func (g *Graph) invalidateAllLocked() {
-	// Structural edge mutations can move dominators arbitrarily; wholesale
-	// invalidation keeps correctness simple. The hot mutation path (fresh
-	// leaf creation via AddContext) avoids this entirely.
-	clear(g.domCache)
-}
-
-// reviewDomsForNewLeaf audits cached dominators after a fresh leaf L was
-// added under the given parents.
-//
-// A single-owner leaf introduces no new sharing: the only new share member
-// any ancestor A gains is L's sole parent P, which lies on the A→L path and
-// is therefore already ≤ A; no lub can move, so every cache entry stays.
-//
-// A multi-owner leaf L enlarges share(A) for every ancestor A of L: set 1
-// gains L's parents, and set 2 gains every ancestor of those parents that is
-// incomparable to A. A cached dom(A) stays valid iff it already covers every
-// such potential new member. The check below verifies that condition for
-// every cached ancestor entry; if any entry would move — or a parent's own
-// dominator is unknown — the whole cache is dropped (dominators of contexts
-// far from L that share with the parents' subtrees could move too, and
-// tracking them precisely is not worth the complexity). In the steady state
-// of leaf-creating workloads (TPC-C order creation: dom(District) =
-// dom(Customer) = District and Warehouse comparable to both) every check
-// passes and no invalidation happens.
-func (g *Graph) reviewDomsForNewLeaf(leaf ID, parents []ID) {
-	if len(parents) <= 1 {
-		return
-	}
-	for _, p := range parents {
-		if _, ok := g.domCache[p]; !ok {
-			g.invalidateAllLocked()
-			return
-		}
-	}
-	// Potential new share members for any ancestor of L: the parents and all
-	// their ancestors. Upward chains are short in practice.
-	newMembers := make(map[ID]bool)
-	parentSet := make(map[ID]bool, len(parents))
-	for _, p := range parents {
-		parentSet[p] = true
-		for a := range g.ancSetLocked(p) {
-			newMembers[a] = true
-		}
-	}
-	ancSelfLeaf := g.ancSetLocked(leaf)
-	for a := range ancSelfLeaf {
-		if a == leaf {
-			continue
-		}
-		cached, ok := g.domCache[a]
-		if !ok {
-			continue
-		}
-		ancSelfA := g.ancSetLocked(a)
-		ancSelfDom := g.ancSetLocked(cached)
-		for m := range newMembers {
-			if m == a {
-				continue
-			}
-			if !parentSet[m] {
-				// Non-parent ancestors join share(A) only when incomparable
-				// to A (set 2); comparable ones are not members.
-				if ancSelfA[m] || g.ancSetLocked(m)[a] {
-					continue
-				}
-			}
-			// Member m must already be covered by the cached dominator:
-			// cached ≥ m, i.e. cached ∈ ancestors-or-self of m.
-			if m != cached && !containsInAncSelf(g, m, cached, ancSelfDom) {
-				g.invalidateAllLocked()
-				return
-			}
-		}
-	}
-}
-
-// containsInAncSelf reports whether dom is an ancestor-or-self of m.
-// ancSelfDom (the ancestors of dom) is passed in to short-circuit the
-// common case where m is below dom on a chain through dom.
-func containsInAncSelf(g *Graph, m, dom ID, ancSelfDom map[ID]bool) bool {
-	if ancSelfDom[m] {
-		// m is an ancestor of dom; dom cannot cover it (m != dom checked).
-		return false
-	}
-	return g.ancSetLocked(m)[dom]
 }
 
 func removeID(s *[]ID, id ID) bool {
@@ -519,26 +328,4 @@ func removeID(s *[]ID, id ID) bool {
 		}
 	}
 	return false
-}
-
-// DumpDOT renders the graph in Graphviz DOT form (debugging aid).
-func (g *Graph) DumpDOT() string {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	var b strings.Builder
-	b.WriteString("digraph ownership {\n")
-	ids := make([]ID, 0, len(g.nodes))
-	for id := range g.nodes {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		n := g.nodes[id]
-		fmt.Fprintf(&b, "  %d [label=%q];\n", uint64(id), fmt.Sprintf("%s#%d", n.class, uint64(id)))
-		for _, c := range n.children {
-			fmt.Fprintf(&b, "  %d -> %d;\n", uint64(id), uint64(c))
-		}
-	}
-	b.WriteString("}\n")
-	return b.String()
 }

@@ -1,0 +1,174 @@
+package ownership
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSnapshotImmutableAcrossMutations: a snapshot taken before a batch of
+// mutations must keep answering from the old version of the network.
+func TestSnapshotImmutableAcrossMutations(t *testing.T) {
+	g := NewGraph()
+	root, _ := g.AddContext("Root")
+	child, _ := g.AddContext("Child", root)
+
+	old := g.Snapshot()
+	oldVersion := old.Version()
+
+	leaf, err := g.AddContext("Leaf", child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.DetachContext(leaf); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.DetachContext(child); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old snapshot still sees the original two contexts, no leaf.
+	if old.Version() != oldVersion {
+		t.Fatalf("snapshot version changed: %d → %d", oldVersion, old.Version())
+	}
+	if !old.Contains(child) {
+		t.Fatal("old snapshot lost a context that existed when it was taken")
+	}
+	if old.Contains(leaf) {
+		t.Fatal("old snapshot sees a context created after it was taken")
+	}
+	if ch, err := old.Children(root); err != nil || len(ch) != 1 || ch[0] != child {
+		t.Fatalf("old snapshot Children(root) = %v, %v; want [child]", ch, err)
+	}
+	if old.Len() != 2 {
+		t.Fatalf("old snapshot Len = %d; want 2", old.Len())
+	}
+	// And the current snapshot sees the mutated network.
+	cur := g.Snapshot()
+	if cur.Contains(child) || cur.Contains(leaf) {
+		t.Fatal("current snapshot still contains detached contexts")
+	}
+	if cur.Len() != 1 {
+		t.Fatalf("current snapshot Len = %d; want 1", cur.Len())
+	}
+}
+
+// TestSnapshotConsistentQueries: Dom, Path and Children against one snapshot
+// stay mutually consistent even while the graph mutates underneath.
+func TestSnapshotConsistentQueries(t *testing.T) {
+	g := NewGraph()
+	room, _ := g.AddContext("Room")
+	p1, _ := g.AddContext("Player", room)
+	p2, _ := g.AddContext("Player", room)
+	item, _ := g.AddContext("Item", p1, p2)
+
+	// p1 shares item with the incomparable p2, so dom(p1) = room.
+	dom, view, err := g.Resolve(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom != room {
+		t.Fatalf("dom(p1) = %v; want room %v", dom, room)
+	}
+
+	// Mutate heavily after the snapshot was taken.
+	if err := g.RemoveEdge(p2, item); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.DetachContext(item); err != nil {
+		t.Fatal(err)
+	}
+
+	// The captured view still resolves the whole admission sequence,
+	// including the now-detached shared item.
+	path, err := view.Path(dom, item)
+	if err != nil {
+		t.Fatalf("Path on captured view: %v", err)
+	}
+	if path[0] != dom || path[len(path)-1] != item {
+		t.Fatalf("path endpoints %v; want %v..%v", path, dom, item)
+	}
+	for i := 0; i < len(path)-1; i++ {
+		if !view.OwnsDirectly(path[i], path[i+1]) {
+			t.Fatalf("path step %v→%v is not a direct edge in the view", path[i], path[i+1])
+		}
+	}
+	// While the live graph has moved on.
+	if _, err := g.Path(dom, item); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("live Path after detach = %v; want ErrNotFound", err)
+	}
+}
+
+// TestResolveReturnsViewContainingMintedVirtual: when the dominator query has
+// to insert a virtual join, the snapshot returned by Resolve must already
+// contain it, so path activation works without re-reading the graph.
+func TestResolveReturnsViewContainingMintedVirtual(t *testing.T) {
+	g := NewGraph()
+	a, _ := g.AddContext("A")
+	b, _ := g.AddContext("B")
+	if _, err := g.AddContext("S", a, b); err != nil {
+		t.Fatal(err)
+	}
+
+	stale := g.Snapshot() // taken before any dominator query
+	// a and b are incomparable roots sharing a descendant: dom(a) is the
+	// virtual join of {a, b}, minted by this very query.
+	dom, view, err := g.Resolve(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls, _ := view.Class(dom); dom == a || cls != VirtualClass {
+		t.Fatalf("dom(a) = %v (class %q); want a virtual context", dom, cls)
+	}
+	if !view.Contains(dom) {
+		t.Fatal("Resolve returned a view that does not contain the minted virtual")
+	}
+	if _, err := view.Path(dom, a); err != nil {
+		t.Fatalf("Path(dom, a) on returned view: %v", err)
+	}
+	if stale.Contains(dom) {
+		t.Fatal("pre-mint snapshot must not see the virtual context")
+	}
+}
+
+// TestTrieGrowthAndSparseDelete exercises the persistent node map across a
+// radix-level growth boundary and after deletions.
+func TestTrieGrowthAndSparseDelete(t *testing.T) {
+	g := NewGraph()
+	root, _ := g.AddContext("Root")
+	var ids []ID
+	// Cross the 64- and 4096-entry block boundaries.
+	for i := 0; i < 5000; i++ {
+		id, err := g.AddContext("Leaf", root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if g.Len() != 5001 {
+		t.Fatalf("Len = %d; want 5001", g.Len())
+	}
+	removed := 0
+	for i := 0; i < len(ids); i += 2 {
+		if err := g.DetachContext(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+		removed++
+	}
+	if g.Len() != 5001-removed {
+		t.Fatalf("Len after deletes = %d; want %d", g.Len(), 5001-removed)
+	}
+	for i, id := range ids {
+		want := i%2 == 1
+		if g.Contains(id) != want {
+			t.Fatalf("Contains(%v) = %v; want %v", id, !want, want)
+		}
+	}
+	// Children of root reflect the survivors, in creation order.
+	ch, err := g.Children(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch) != 2500 {
+		t.Fatalf("root has %d children; want 2500", len(ch))
+	}
+}

@@ -1,0 +1,133 @@
+package ownership
+
+// trie is a persistent (path-copying) radix tree mapping context IDs to
+// nodes. IDs are dense integers assigned sequentially by the graph and never
+// reused, so a fixed-radix tree over the ID bits gives O(log₆₄ n) lookups and
+// lets a mutation share every untouched block with the previous version:
+// setting one entry copies only the blocks on the root→value path (64
+// pointers per level), never the whole map. This is what keeps leaf creation
+// — the TPC-C hot mutation — O(parents) instead of O(graph).
+//
+// A trie is immutable once published inside a Snapshot; set and delete
+// return new tries sharing structure with the receiver.
+
+const (
+	trieBits  = 6
+	trieWidth = 1 << trieBits
+	trieMask  = trieWidth - 1
+)
+
+// trieBlock is one radix block: interior blocks route through kids, bottom
+// blocks hold the values. Exactly one of the two slices is non-nil.
+type trieBlock struct {
+	kids []*trieBlock
+	vals []*node
+}
+
+type trie struct {
+	root   *trieBlock
+	height uint // radix levels between the root and the value blocks
+	size   int
+}
+
+// capacity is the exclusive upper bound of IDs representable at the current
+// height.
+func (t *trie) capacity() uint64 {
+	if t.root == nil {
+		return 0
+	}
+	return 1 << ((t.height + 1) * trieBits)
+}
+
+func (t *trie) len() int { return t.size }
+
+// get returns the node stored for id, or nil.
+func (t *trie) get(id ID) *node {
+	u := uint64(id)
+	if t.root == nil || u >= t.capacity() {
+		return nil
+	}
+	b := t.root
+	for h := t.height; h > 0; h-- {
+		b = b.kids[(u>>(h*trieBits))&trieMask]
+		if b == nil {
+			return nil
+		}
+	}
+	return b.vals[u&trieMask]
+}
+
+// set returns a trie with id mapped to v (non-nil), sharing every untouched
+// block with the receiver.
+func (t *trie) set(id ID, v *node) *trie {
+	u := uint64(id)
+	root, height := t.root, t.height
+	if root == nil {
+		root, height = newBlock(0), 0
+	}
+	for u >= 1<<((height+1)*trieBits) {
+		grown := newBlock(height + 1)
+		grown.kids[0] = root
+		root, height = grown, height+1
+	}
+	size := t.size
+	if t.get(id) == nil {
+		size++
+	}
+	return &trie{root: setPath(root, height, u, v), height: height, size: size}
+}
+
+// delete returns a trie without id. Blocks are not shrunk or reclaimed: IDs
+// are never reused, so a drained block stays sparse but correct.
+func (t *trie) delete(id ID) *trie {
+	if t.get(id) == nil {
+		return t
+	}
+	return &trie{root: setPath(t.root, t.height, uint64(id), nil), height: t.height, size: t.size - 1}
+}
+
+// walk visits every stored node in ascending ID order.
+func (t *trie) walk(fn func(*node)) {
+	walkBlock(t.root, fn)
+}
+
+func newBlock(h uint) *trieBlock {
+	if h == 0 {
+		return &trieBlock{vals: make([]*node, trieWidth)}
+	}
+	return &trieBlock{kids: make([]*trieBlock, trieWidth)}
+}
+
+// setPath path-copies the blocks from b down to id's value slot.
+func setPath(b *trieBlock, h uint, u uint64, v *node) *trieBlock {
+	if h == 0 {
+		c := &trieBlock{vals: append([]*node(nil), b.vals...)}
+		c.vals[u&trieMask] = v
+		return c
+	}
+	c := &trieBlock{kids: append([]*trieBlock(nil), b.kids...)}
+	idx := (u >> (h * trieBits)) & trieMask
+	child := c.kids[idx]
+	if child == nil {
+		child = newBlock(h - 1)
+	}
+	c.kids[idx] = setPath(child, h-1, u, v)
+	return c
+}
+
+func walkBlock(b *trieBlock, fn func(*node)) {
+	if b == nil {
+		return
+	}
+	if b.vals != nil {
+		for _, v := range b.vals {
+			if v != nil {
+				fn(v)
+			}
+		}
+		return
+	}
+	for _, k := range b.kids {
+		walkBlock(k, fn)
+	}
+}

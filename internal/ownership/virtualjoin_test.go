@@ -1,0 +1,135 @@
+package ownership
+
+import "testing"
+
+// Regression tests for the virtual-join memo: entries used to survive the
+// removal of their virtual context's edges (and, before the reverse index,
+// relied solely on a liveness probe after DetachContext/RemoveContext), so a
+// later dominator query could return a context that no longer dominates
+// anything — or, once removed, a deleted context ID.
+
+// TestVirtualJoinMemoInvalidatedByEdgeRemoval: stripping the virtual join of
+// its ownership edges must not let the memo resurrect it as a dominator.
+// Before the fix, Dom(a) returned the old virtual even though it owned
+// neither a nor b.
+func TestVirtualJoinMemoInvalidatedByEdgeRemoval(t *testing.T) {
+	g := NewGraph()
+	a, _ := g.AddContext("A")
+	b, _ := g.AddContext("B")
+	if _, err := g.AddContext("S", a, b); err != nil {
+		t.Fatal(err)
+	}
+	v, err := g.Dom(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Owns(v, a) || !g.Owns(v, b) {
+		t.Fatalf("precondition: virtual %v must own both roots", v)
+	}
+	// The application dissolves the virtual join edge by edge. After the
+	// second removal the virtual is alive but owns nothing, while the memo
+	// key for {a, b} recomputes identically.
+	if err := g.RemoveEdge(v, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveEdge(v, b); err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.Dom(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == v {
+		t.Fatalf("Dom(a) returned the stale virtual %v which owns nothing", v)
+	}
+	if d != a && !g.Owns(d, a) {
+		t.Fatalf("Dom(a) = %v, but it does not own a", d)
+	}
+	if !g.Owns(d, b) {
+		t.Fatalf("Dom(a) = %v, but it does not own the sharer b", d)
+	}
+}
+
+// TestVirtualJoinMemoInvalidatedByDetach: detaching the virtual context
+// itself must never let a later query return the deleted ID.
+func TestVirtualJoinMemoInvalidatedByDetach(t *testing.T) {
+	g := NewGraph()
+	a, _ := g.AddContext("A")
+	b, _ := g.AddContext("B")
+	if _, err := g.AddContext("S", a, b); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := g.Dom(a)
+	if err := g.DetachContext(v); err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.Dom(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Contains(d) {
+		t.Fatalf("Dom(b) returned deleted context %v", d)
+	}
+	if d == v {
+		t.Fatalf("Dom(b) resurrected the detached virtual %v", v)
+	}
+	if d != b && !g.Owns(d, b) {
+		t.Fatalf("Dom(b) = %v, but it does not own b", d)
+	}
+}
+
+// TestVirtualJoinMemoInvalidatedByRemoveContext: the RemoveContext path
+// (legal once the virtual is edgeless) must drop the memo entry too.
+func TestVirtualJoinMemoInvalidatedByRemoveContext(t *testing.T) {
+	g := NewGraph()
+	a, _ := g.AddContext("A")
+	b, _ := g.AddContext("B")
+	if _, err := g.AddContext("S", a, b); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := g.Dom(a)
+	if err := g.RemoveEdge(v, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveEdge(v, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveContext(v); err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.Dom(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == v || !g.Contains(d) {
+		t.Fatalf("Dom(a) = %v after RemoveContext(%v); want a live context", d, v)
+	}
+	if !g.Owns(d, a) || !g.Owns(d, b) {
+		t.Fatalf("Dom(a) = %v does not dominate the sharing roots", d)
+	}
+}
+
+// TestVirtualJoinReusedWhileValid: the memo must still deduplicate identical
+// queries — repeated Dom calls reuse one virtual context.
+func TestVirtualJoinReusedWhileValid(t *testing.T) {
+	g := NewGraph()
+	a, _ := g.AddContext("A")
+	b, _ := g.AddContext("B")
+	if _, err := g.AddContext("S", a, b); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := g.Dom(a)
+	v2, _ := g.Dom(b)
+	if v1 != v2 {
+		t.Fatalf("Dom(a)=%v Dom(b)=%v; want one shared virtual", v1, v2)
+	}
+	n := g.Len()
+	for i := 0; i < 3; i++ {
+		if v, _ := g.Dom(a); v != v1 {
+			t.Fatalf("Dom(a) = %v; want memoized %v", v, v1)
+		}
+	}
+	if g.Len() != n {
+		t.Fatal("repeated Dom queries minted extra virtual contexts")
+	}
+}
