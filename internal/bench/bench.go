@@ -127,6 +127,10 @@ var experiments = map[string]func(Options) ([]*Table, error){
 	"fig9":    func(o Options) ([]*Table, error) { t, err := Fig9(o); return wrap(t, err) },
 	"hotpath": func(o Options) ([]*Table, error) { t, err := Hotpath(o); return wrap(t, err) },
 	"graph":   func(o Options) ([]*Table, error) { t, err := GraphRead(o); return wrap(t, err) },
+	"migration": func(o Options) ([]*Table, error) {
+		t, err := MigrationBatch(o)
+		return wrap(t, err)
+	},
 }
 
 func wrap(t *Table, err error) ([]*Table, error) {

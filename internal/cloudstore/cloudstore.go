@@ -111,6 +111,40 @@ func (s *Store) Put(key string, value []byte) (uint64, error) {
 	return v, nil
 }
 
+// PutBatch stores every entry in one round trip: the per-operation latency
+// is charged once for the whole batch (one RPC to the storage service), and
+// the writes apply atomically under the store lock. Each key still receives
+// its own fresh version, assigned in sorted key order so batches are
+// deterministic. Returns the highest version assigned.
+func (s *Store) PutBatch(entries map[string][]byte) (uint64, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	if err := s.charge(); err != nil {
+		return 0, err
+	}
+	// One batched RPC, not len(entries) operations.
+	s.writes.Add(1)
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var last uint64
+	for _, k := range keys {
+		v := s.next
+		s.next++
+		value := entries[k]
+		stored := make([]byte, len(value))
+		copy(stored, value)
+		s.data[k] = entry{value: stored, version: v}
+		last = v
+	}
+	return last, nil
+}
+
 // CAS stores value at key only if the current version equals expect.
 // expect == 0 means "key must not exist" (create).
 func (s *Store) CAS(key string, expect uint64, value []byte) (uint64, error) {

@@ -166,3 +166,48 @@ func TestStats(t *testing.T) {
 		t.Fatalf("reads=%d writes=%d; want 2/1", r, w)
 	}
 }
+
+func TestPutBatchOneRoundTrip(t *testing.T) {
+	s := New(WithLatency(10 * time.Millisecond))
+	entries := map[string][]byte{
+		"map/1": []byte("10"),
+		"map/2": []byte("20"),
+		"map/3": []byte("30"),
+	}
+	start := time.Now()
+	last, err := s.PutBatch(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One latency charge for the whole batch, not one per entry.
+	if el := time.Since(start); el > 25*time.Millisecond {
+		t.Fatalf("PutBatch took %v; want ~one 10ms round trip", el)
+	}
+	_, w := s.Stats()
+	if w != 1 {
+		t.Fatalf("writes = %d; want 1 (one batched RPC)", w)
+	}
+	var maxV uint64
+	for k, want := range entries {
+		got, v, err := s.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("%q = %q; want %q", k, got, want)
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if last != maxV {
+		t.Fatalf("PutBatch version = %d; want highest assigned %d", last, maxV)
+	}
+	if _, err := s.PutBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	s.Fail()
+	if _, err := s.PutBatch(entries); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v; want ErrUnavailable while failed", err)
+	}
+}

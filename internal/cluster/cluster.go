@@ -58,8 +58,9 @@ type Server struct {
 	profile Profile
 	slots   chan struct{}
 
-	busyNs atomic.Int64
-	hosted atomic.Int64
+	busyNs        atomic.Int64
+	hosted        atomic.Int64
+	transferBytes atomic.Int64
 
 	sampleMu   sync.Mutex
 	lastbusyNs int64
@@ -105,6 +106,13 @@ func (s *Server) Hosted() int { return int(s.hosted.Load()) }
 // AddHosted adjusts the hosted-context count (called by the placement
 // directory on placement and migration).
 func (s *Server) AddHosted(delta int) { s.hosted.Add(int64(delta)) }
+
+// AddTransferBytes records migration state-transfer traffic through this
+// server's NIC (charged on both endpoints of a group move).
+func (s *Server) AddTransferBytes(n int64) { s.transferBytes.Add(n) }
+
+// TransferBytes returns the cumulative migration state-transfer traffic.
+func (s *Server) TransferBytes() int64 { return s.transferBytes.Load() }
 
 // Utilization returns the fraction of core-time spent busy since the last
 // call (the resource-utilization signal the eManager polls, § 5.2).

@@ -102,6 +102,56 @@ func (d *Directory) Move(id ownership.ID, to cluster.ServerID) error {
 	return nil
 }
 
+// MoveBatch rehosts a whole migration group in one atomic directory update
+// with a single staleness epoch: every involved shard is locked (in index
+// order, so concurrent batches never deadlock) before any member moves, so
+// an observer never sees the group split across servers, and every member's
+// forwarding window opens at the same instant — one stale-cache generation
+// for the whole group instead of N per-member windows (§ 5.2, batched). An
+// unknown member fails the whole batch with no moves applied.
+func (d *Directory) MoveBatch(ids []ownership.ID, to cluster.ServerID) error {
+	// Bucket the group by shard; lock the involved shards in index order.
+	var byShard [shardCount][]ownership.ID
+	for _, id := range ids {
+		s := shardFor(id)
+		byShard[s] = append(byShard[s], id)
+	}
+	locked := make([]int, 0, len(ids))
+	for si := range byShard {
+		if len(byShard[si]) > 0 {
+			d.shards[si].mu.Lock()
+			locked = append(locked, si)
+		}
+	}
+	defer func() {
+		for _, si := range locked {
+			d.shards[si].mu.Unlock()
+		}
+	}()
+	// Validate under the locks: all-or-nothing.
+	for _, si := range locked {
+		sh := &d.shards[si]
+		for _, id := range byShard[si] {
+			if _, ok := sh.loc[id]; !ok {
+				return fmt.Errorf("%v: %w", id, ErrUnknownContext)
+			}
+		}
+	}
+	// Apply: one epoch timestamp for the whole group.
+	epoch := time.Now()
+	for _, si := range locked {
+		sh := &d.shards[si]
+		for _, id := range byShard[si] {
+			old := sh.loc[id]
+			sh.loc[id] = to
+			if old != to {
+				sh.moved[id] = movedRecord{old: old, at: epoch}
+			}
+		}
+	}
+	return nil
+}
+
 // Forget removes a context from the directory.
 func (d *Directory) Forget(id ownership.ID) {
 	sh := d.shard(id)

@@ -47,6 +47,64 @@ func TestDirectoryMoveUnknown(t *testing.T) {
 	}
 }
 
+func TestDirectoryMoveBatchSingleEpoch(t *testing.T) {
+	d := NewDirectory(50 * time.Millisecond)
+	// Enough members to span several shards.
+	ids := make([]ownership.ID, 12)
+	for i := range ids {
+		ids[i] = ownership.ID(i + 1)
+		d.Place(ids[i], 10)
+	}
+	if err := d.MoveBatch(ids, 20); err != nil {
+		t.Fatal(err)
+	}
+	// Every member forwards through the old host.
+	for _, id := range ids {
+		host, via, forwarded, ok := d.Route(id)
+		if !ok || host != 20 || !forwarded || via != 10 {
+			t.Fatalf("%v: Route = host %v via %v fwd %v ok %v", id, host, via, forwarded, ok)
+		}
+	}
+	// One staleness epoch: the whole group's forwarding windows close
+	// together.
+	time.Sleep(60 * time.Millisecond)
+	for _, id := range ids {
+		if _, _, forwarded, _ := d.Route(id); forwarded {
+			t.Fatalf("%v still forwarded after the shared window", id)
+		}
+	}
+}
+
+func TestDirectoryMoveBatchAllOrNothing(t *testing.T) {
+	d := NewDirectory(time.Second)
+	d.Place(ownership.ID(1), 10)
+	d.Place(ownership.ID(2), 10)
+	err := d.MoveBatch([]ownership.ID{1, 99, 2}, 20)
+	if err == nil {
+		t.Fatal("batch with an unknown member must fail")
+	}
+	for _, id := range []ownership.ID{1, 2} {
+		if srv, _ := d.Locate(id); srv != 10 {
+			t.Fatalf("%v moved to %v despite failed batch", id, srv)
+		}
+	}
+}
+
+func TestDirectoryMoveBatchNoopMemberSkipsWindow(t *testing.T) {
+	d := NewDirectory(time.Second)
+	d.Place(ownership.ID(1), 10)
+	d.Place(ownership.ID(2), 20) // already on the destination
+	if err := d.MoveBatch([]ownership.ID{1, 2}, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, forwarded, _ := d.Route(ownership.ID(2)); forwarded {
+		t.Fatal("member already on the destination must not open a forwarding window")
+	}
+	if _, _, forwarded, _ := d.Route(ownership.ID(1)); !forwarded {
+		t.Fatal("moved member must forward")
+	}
+}
+
 func TestDirectoryHostedOnAndForget(t *testing.T) {
 	d := NewDirectory(time.Second)
 	d.Place(ownership.ID(1), 10)

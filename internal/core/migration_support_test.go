@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"aeon/internal/ownership"
+)
+
+// TestRehostBatchMovesGroupAndCounts checks the bulk runtime remap: one
+// directory update for the whole group plus correct hosted-counter
+// accounting, with members already on the destination counted as no-ops.
+func TestRehostBatchMovesGroupAndCounts(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	servers := rt.Cluster().Servers()
+	s1, s2 := servers[0], servers[1]
+
+	room, err := rt.CreateContextOn(s1.ID(), "Room")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := rt.CreateContextOn(s1.ID(), "Item", room)
+	i2, _ := rt.CreateContextOn(s1.ID(), "Item", room)
+	already, _ := rt.CreateContextOn(s2.ID(), "Item", room)
+
+	if got := s1.Hosted(); got != 3 {
+		t.Fatalf("s1 hosted = %d; want 3", got)
+	}
+	group := []ownership.ID{room, i1, i2, already}
+	if err := rt.RehostBatch(group, s2.ID()); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range group {
+		if srv, _ := rt.Directory().Locate(id); srv != s2.ID() {
+			t.Fatalf("%v on %v; want %v", id, srv, s2.ID())
+		}
+	}
+	if got := s1.Hosted(); got != 0 {
+		t.Fatalf("s1 hosted = %d; want 0 after batch", got)
+	}
+	if got := s2.Hosted(); got != 4 {
+		t.Fatalf("s2 hosted = %d; want 4 after batch (no double count for %v)", got, already)
+	}
+
+	if err := rt.RehostBatch([]ownership.ID{room, ownership.ID(9999)}, s1.ID()); err == nil {
+		t.Fatal("batch with unknown member must fail")
+	}
+	if srv, _ := rt.Directory().Locate(room); srv != s2.ID() {
+		t.Fatal("failed batch must not move members")
+	}
+}
+
+// TestLockGroupForMigrationStopsWholeGroup checks the compound stop window:
+// while held, events on every member queue; on release they all resume.
+func TestLockGroupForMigrationStopsWholeGroup(t *testing.T) {
+	rt := newTestRuntime(t, 1)
+	srv := rt.Cluster().Servers()[0].ID()
+	room, _ := rt.CreateContextOn(srv, "Room")
+	i1, _ := rt.CreateContextOn(srv, "Item", room)
+	i2, _ := rt.CreateContextOn(srv, "Item", room)
+
+	release, err := rt.LockGroupForMigration([]ownership.ID{room, i1, i2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 2)
+	for _, id := range []ownership.ID{i1, i2} {
+		go func(id ownership.ID) {
+			_, err := rt.Submit(id, "add", 1)
+			done <- err
+		}(id)
+	}
+	select {
+	case <-done:
+		t.Fatal("event ran inside the group stop window")
+	case <-time.After(30 * time.Millisecond):
+	}
+	release()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("post-release event: %v", err)
+		}
+	}
+	release() // idempotent
+}
+
+// TestLockGroupForMigrationTimeoutReleasesAll checks preemption: when a
+// member cannot be acquired in time, the whole attempt unwinds and nothing
+// stays held.
+func TestLockGroupForMigrationTimeoutReleasesAll(t *testing.T) {
+	rt := newTestRuntime(t, 1)
+	srv := rt.Cluster().Servers()[0].ID()
+	room, _ := rt.CreateContextOn(srv, "Room")
+	item, _ := rt.CreateContextOn(srv, "Item", room)
+
+	// An outstanding hold on the item makes the group stop time out.
+	hold, err := rt.LockForMigration(item)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.LockGroupForMigration([]ownership.ID{room, item}, 20*time.Millisecond)
+	if !errors.Is(err, ErrAcquireTimeout) {
+		t.Fatalf("err = %v; want ErrAcquireTimeout", err)
+	}
+	// The root must have been released by the unwind: an event runs now.
+	evDone := make(chan error, 1)
+	go func() {
+		_, err := rt.Submit(room, "noop")
+		evDone <- err
+	}()
+	select {
+	case err := <-evDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("root still held after failed group stop")
+	}
+	hold()
+	// With the straggler gone, the group stop succeeds.
+	release, err := rt.LockGroupForMigration([]ownership.ID{room, item}, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+}

@@ -536,13 +536,22 @@ func (r *Runtime) RecentLatency() time.Duration {
 // then holds it so state can be transferred. The returned release function
 // reopens the context.
 func (r *Runtime) LockForMigration(id ownership.ID) (func(), error) {
+	return r.LockForMigrationTimeout(id, 0)
+}
+
+// LockForMigrationTimeout is LockForMigration with a bounded wait: when
+// timeout is positive and the context's queue does not drain in time, it
+// returns ErrAcquireTimeout with the context unlocked and reopened. The
+// migration engine uses this to preempt group stop attempts that collide
+// with in-flight multi-context events instead of deadlocking against them.
+func (r *Runtime) LockForMigrationTimeout(id ownership.ID, timeout time.Duration) (func(), error) {
 	c, err := r.Context(id)
 	if err != nil {
 		return nil, err
 	}
 	c.migrating.Store(true)
 	ev := newEvent(r.eventSeq.Add(1), EX, id, "__migrate__")
-	if _, err := c.lock.acquire(ev.id, EX, 0); err != nil {
+	if _, err := c.lock.acquire(ev.id, EX, timeout); err != nil {
 		c.migrating.Store(false)
 		return nil, err
 	}
@@ -553,6 +562,80 @@ func (r *Runtime) LockForMigration(id ownership.ID) (func(), error) {
 			c.lock.release(ev.id)
 		})
 	}, nil
+}
+
+// LockGroupForMigration exclusively activates every context of a migration
+// group as one compound migratec pseudo-event: the group's stop window. The
+// caller must pass ids in top-down ownership order (root before descendants)
+// so the acquisition order matches event path activation. Unlike the
+// one-context-at-a-time protocol, holding several members simultaneously can
+// cycle with an event that asynchronously activates multiple children, so
+// every member after the first is acquired with the given per-member timeout
+// (zero blocks indefinitely): on a timeout everything acquired by this call
+// is released and ErrAcquireTimeout is returned, and the caller retries
+// after a backoff — deadlock avoidance by preemption. Concurrent group locks
+// never contend with each other because the migration engine only admits
+// disjoint groups. The returned release reopens every member (idempotent);
+// on error, nothing acquired by this call stays held.
+func (r *Runtime) LockGroupForMigration(ids []ownership.ID, memberTimeout time.Duration) (func(), error) {
+	releases := make([]func(), 0, len(ids))
+	releaseAll := func() {
+		// Reopen in reverse acquisition order (children before root).
+		for i := len(releases) - 1; i >= 0; i-- {
+			releases[i]()
+		}
+	}
+	for i, id := range ids {
+		timeout := memberTimeout
+		if i == 0 {
+			// The first member is acquired while holding nothing, which can
+			// never cycle: wait it out.
+			timeout = 0
+		}
+		rel, err := r.LockForMigrationTimeout(id, timeout)
+		if err != nil {
+			releaseAll()
+			return nil, fmt.Errorf("group stop %v: %w", id, err)
+		}
+		releases = append(releases, rel)
+	}
+	var once sync.Once
+	return func() { once.Do(releaseAll) }, nil
+}
+
+// RehostBatch moves a whole migration group to one server: a single
+// directory update (one staleness epoch via Directory.MoveBatch) plus bulk
+// hosted-counter accounting. The caller must hold every member via
+// LockGroupForMigration. Members already on the destination are counted as
+// no-ops.
+func (r *Runtime) RehostBatch(ids []ownership.ID, to cluster.ServerID) error {
+	dst, ok := r.cluster.Server(to)
+	if !ok {
+		return fmt.Errorf("rehost %v: %w", to, cluster.ErrNoSuchServer)
+	}
+	// Tally departures per source server before the batch move.
+	departed := make(map[cluster.ServerID]int)
+	moved := 0
+	for _, id := range ids {
+		from, ok := r.dir.Locate(id)
+		if !ok {
+			return fmt.Errorf("%v: %w", id, ErrUnknownContext)
+		}
+		if from != to {
+			departed[from]++
+			moved++
+		}
+	}
+	if err := r.dir.MoveBatch(ids, to); err != nil {
+		return err
+	}
+	for from, n := range departed {
+		if s, ok := r.cluster.Server(from); ok {
+			s.AddHosted(-n)
+		}
+	}
+	dst.AddHosted(moved)
+	return nil
 }
 
 // Rehost moves a context's placement to another server, adjusting hosted

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"aeon/internal/cluster"
+	"aeon/internal/migration"
 	"aeon/internal/ownership"
 )
 
@@ -128,7 +129,7 @@ func (m *Manager) RecoverServerFailure(failed cluster.ServerID) (*FailureReport,
 			release()
 			return report, err
 		}
-		if _, err := m.store.Put(mapKey(id), []byte(fmt.Sprintf("%d", int(to)))); err != nil {
+		if _, err := m.store.Put(migration.MapKey(id), migration.EncodeServerID(to)); err != nil {
 			release()
 			return report, err
 		}

@@ -5,14 +5,19 @@
 // policies (resource utilization, server contention, SLA) against server
 // telemetry, and provides the consistent snapshot API of § 5.3.
 //
+// Migration itself lives in the internal/migration engine: one batched
+// protocol round per placement group, with disjoint groups moving
+// concurrently on a bounded worker pool. The manager is an engine client —
+// policy actions, rebalancing, and server drains launch asynchronous group
+// migrations and join the futures, so the policy loop never serializes on
+// δ-settle or state-transfer sleeps.
+//
 // The eManager itself is stateless: every migration step is journaled in
 // the cloud store, so a crashed eManager can be replaced and the new one
 // finishes in-flight migrations (Recover).
 package emanager
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"sort"
@@ -23,12 +28,12 @@ import (
 	"aeon/internal/cluster"
 	"aeon/internal/core"
 	"aeon/internal/metrics"
+	"aeon/internal/migration"
 	"aeon/internal/ownership"
-	"aeon/internal/transport"
 )
 
 // ManagerNode is the logical network location of the eManager service.
-const ManagerNode = transport.NodeID(-2)
+const ManagerNode = migration.ManagerNode
 
 var (
 	// ErrVetoed is returned when a constraint rejects an action.
@@ -40,11 +45,13 @@ var (
 // Config tunes the manager.
 type Config struct {
 	// Delta is the paper's δ: the settle time between stopping the source
-	// and publishing the new mapping (step III).
+	// and publishing the new mapping (step III). The batched engine pays it
+	// once per group, not once per member.
 	Delta time.Duration
 	// ProtocolWork is the CPU consumed on each endpoint per migration
-	// (message handling, serialization); it scales with instance speed and
-	// produces Figure 9's per-instance-type migration throughput.
+	// protocol round (message handling, serialization); it scales with
+	// instance speed and produces Figure 9's per-instance-type migration
+	// throughput. The batched engine charges it once per group.
 	ProtocolWork time.Duration
 	// PollInterval is how often policies are evaluated.
 	PollInterval time.Duration
@@ -52,8 +59,12 @@ type Config struct {
 	// given classes (e.g. only Rooms move in the game); empty means any.
 	MovableClasses []string
 	// MigrateSubtrees moves a context together with the co-located contexts
-	// it transitively owns, preserving locality.
+	// it transitively owns, preserving locality. Honored everywhere a
+	// migration is launched: policy actions, rebalancing, and server drains.
 	MigrateSubtrees bool
+	// MaxConcurrentMigrations bounds how many disjoint group migrations the
+	// engine runs at once. Zero means the engine default (4).
+	MaxConcurrentMigrations int
 }
 
 // DefaultConfig returns production-ish defaults.
@@ -68,19 +79,21 @@ func DefaultConfig() Config {
 
 // Manager is the elasticity manager.
 type Manager struct {
-	cfg   Config
-	rt    *core.Runtime
-	store *cloudstore.Store
+	cfg    Config
+	rt     *core.Runtime
+	store  *cloudstore.Store
+	engine *migration.Engine
 
 	mu          sync.Mutex
 	policies    []Policy
 	constraints []Constraint
-	migrating   map[ownership.ID]bool
 
-	// Migrations counts completed migrations; MigrationTime records their
-	// durations (Figures 8/9 instrumentation).
-	Migrations    metrics.Counter
-	MigrationTime metrics.Histogram
+	// Migrations counts migrated contexts (group members) and MigrationTime
+	// records per-group move durations (Figures 8/9 instrumentation). Both
+	// alias the engine's counters; see Engine() for the full set (stop
+	// windows, coalesced bytes, recoveries).
+	Migrations    *metrics.Counter
+	MigrationTime *metrics.Histogram
 
 	stop chan struct{}
 	done chan struct{}
@@ -91,11 +104,18 @@ func New(rt *core.Runtime, store *cloudstore.Store, cfg Config) *Manager {
 	if cfg.PollInterval == 0 {
 		cfg.PollInterval = 250 * time.Millisecond
 	}
+	engine := migration.NewEngine(rt, store, migration.Config{
+		Delta:         cfg.Delta,
+		ProtocolWork:  cfg.ProtocolWork,
+		MaxConcurrent: cfg.MaxConcurrentMigrations,
+	})
 	return &Manager{
-		cfg:       cfg,
-		rt:        rt,
-		store:     store,
-		migrating: make(map[ownership.ID]bool),
+		cfg:           cfg,
+		rt:            rt,
+		store:         store,
+		engine:        engine,
+		Migrations:    &engine.Members,
+		MigrationTime: &engine.GroupTime,
 	}
 }
 
@@ -104,6 +124,9 @@ func (m *Manager) Runtime() *core.Runtime { return m.rt }
 
 // Store returns the backing cloud store.
 func (m *Manager) Store() *cloudstore.Store { return m.store }
+
+// Engine returns the migration engine (metrics, async API).
+func (m *Manager) Engine() *migration.Engine { return m.engine }
 
 // AddPolicy installs an elasticity policy.
 func (m *Manager) AddPolicy(p Policy) {
@@ -159,22 +182,33 @@ func (m *Manager) loop(stop, done chan struct{}) {
 }
 
 // Evaluate runs one policy round against current telemetry and applies the
-// resulting actions (subject to constraints). It is called periodically by
-// the loop and directly by tests.
+// resulting actions (subject to constraints). Migrations launch onto the
+// engine's worker pool and are joined at the end of the round, so N disjoint
+// moves overlap their δ and transfer windows instead of queueing behind each
+// other. It is called periodically by the loop and directly by tests.
 func (m *Manager) Evaluate() {
 	stats := m.CollectStats()
 	m.mu.Lock()
 	policies := append([]Policy(nil), m.policies...)
 	m.mu.Unlock()
+	var futures []*migration.Future
 	for _, p := range policies {
 		for _, action := range p.Decide(stats) {
-			if err := m.Apply(action); err != nil &&
+			f, err := m.applyAsync(action)
+			if err != nil &&
 				!errors.Is(err, ErrVetoed) && !errors.Is(err, ErrNoTarget) {
 				// Policy actions are advisory; failures surface in telemetry
 				// on the next round.
 				continue
 			}
+			if f != nil {
+				futures = append(futures, f)
+			}
 		}
+	}
+	for _, f := range futures {
+		// Outcomes feed back through telemetry, like every policy action.
+		_ = f.Wait()
 	}
 }
 
@@ -197,39 +231,54 @@ func (m *Manager) CollectStats() Stats {
 	return st
 }
 
-// Apply executes one elasticity action after constraint checks.
+// Apply executes one elasticity action after constraint checks, blocking
+// until it completes.
 func (m *Manager) Apply(action Action) error {
+	f, err := m.applyAsync(action)
+	if err != nil {
+		return err
+	}
+	if f != nil {
+		return f.Wait()
+	}
+	return nil
+}
+
+// applyAsync executes one elasticity action after constraint checks.
+// Migrations return a Future (the move runs on the engine pool); every other
+// action completes synchronously with a nil Future.
+func (m *Manager) applyAsync(action Action) (*migration.Future, error) {
 	m.mu.Lock()
 	constraints := append([]Constraint(nil), m.constraints...)
 	m.mu.Unlock()
 	for _, c := range constraints {
 		if !c.Allow(action, m) {
-			return fmt.Errorf("%T: %w", action, ErrVetoed)
+			return nil, fmt.Errorf("%T: %w", action, ErrVetoed)
 		}
 	}
 	switch a := action.(type) {
 	case AddServer:
 		m.rt.Cluster().AddServer(a.Profile)
-		return nil
+		return nil, nil
 	case RemoveServer:
-		return m.DrainAndRemove(a.Server)
+		return nil, m.DrainAndRemove(a.Server)
 	case MigrateContext:
 		to := a.To
 		if to == 0 {
 			var err error
 			to, err = m.pickDestination(a.From)
 			if err != nil {
-				return err
+				return nil, err
 			}
 		}
 		if m.cfg.MigrateSubtrees {
-			return m.MigrateGroup(a.Context, to)
+			return m.engine.MigrateGroupAsync(a.Context, to), nil
 		}
-		return m.Migrate(a.Context, to)
+		return m.engine.MigrateAsync(a.Context, to), nil
 	case Rebalance:
-		return m.rebalanceFrom(a.Server, a.Fraction)
+		return nil, m.rebalanceFrom(a.Server, a.Fraction)
 	default:
-		return fmt.Errorf("emanager: unknown action %T", action)
+		return nil, fmt.Errorf("emanager: unknown action %T", action)
 	}
 }
 
@@ -251,6 +300,44 @@ func (m *Manager) pickDestination(from cluster.ServerID) (cluster.ServerID, erro
 	if best == 0 {
 		return 0, ErrNoTarget
 	}
+	return best, nil
+}
+
+// destPicker hands out least-loaded destinations for one concurrent sweep.
+// Async group launches finish long after their destinations are chosen, so
+// live Hosted() counts alone would send every group of the sweep to the
+// same momentarily-least-loaded server; the picker layers its own tentative
+// reservations on top.
+type destPicker struct {
+	m        *Manager
+	reserved map[cluster.ServerID]int
+}
+
+func (m *Manager) newDestPicker() *destPicker {
+	return &destPicker{m: m, reserved: make(map[cluster.ServerID]int)}
+}
+
+// pick chooses the least-loaded server other than from, counting weight
+// (the approximate group size) against the winner for later picks.
+func (p *destPicker) pick(from cluster.ServerID, weight int) (cluster.ServerID, error) {
+	var best cluster.ServerID
+	bestHosted := int(^uint(0) >> 1)
+	for _, s := range p.m.rt.Cluster().Servers() {
+		if s.ID() == from {
+			continue
+		}
+		if h := s.Hosted() + p.reserved[s.ID()]; h < bestHosted {
+			bestHosted = h
+			best = s.ID()
+		}
+	}
+	if best == 0 {
+		return 0, ErrNoTarget
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	p.reserved[best] += weight
 	return best, nil
 }
 
@@ -290,258 +377,193 @@ func (m *Manager) classAllowedIn(view *ownership.Snapshot, id ownership.ID) bool
 }
 
 // rebalanceFrom moves the given fraction of movable contexts off a server.
+// With MigrateSubtrees, each pick moves its whole co-located group; picks
+// that an earlier group of this sweep already carried off are skipped (the
+// old per-member loop would migrate them a second time, splitting the group
+// it had just moved). Disjoint groups overlap on the engine pool.
 func (m *Manager) rebalanceFrom(srv cluster.ServerID, fraction float64) error {
 	movable := m.movableOn(srv)
 	n := int(float64(len(movable)) * fraction)
 	if n == 0 && len(movable) > 0 {
 		n = 1
 	}
-	var firstErr error
+	dir := m.rt.Directory()
+	view := m.rt.Graph().Snapshot()
+	picker := m.newDestPicker()
+	var futures []*migration.Future
 	for i := 0; i < n; i++ {
-		to, err := m.pickDestination(srv)
+		if cur, ok := dir.Locate(movable[i]); !ok || cur != srv {
+			continue // already moved with an earlier group
+		}
+		weight := 1
+		if m.cfg.MigrateSubtrees {
+			// Reserve the whole group's approximate size, not one slot.
+			if desc, err := view.Desc(movable[i]); err == nil {
+				for _, d := range desc {
+					if cur, ok := dir.Locate(d); ok && cur == srv {
+						weight++
+					}
+				}
+			}
+		}
+		to, err := picker.pick(srv, weight)
 		if err != nil {
 			return err
 		}
 		if m.cfg.MigrateSubtrees {
-			err = m.MigrateGroup(movable[i], to)
+			futures = append(futures, m.engine.MigrateGroupAsync(movable[i], to))
 		} else {
-			err = m.Migrate(movable[i], to)
+			futures = append(futures, m.engine.MigrateAsync(movable[i], to))
 		}
-		if err != nil && firstErr == nil {
+	}
+	var firstErr error
+	for _, f := range futures {
+		if err := f.Wait(); err != nil && firstErr == nil &&
+			!errors.Is(err, migration.ErrAlreadyMigrating) {
+			// Overlap with an in-flight group is expected under concurrent
+			// sweeps; the next poll round retries what remains.
 			firstErr = err
 		}
 	}
 	return firstErr
 }
 
-// DrainAndRemove migrates everything off a server and releases it.
+// maxDrainPasses bounds DrainAndRemove's sweep loop; each pass migrates
+// every remaining placement group off the server, so the count only climbs
+// when racing context creation keeps repopulating the source.
+const maxDrainPasses = 64
+
+// DrainAndRemove migrates everything off a server and releases it. With
+// MigrateSubtrees it partitions the server's contexts into placement groups
+// (hosted contexts with no hosted owner are group roots) and moves whole
+// groups concurrently — one protocol round and one stop window per group —
+// instead of a per-context loop that splits every group across servers
+// mid-drain.
 func (m *Manager) DrainAndRemove(srv cluster.ServerID) error {
 	dir := m.rt.Directory()
-	for _, id := range dir.HostedOn(srv) {
-		to, err := m.pickDestination(srv)
-		if err != nil {
-			return err
+	for pass := 0; ; pass++ {
+		hosted := dir.HostedOn(srv)
+		if len(hosted) == 0 {
+			break
 		}
-		if err := m.Migrate(id, to); err != nil {
-			return fmt.Errorf("drain %v: %w", id, err)
+		if pass >= maxDrainPasses {
+			return fmt.Errorf("drain %v: %d contexts remain after %d passes",
+				srv, len(hosted), pass)
+		}
+		roots := hosted
+		var sizes map[ownership.ID]int
+		if m.cfg.MigrateSubtrees {
+			roots, sizes = drainGroups(m.rt.Graph().Snapshot(), hosted)
+		}
+		sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+		picker := m.newDestPicker()
+		var futures []*migration.Future
+		for _, root := range roots {
+			to, err := picker.pick(srv, sizes[root])
+			if err != nil {
+				return err
+			}
+			if m.cfg.MigrateSubtrees {
+				futures = append(futures, m.engine.MigrateGroupAsync(root, to))
+			} else {
+				futures = append(futures, m.engine.MigrateAsync(root, to))
+			}
+		}
+		for _, f := range futures {
+			if err := f.Wait(); err != nil &&
+				!errors.Is(err, migration.ErrAlreadyMigrating) {
+				// Overlapping groups (shared descendants) resolve on the
+				// next pass; anything else fails the drain.
+				return fmt.Errorf("drain %v: %w", srv, err)
+			}
 		}
 	}
 	return m.rt.Cluster().RemoveServer(srv)
 }
 
-// migrationWAL is the journal record persisted per migration step.
-type migrationWAL struct {
-	Context ownership.ID
-	From    cluster.ServerID
-	To      cluster.ServerID
-	Step    int // 1=prepared 2=stopped 3=remapped 4=transferred 5=done
+// drainGroups partitions a server's hosted contexts into placement groups:
+// a hosted context none of whose owners is also hosted there is a group
+// root; every other hosted context is attributed to the root reached by
+// climbing hosted owners (one of them, for multi-owned contexts — the
+// group that wins the migration claim carries it). Returns the roots and
+// each root's approximate member count, which destination picking uses as
+// the reservation weight.
+func drainGroups(view *ownership.Snapshot, hosted []ownership.ID) ([]ownership.ID, map[ownership.ID]int) {
+	set := make(map[ownership.ID]bool, len(hosted))
+	for _, id := range hosted {
+		set[id] = true
+	}
+	rootOf := make(map[ownership.ID]ownership.ID, len(hosted))
+	var findRoot func(id ownership.ID) ownership.ID
+	findRoot = func(id ownership.ID) ownership.ID {
+		if r, ok := rootOf[id]; ok {
+			return r
+		}
+		rootOf[id] = id // self-placeholder; the graph is acyclic
+		r := id
+		if parents, err := view.Parents(id); err == nil {
+			for _, p := range parents {
+				if set[p] {
+					r = findRoot(p)
+					break
+				}
+			}
+		}
+		rootOf[id] = r
+		return r
+	}
+	sizes := make(map[ownership.ID]int)
+	var roots []ownership.ID
+	for _, id := range hosted {
+		r := findRoot(id)
+		if sizes[r] == 0 {
+			roots = append(roots, r)
+		}
+		sizes[r]++
+	}
+	return roots, sizes
 }
 
-func walKey(id ownership.ID) string { return fmt.Sprintf("wal/migration/%d", uint64(id)) }
-func mapKey(id ownership.ID) string { return fmt.Sprintf("map/%d", uint64(id)) }
-
-func encodeWAL(w migrationWAL) []byte {
-	var buf bytes.Buffer
-	_ = gob.NewEncoder(&buf).Encode(w)
-	return buf.Bytes()
-}
-
-func decodeWAL(b []byte) (migrationWAL, error) {
-	var w migrationWAL
-	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w)
-	return w, err
-}
-
-// Migrate moves one context to another server using the five-step protocol
-// of § 5.2. It blocks until the context is live on the destination.
+// Migrate moves one context (without its subtree) to another server using
+// the batched five-step protocol. It blocks until the context is live on the
+// destination.
 func (m *Manager) Migrate(id ownership.ID, to cluster.ServerID) error {
-	return m.migrate(id, to, 0)
+	return m.engine.Migrate(id, to)
 }
-
-// migrate implements Migrate; failAfterStep (test hook) aborts after the
-// given step to simulate an eManager crash, leaving the WAL behind.
-func (m *Manager) migrate(id ownership.ID, to cluster.ServerID, failAfterStep int) error {
-	m.mu.Lock()
-	if m.migrating[id] {
-		m.mu.Unlock()
-		return fmt.Errorf("emanager: %v already migrating", id)
-	}
-	m.migrating[id] = true
-	m.mu.Unlock()
-	defer func() {
-		m.mu.Lock()
-		delete(m.migrating, id)
-		m.mu.Unlock()
-	}()
-
-	start := time.Now()
-	dir := m.rt.Directory()
-	from, ok := dir.Locate(id)
-	if !ok {
-		return fmt.Errorf("%v: %w", id, core.ErrUnknownContext)
-	}
-	if from == to {
-		return nil
-	}
-	net := m.rt.Cluster().Net()
-	srcServer, _ := m.rt.Cluster().Server(from)
-	dstServer, ok := m.rt.Cluster().Server(to)
-	if !ok {
-		return fmt.Errorf("migrate to %v: %w", to, cluster.ErrNoSuchServer)
-	}
-
-	wal := migrationWAL{Context: id, From: from, To: to}
-
-	// Step I: journal the intent, then prepare the destination (it creates
-	// a queue for C) and wait for its ack.
-	wal.Step = 1
-	if _, err := m.store.Put(walKey(id), encodeWAL(wal)); err != nil {
-		return fmt.Errorf("journal step I: %w", err)
-	}
-	if err := net.Hop(ManagerNode, to, 128); err != nil {
-		return err
-	}
-	if err := net.Hop(to, ManagerNode, 64); err != nil {
-		return err
-	}
-	if failAfterStep == 1 {
-		return errSimulatedCrash
-	}
-
-	// Step II: tell the source to stop accepting events for C; ack.
-	if err := net.Hop(ManagerNode, from, 128); err != nil {
-		return err
-	}
-	if err := net.Hop(from, ManagerNode, 64); err != nil {
-		return err
-	}
-	if failAfterStep == 2 {
-		return errSimulatedCrash
-	}
-
-	// Step III: after δ, publish the new mapping (one journaled write).
-	time.Sleep(m.cfg.Delta)
-	wal.Step = 3
-	if _, err := m.store.Put(walKey(id), encodeWAL(wal)); err != nil {
-		return fmt.Errorf("journal step III: %w", err)
-	}
-	if failAfterStep == 3 {
-		return errSimulatedCrash
-	}
-
-	// Step IV: the migrate(C,s2) event reaches the source (folded into the
-	// step II exchange above) and the migratec pseudo-event drains C's
-	// queue, then the state moves.
-	release, err := m.rt.LockForMigration(id)
-	if err != nil {
-		return fmt.Errorf("migratec %v: %w", id, err)
-	}
-	defer release()
-
-	c, err := m.rt.Context(id)
-	if err != nil {
-		return err
-	}
-	stateBytes := c.StateBytes()
-	// Protocol CPU on both endpoints (serialize + deserialize); the slower
-	// endpoint bounds the exchange, so charge it once there.
-	slow := dstServer
-	if srcServer != nil && srcServer.Profile().Speed < dstServer.Profile().Speed {
-		slow = srcServer
-	}
-	slow.Work(2 * m.cfg.ProtocolWork)
-	// State transfer at the endpoints' migration bandwidth.
-	mbps := dstServer.Profile().MigrationMBps
-	if srcServer != nil && srcServer.Profile().MigrationMBps < mbps {
-		mbps = srcServer.Profile().MigrationMBps
-	}
-	if mbps > 0 && stateBytes > 0 {
-		time.Sleep(time.Duration(float64(stateBytes) / (mbps * 1e6) * float64(time.Second)))
-	}
-	if err := m.rt.Rehost(id, to); err != nil {
-		return err
-	}
-
-	// Step V: destination confirms and starts executing queued events —
-	// release() (deferred) reopens the context; the journal entry clears.
-	if err := m.store.Delete(walKey(id)); err != nil {
-		return fmt.Errorf("journal step V: %w", err)
-	}
-
-	m.Migrations.Inc()
-	m.MigrationTime.Record(time.Since(start))
-	return nil
-}
-
-var errSimulatedCrash = errors.New("emanager: simulated crash (test hook)")
 
 // MigrateGroup migrates a context together with every transitively owned
-// context currently co-located with it, preserving the locality-aware
-// placement (a Room moves with its Players and Items).
+// context currently co-located with it — one protocol round, one stop/δ
+// window, one coalesced transfer for the whole group (a Room moves with its
+// Players and Items, and stays whole throughout the move).
 func (m *Manager) MigrateGroup(root ownership.ID, to cluster.ServerID) error {
-	dir := m.rt.Directory()
-	from, ok := dir.Locate(root)
-	if !ok {
-		return fmt.Errorf("%v: %w", root, core.ErrUnknownContext)
-	}
-	group := []ownership.ID{root}
-	if desc, err := m.rt.Graph().Snapshot().Desc(root); err == nil {
-		for _, d := range desc {
-			if srv, ok := dir.Locate(d); ok && srv == from {
-				group = append(group, d)
-			}
-		}
-	}
-	for _, id := range group {
-		if err := m.Migrate(id, to); err != nil {
-			return fmt.Errorf("group member %v: %w", id, err)
-		}
-	}
-	return nil
+	return m.engine.MigrateGroup(root, to)
 }
 
-// Recover scans the migration journal and completes in-flight migrations a
-// crashed eManager left behind: steps ≤ II are rolled forward by re-running
-// the migration; steps ≥ III (mapping already published) are finished by
-// completing the transfer.
+// MigrateGroupAsync launches a group migration on the engine pool and
+// returns its Future; disjoint groups move concurrently.
+func (m *Manager) MigrateGroupAsync(root ownership.ID, to cluster.ServerID) *migration.Future {
+	return m.engine.MigrateGroupAsync(root, to)
+}
+
+// Recover scans the migration journal and completes in-flight group
+// migrations a crashed eManager left behind. Journal entries are cleared
+// only after the group's move has converged, so a crash during recovery
+// itself never orphans an in-flight migration.
 func (m *Manager) Recover() error {
-	keys, err := m.store.List("wal/migration/")
-	if err != nil {
-		return err
-	}
-	for _, k := range keys {
-		raw, _, err := m.store.Get(k)
-		if err != nil {
-			continue
-		}
-		wal, err := decodeWAL(raw)
-		if err != nil {
-			return fmt.Errorf("corrupt WAL %q: %w", k, err)
-		}
-		if err := m.store.Delete(k); err != nil {
-			return err
-		}
-		// Whether the old manager died before or after publishing the
-		// mapping, re-running the migration converges: the runtime-side
-		// move happens atomically in step IV under the migratec lock.
-		if cur, ok := m.rt.Directory().Locate(wal.Context); ok && cur != wal.To {
-			if err := m.Migrate(wal.Context, wal.To); err != nil {
-				return fmt.Errorf("recover %v: %w", wal.Context, err)
-			}
-		}
-	}
-	return nil
+	return m.engine.Recover()
 }
 
 // PersistMapping journals the current context mapping to the cloud store
 // (done in bulk at deployment time; individual migrations update entries).
-// It reads one directory snapshot — a single pass over the shards — instead
-// of a HostedOn scan per server.
+// It reads one directory snapshot — a single pass over the shards — and
+// writes it as one batched put instead of a round trip per context, using
+// the same key/value schema the engine publishes in migration step III.
 func (m *Manager) PersistMapping() error {
-	for id, srv := range m.rt.Directory().Snapshot() {
-		if _, err := m.store.Put(mapKey(id), []byte(fmt.Sprintf("%d", int(srv)))); err != nil {
-			return err
-		}
+	snap := m.rt.Directory().Snapshot()
+	entries := make(map[string][]byte, len(snap))
+	for id, srv := range snap {
+		entries[migration.MapKey(id)] = migration.EncodeServerID(srv)
 	}
-	return nil
+	_, err := m.store.PutBatch(entries)
+	return err
 }

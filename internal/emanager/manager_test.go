@@ -9,6 +9,7 @@ import (
 	"aeon/internal/cloudstore"
 	"aeon/internal/cluster"
 	"aeon/internal/core"
+	"aeon/internal/migration"
 	"aeon/internal/ownership"
 	"aeon/internal/schema"
 	"aeon/internal/transport"
@@ -189,14 +190,35 @@ func TestMigrateGroupKeepsLocality(t *testing.T) {
 	}
 }
 
+var errSimulatedCrash = errors.New("emanager_test: simulated crash")
+
+// crashAfter aborts the engine's group migration after the given journaled
+// step, simulating an eManager crash that leaves the WAL behind.
+func crashAfter(mgr *Manager, step migration.Step) {
+	mgr.Engine().Hooks.AfterStep = func(_ ownership.ID, s migration.Step) error {
+		if s == step {
+			return errSimulatedCrash
+		}
+		return nil
+	}
+}
+
+// TestRecoverFinishesCrashedMigration crashes a group migration after every
+// journaled WAL step; a fresh manager over the same store must converge the
+// group onto the destination and only then clear the journal.
 func TestRecoverFinishesCrashedMigration(t *testing.T) {
-	for step := 1; step <= 3; step++ {
+	for step := migration.StepPrepared; step <= migration.StepTransferred; step++ {
 		f := newFixture(t, 2, 1)
 		room := f.rooms[0]
+		item, err := f.rt.CreateContext("Item", room)
+		if err != nil {
+			t.Fatal(err)
+		}
 		from, _ := f.rt.Directory().Locate(room)
 		to := f.otherServer(t, from)
 
-		err := f.mgr.migrate(room, to, step)
+		crashAfter(f.mgr, step)
+		err = f.mgr.MigrateGroup(room, to)
 		if !errors.Is(err, errSimulatedCrash) {
 			t.Fatalf("step %d: err = %v; want simulated crash", step, err)
 		}
@@ -205,13 +227,16 @@ func TestRecoverFinishesCrashedMigration(t *testing.T) {
 		if len(keys) != 1 {
 			t.Fatalf("step %d: wal keys = %v", step, keys)
 		}
-		// A new manager over the same store finishes the job.
+		// A new manager over the same store finishes the job — the whole
+		// group, not just the root.
 		mgr2 := New(f.rt, f.store, f.mgr.cfg)
 		if err := mgr2.Recover(); err != nil {
 			t.Fatalf("step %d: recover: %v", step, err)
 		}
-		if got, _ := f.rt.Directory().Locate(room); got != to {
-			t.Fatalf("step %d: host = %v; want %v after recovery", step, got, to)
+		for _, id := range []ownership.ID{room, item} {
+			if got, _ := f.rt.Directory().Locate(id); got != to {
+				t.Fatalf("step %d: %v on %v; want %v after recovery", step, id, got, to)
+			}
 		}
 		keys, _ = f.store.List("wal/")
 		if len(keys) != 0 {
@@ -220,6 +245,52 @@ func TestRecoverFinishesCrashedMigration(t *testing.T) {
 		if _, err := f.rt.Submit(room, "inc"); err != nil {
 			t.Fatalf("step %d: post-recovery event: %v", step, err)
 		}
+	}
+}
+
+// TestRecoverSurvivesCrashDuringRecovery pins the journal-ordering fix: the
+// WAL record must be deleted only after the re-run migration converges. A
+// recovery attempt that itself crashes mid-protocol must leave the journal
+// entry behind so the next Recover can finish the job; the old code deleted
+// the record first and orphaned the in-flight migration.
+func TestRecoverSurvivesCrashDuringRecovery(t *testing.T) {
+	f := newFixture(t, 2, 1)
+	room := f.rooms[0]
+	from, _ := f.rt.Directory().Locate(room)
+	to := f.otherServer(t, from)
+
+	// First crash: migration dies after the stop step.
+	crashAfter(f.mgr, migration.StepStopped)
+	if err := f.mgr.MigrateGroup(room, to); !errors.Is(err, errSimulatedCrash) {
+		t.Fatalf("err = %v; want simulated crash", err)
+	}
+
+	// Second manager crashes again *during recovery*, this time after the
+	// remap step of the re-run.
+	mgr2 := New(f.rt, f.store, f.mgr.cfg)
+	crashAfter(mgr2, migration.StepRemapped)
+	if err := mgr2.Recover(); !errors.Is(err, errSimulatedCrash) {
+		t.Fatalf("recover err = %v; want simulated crash", err)
+	}
+	keys, _ := f.store.List("wal/")
+	if len(keys) != 1 {
+		t.Fatalf("wal lost during crashed recovery: %v (the in-flight migration is orphaned)", keys)
+	}
+
+	// Third manager completes the move.
+	mgr3 := New(f.rt, f.store, f.mgr.cfg)
+	if err := mgr3.Recover(); err != nil {
+		t.Fatalf("final recover: %v", err)
+	}
+	if got, _ := f.rt.Directory().Locate(room); got != to {
+		t.Fatalf("host = %v; want %v after chained recovery", got, to)
+	}
+	keys, _ = f.store.List("wal/")
+	if len(keys) != 0 {
+		t.Fatalf("wal not cleaned: %v", keys)
+	}
+	if _, err := f.rt.Submit(room, "inc"); err != nil {
+		t.Fatalf("post-recovery event: %v", err)
 	}
 }
 
@@ -239,6 +310,99 @@ func TestDrainAndRemove(t *testing.T) {
 		if _, err := f.rt.Submit(room, "inc"); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestDrainAndRemoveKeepsGroupsWhole pins the MigrateSubtrees drain: a
+// drained server's contexts leave as whole placement groups (each room
+// lands co-located with its items) instead of the old per-context scatter.
+func TestDrainAndRemoveKeepsGroupsWhole(t *testing.T) {
+	f := newFixture(t, 3, 0)
+	victim := f.rt.Cluster().Servers()[0].ID()
+	groups := make(map[ownership.ID][]ownership.ID)
+	for r := 0; r < 2; r++ {
+		room, err := f.rt.CreateContextOn(victim, "Room")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			item, err := f.rt.CreateContext("Item", room)
+			if err != nil {
+				t.Fatal(err)
+			}
+			groups[room] = append(groups[room], item)
+		}
+	}
+	if err := f.mgr.DrainAndRemove(victim); err != nil {
+		t.Fatal(err)
+	}
+	if f.rt.Cluster().Size() != 2 {
+		t.Fatalf("size = %d; want 2", f.rt.Cluster().Size())
+	}
+	for room, items := range groups {
+		roomSrv, ok := f.rt.Directory().Locate(room)
+		if !ok || roomSrv == victim {
+			t.Fatalf("room %v on %v (ok=%v)", room, roomSrv, ok)
+		}
+		for _, item := range items {
+			if srv, _ := f.rt.Directory().Locate(item); srv != roomSrv {
+				t.Fatalf("item %v on %v; want %v (group split by drain)", item, srv, roomSrv)
+			}
+		}
+		if _, err := f.rt.Submit(room, "inc"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two groups → two group migrations, not six per-context ones.
+	if got := f.mgr.Engine().Groups.Value(); got != 2 {
+		t.Fatalf("group moves = %d; want 2", got)
+	}
+	// Destination reservation spreads the drained groups across the
+	// survivors instead of stacking both on the momentarily-least-loaded
+	// one.
+	occupied := 0
+	for _, s := range f.rt.Cluster().Servers() {
+		if s.Hosted() > 0 {
+			occupied++
+		}
+	}
+	if occupied != 2 {
+		t.Fatalf("drained groups landed on %d server(s); want spread across 2", occupied)
+	}
+}
+
+// TestRebalanceDoesNotSplitGroups pins the rebalance fix: with
+// MigrateSubtrees, a sweep whose movable list contains both a root and its
+// descendants must move the group once — the old loop re-migrated each
+// already-moved member individually, splitting the group it had just moved.
+func TestRebalanceDoesNotSplitGroups(t *testing.T) {
+	f := newFixture(t, 2, 0)
+	srv := f.rt.Cluster().Servers()[0].ID()
+	room, err := f.rt.CreateContextOn(srv, "Room")
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]ownership.ID, 3)
+	for i := range items {
+		items[i], err = f.rt.CreateContext("Item", room)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.mgr.Apply(Rebalance{Server: srv, Fraction: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	roomSrv, _ := f.rt.Directory().Locate(room)
+	if roomSrv == srv {
+		t.Fatalf("room still on %v after full rebalance", srv)
+	}
+	for _, item := range items {
+		if got, _ := f.rt.Directory().Locate(item); got != roomSrv {
+			t.Fatalf("item %v on %v; want %v (group split by rebalance)", item, got, roomSrv)
+		}
+	}
+	if got := f.mgr.Engine().Groups.Value(); got != 1 {
+		t.Fatalf("group moves = %d; want 1 (members re-migrated individually)", got)
 	}
 }
 
