@@ -1,0 +1,258 @@
+// Command aeon-node runs one AEON server as an OS process attached to the
+// TCP transport mesh, so a deployment of N processes serves one logical
+// AEON system (multi-process deployment; see README "Multi-process
+// deployment").
+//
+// Every process is launched from the same flags and deterministically
+// rebuilds the same topology, so context IDs and placements agree without
+// coordination; each process then embodies the server matching its -id.
+// Node 1 (by default) also serves the authoritative cloud store to its
+// peers.
+//
+// Serve two nodes on loopback, then drive cross-node traffic and a live
+// migration from node 1:
+//
+//	aeon-node -id 2 -peers "1=127.0.0.1:7101,2=127.0.0.1:7102" &
+//	aeon-node -id 1 -peers "1=127.0.0.1:7101,2=127.0.0.1:7102" -drive
+//
+// -drive replays a deterministic bank workload across the deployment,
+// compares every result with a single-process oracle run, migrates the last
+// node's bank group onto server 1 over the mesh (verifying the transferred
+// state and the NIC accounting), and finally shuts the peers down. A
+// non-zero exit means the multi-process run diverged from single-process
+// semantics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"aeon/internal/cloudstore"
+	"aeon/internal/cluster"
+	"aeon/internal/core"
+	"aeon/internal/emanager"
+	"aeon/internal/node"
+	"aeon/internal/ownership"
+	"aeon/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aeon-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id       = flag.Int("id", 1, "this node's ID (also the server it embodies)")
+		listen   = flag.String("listen", "", "listen address (defaults to this node's -peers entry)")
+		peers    = flag.String("peers", "1=127.0.0.1:7101", "comma-separated id=host:port peer list (including this node)")
+		workload = flag.String("workload", "bank", "workload to host (bank)")
+		accounts = flag.Int("accounts", 4, "accounts per bank (bank workload)")
+		balance  = flag.Int("balance", 1000, "initial balance per account")
+		storeID  = flag.Int("store", 1, "node serving the authoritative cloud store")
+		drive    = flag.Bool("drive", false, "drive the smoke workload against the deployment, then shut peers down")
+	)
+	flag.Parse()
+
+	if *workload != "bank" {
+		return fmt.Errorf("unknown workload %q (have: bank)", *workload)
+	}
+	addrs, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	self := transport.NodeID(*id)
+	if _, ok := addrs[self]; !ok && *listen == "" {
+		return fmt.Errorf("node %d not in -peers and no -listen given", *id)
+	}
+	if *listen != "" {
+		addrs[self] = *listen
+	}
+
+	// Deterministic replica: every process builds the same cluster and bank
+	// topology, then embodies only its own server.
+	cl := cluster.New(transport.NewSim(transport.SimConfig{}))
+	for i := 0; i < len(addrs); i++ {
+		cl.AddServer(cluster.M3Large)
+	}
+	s := node.BankSchema()
+	if err := s.Freeze(); err != nil {
+		return err
+	}
+	rtCfg := core.DefaultConfig()
+	rtCfg.ChargeClientHops = false
+	rt, err := core.New(s, ownership.NewGraph(), cl, rtCfg)
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	top, err := node.BuildBank(rt, *accounts, *balance)
+	if err != nil {
+		return err
+	}
+
+	mesh := transport.NewTCPMesh()
+	for pid, addr := range addrs {
+		mesh.Register(pid, addr)
+	}
+	n, err := node.Start(mesh, node.Config{
+		ID:         self,
+		Runtime:    rt,
+		LocalStore: cloudstore.New(),
+		StoreNode:  transport.NodeID(*storeID),
+		Manager:    emanager.DefaultConfig(),
+	})
+	if err != nil {
+		return err
+	}
+	defer n.Close()
+	fmt.Printf("aeon-node %d listening on %s (%d-node deployment, store on node %d)\n",
+		*id, addrs[self], len(addrs), *storeID)
+
+	if *drive {
+		return runDrive(n, top, addrs, *accounts, *balance)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-n.Done():
+		fmt.Printf("aeon-node %d: shutdown requested by peer\n", *id)
+	case <-sig:
+		fmt.Printf("aeon-node %d: signal received\n", *id)
+	}
+	return nil
+}
+
+// parsePeers parses "1=host:port,2=host:port" and checks IDs are 1..N.
+func parsePeers(spec string) (map[transport.NodeID]string, error) {
+	addrs := make(map[transport.NodeID]string)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer entry %q (want id=host:port)", part)
+		}
+		pid, err := strconv.Atoi(kv[0])
+		if err != nil || pid <= 0 {
+			return nil, fmt.Errorf("bad peer id %q", kv[0])
+		}
+		addrs[transport.NodeID(pid)] = kv[1]
+	}
+	for i := 1; i <= len(addrs); i++ {
+		if _, ok := addrs[transport.NodeID(i)]; !ok {
+			return nil, fmt.Errorf("peer IDs must be contiguous 1..%d (missing %d)", len(addrs), i)
+		}
+	}
+	return addrs, nil
+}
+
+// runDrive is the smoke driver: wait for the peers, replay the bank script
+// across the deployment, compare with the single-process oracle, migrate a
+// remote bank group over the mesh, verify the transferred state, and shut
+// everything down.
+func runDrive(n *node.Node, top *node.BankTopology, addrs map[transport.NodeID]string, accounts, balance int) error {
+	var peerIDs []transport.NodeID
+	for pid := range addrs {
+		if pid != n.ID() {
+			peerIDs = append(peerIDs, pid)
+		}
+	}
+	sort.Slice(peerIDs, func(i, j int) bool { return peerIDs[i] < peerIDs[j] })
+
+	// Peers may still be binding their listeners.
+	deadline := time.Now().Add(15 * time.Second)
+	for _, pid := range peerIDs {
+		for {
+			if err := n.Ping(pid); err == nil {
+				break
+			} else if time.Now().After(deadline) {
+				return fmt.Errorf("peer %v never became reachable: %w", pid, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	fmt.Printf("drive: %d peers reachable\n", len(peerIDs))
+	shutdownPeers := func() {
+		for _, pid := range peerIDs {
+			if err := n.Shutdown(pid); err != nil {
+				fmt.Fprintf(os.Stderr, "drive: shutdown %v: %v\n", pid, err)
+			}
+		}
+	}
+
+	// Phase 1: the deterministic script, every op submitted at this node,
+	// so every other bank's ops cross the mesh. Results must be identical
+	// to a single-process run.
+	got := node.RunBankScript(n.Submit, top)
+	want, _, err := node.BankOracle(len(addrs), accounts, balance)
+	if err != nil {
+		shutdownPeers()
+		return err
+	}
+	if len(got) != len(want) {
+		shutdownPeers()
+		return fmt.Errorf("script result counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			shutdownPeers()
+			return fmt.Errorf("script result %d diverged: multi-process=%q single-process=%q", i, got[i], want[i])
+		}
+	}
+	fmt.Printf("drive: %d script results identical to single-process run\n", len(got))
+
+	// Phase 2: live migration over the mesh — move the last node's bank
+	// group onto this node's server and verify the state arrived.
+	if len(peerIDs) > 0 {
+		src := peerIDs[len(peerIDs)-1]
+		bankIdx := int(src) - 1
+		bank := top.Banks[bankIdx]
+		preAudit, err := n.Submit(bank, "audit")
+		if err != nil {
+			shutdownPeers()
+			return fmt.Errorf("pre-migration audit: %w", err)
+		}
+		if err := n.MigrateRemote(src, bank, cluster.ServerID(n.ID())); err != nil {
+			shutdownPeers()
+			return fmt.Errorf("commanded migration from node %v: %w", src, err)
+		}
+		fwdBefore := n.Forwarded()
+		postAudit, err := n.Submit(bank, "audit")
+		if err != nil {
+			shutdownPeers()
+			return fmt.Errorf("post-migration audit: %w", err)
+		}
+		if preAudit.(int) != postAudit.(int) {
+			shutdownPeers()
+			return fmt.Errorf("migration changed the audit total: %d → %d", preAudit, postAudit)
+		}
+		if n.Forwarded() != fwdBefore {
+			shutdownPeers()
+			return fmt.Errorf("post-migration audit still crossed the mesh")
+		}
+		srv, ok := n.Runtime().Cluster().Server(cluster.ServerID(n.ID()))
+		if !ok || srv.TransferBytes() == 0 {
+			shutdownPeers()
+			return fmt.Errorf("no migration state bytes arrived over the mesh")
+		}
+		fmt.Printf("drive: migrated bank %v from node %v over the mesh (%d state bytes, audit total %d preserved)\n",
+			bank, src, srv.TransferBytes(), postAudit)
+	}
+
+	shutdownPeers()
+	fmt.Println("drive: OK")
+	return nil
+}

@@ -131,6 +131,7 @@ var experiments = map[string]func(Options) ([]*Table, error){
 		t, err := MigrationBatch(o)
 		return wrap(t, err)
 	},
+	"mesh": func(o Options) ([]*Table, error) { t, err := MeshExp(o); return wrap(t, err) },
 }
 
 func wrap(t *Table, err error) ([]*Table, error) {

@@ -29,6 +29,30 @@ var (
 	ErrUnavailable = errors.New("cloudstore: unavailable")
 )
 
+// API is the operation surface cloud-store clients depend on. The in-memory
+// Store implements it directly; in multi-process deployments the node
+// runtime's RemoteStore implements it over the transport mesh, so the
+// eManager and migration engine journal into one authoritative store no
+// matter which process they run in.
+type API interface {
+	// Get returns the value and version stored at key.
+	Get(key string) ([]byte, uint64, error)
+	// Put unconditionally stores value at key and returns the new version.
+	Put(key string, value []byte) (uint64, error)
+	// PutBatch stores every entry in one charged round trip.
+	PutBatch(entries map[string][]byte) (uint64, error)
+	// CAS stores value only if the current version equals expect (0 means
+	// "key must not exist").
+	CAS(key string, expect uint64, value []byte) (uint64, error)
+	// Delete removes key; deleting a missing key is an error.
+	Delete(key string) error
+	// DeleteBatch removes every key in one charged round trip; missing
+	// keys are ignored (batch pruning is best-effort by design).
+	DeleteBatch(keys []string) error
+	// List returns the keys with the given prefix in sorted order.
+	List(prefix string) ([]string, error)
+}
+
 type entry struct {
 	value   []byte
 	version uint64
@@ -46,6 +70,8 @@ type Store struct {
 	reads  atomic.Uint64
 	writes atomic.Uint64
 }
+
+var _ API = (*Store)(nil)
 
 // Option configures a Store.
 type Option func(*Store)
@@ -182,6 +208,26 @@ func (s *Store) Delete(key string) error {
 		return fmt.Errorf("%q: %w", key, ErrNotFound)
 	}
 	delete(s.data, key)
+	return nil
+}
+
+// DeleteBatch removes every key in one round trip: one charged write, with
+// the removals applied atomically under the store lock. Missing keys are
+// ignored — callers use it to prune superseded entries (e.g. old checkpoint
+// sequences) and a concurrent pruner is not a protocol error.
+func (s *Store) DeleteBatch(keys []string) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	if err := s.charge(); err != nil {
+		return err
+	}
+	s.writes.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		delete(s.data, k)
+	}
 	return nil
 }
 

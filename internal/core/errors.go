@@ -45,4 +45,8 @@ var (
 	// shed load; synchronous Submit is unaffected (it runs on the caller's
 	// goroutine).
 	ErrBackpressure = errors.New("core: server executor queue full")
+	// ErrNotLocal is returned in multi-process deployments when an event's
+	// sequencing point is hosted on a server another process embodies and no
+	// forwarder is installed to delegate it there (see Runtime.SetRemote).
+	ErrNotLocal = errors.New("core: context not hosted on a local server")
 )

@@ -88,6 +88,12 @@ type Runtime struct {
 	// update).
 	sharedCreateMu sync.Mutex
 
+	// Multi-process hooks (SetRemote): isLocal reports whether this process
+	// embodies a server; forward delegates an event to the node hosting it.
+	// nil isLocal means single-process mode — every server is local.
+	isLocal func(cluster.ServerID) bool
+	forward ForwardFunc
+
 	eventSeq atomic.Uint64
 	closed   atomic.Bool
 	subWG    sync.WaitGroup
@@ -127,6 +133,28 @@ func New(s *schema.Schema, g *ownership.Graph, cl *cluster.Cluster, cfg Config) 
 		reg:     newRegistry(),
 		exec:    newExecutor(cfg.ExecWorkersPerServer, cfg.ExecQueueDepth),
 	}, nil
+}
+
+// ForwardFunc delegates an event to the process embodying the server that
+// hosts its sequencing point (the node runtime sends a submit frame over the
+// transport mesh and returns the remote result).
+type ForwardFunc func(host cluster.ServerID, target ownership.ID, method string, args []any) (any, error)
+
+// SetRemote installs the multi-process hooks: isLocal reports whether this
+// process embodies a server, and forward delegates events whose dominator
+// lives elsewhere. Call once during node startup, before events are
+// submitted; nil isLocal restores single-process behavior. The runtime
+// re-checks locality after admission (the dominator lock is held), so an
+// event that raced a migration onto another node is released and forwarded
+// instead of executing against state that has already moved away.
+func (r *Runtime) SetRemote(isLocal func(cluster.ServerID) bool, forward ForwardFunc) {
+	r.isLocal = isLocal
+	r.forward = forward
+}
+
+// hostIsLocal reports whether this process embodies the given server.
+func (r *Runtime) hostIsLocal(srv cluster.ServerID) bool {
+	return r.isLocal == nil || r.isLocal(srv)
 }
 
 // Graph returns the ownership network.
@@ -349,6 +377,19 @@ func (r *Runtime) executeEvent(ev *event, tc *Context, m *schema.Method, args []
 	}
 	ev.dom = dom
 
+	// Multi-process mode: events execute on the process embodying the server
+	// that hosts their sequencing point. When that is another node, delegate
+	// the whole event there instead of running it against this process's
+	// non-authoritative state replica.
+	if r.isLocal != nil {
+		if host, ok := r.dir.Locate(dom); ok && !r.isLocal(host) {
+			if r.forward == nil {
+				return nil, fmt.Errorf("%v on %v: %w", dom, host, ErrNotLocal)
+			}
+			return r.forward(host, ev.target, ev.method, args)
+		}
+	}
+
 	// Make sure everything is released even on error paths; releaseAll is
 	// idempotent per held context.
 	defer ev.releaseAll()
@@ -366,6 +407,20 @@ func (r *Runtime) executeEvent(ev *event, tc *Context, m *schema.Method, args []
 	}
 	if err := r.acquireCtx(ev, domCtx); err != nil {
 		return nil, err
+	}
+	// Re-check locality now that admission succeeded: an event that queued
+	// behind a migration's stop window wakes up *after* the group moved, and
+	// by then the authoritative state lives on another node. The directory
+	// was remapped before the stop released (RehostBatch under the group
+	// lock), so this read is guaranteed to see the move.
+	if r.isLocal != nil {
+		if host, ok := r.dir.Locate(dom); ok && !r.isLocal(host) {
+			ev.releaseAll()
+			if r.forward == nil {
+				return nil, fmt.Errorf("%v on %v: %w", dom, host, ErrNotLocal)
+			}
+			return r.forward(host, ev.target, ev.method, args)
+		}
 	}
 
 	// Path activation dominator → target, top-down (activatePath).

@@ -21,17 +21,89 @@ import (
 
 // CheckpointServer snapshots every movable context hosted on the given
 // server (a periodic call implements the paper's checkpoint-based fault
-// tolerance). It returns the number of contexts captured.
+// tolerance). The sweep partitions the server's contexts into placement
+// groups (like DrainAndRemove) and walks each group's subtree exactly once
+// under one shared activation, emitting one per-context snapshot entry per
+// member — each state is captured and stored once (a subtree snapshot per
+// hosted context would store every descendant's state twice), and recovery
+// keeps reading per-context keys. Storage cost per sweep: one List (the
+// cross-process sequence floors), one charged PutBatch for all fresh
+// entries, and one charged DeleteBatch pruning the sequences they
+// supersede — so the snapshot keyspace stays bounded instead of growing
+// with every periodic sweep. It returns the number of contexts captured.
 func (m *Manager) CheckpointServer(srv cluster.ServerID) (int, error) {
-	count := 0
-	for _, id := range m.rt.Directory().HostedOn(srv) {
-		if !m.classAllowed(id) {
-			continue
+	hosted := m.rt.Directory().HostedOn(srv)
+	if len(hosted) == 0 {
+		return 0, nil
+	}
+	// One store read establishes the per-root sequence floors for the whole
+	// sweep (sequences must stay monotonic across processes; see
+	// nextSnapshotSeq) and the superseded keys to prune afterwards.
+	keys, err := m.store.List("snapshot/")
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint %v: %w", srv, err)
+	}
+	maxSeq := make(map[uint64]uint64)
+	oldKeys := make(map[uint64][]string)
+	for _, k := range keys {
+		var root, seq uint64
+		if _, err := fmt.Sscanf(k, "snapshot/%d/%d", &root, &seq); err == nil {
+			oldKeys[root] = append(oldKeys[root], k)
+			if seq > maxSeq[root] {
+				maxSeq[root] = seq
+			}
 		}
-		if _, n, err := m.Snapshot(id); err != nil {
-			return count, fmt.Errorf("checkpoint %v: %w", id, err)
-		} else if n > 0 {
-			count += n
+	}
+
+	view := m.rt.Graph().Snapshot()
+	pending := make(map[ownership.ID]bool, len(hosted))
+	for _, id := range hosted {
+		pending[id] = true
+	}
+	roots, _ := drainGroups(view, hosted)
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+
+	count := 0
+	entries := make(map[string][]byte)
+	var prune []string
+	for _, root := range roots {
+		err := m.rt.WithSubtreeShared(root, func(ids []ownership.ID) error {
+			for _, id := range ids {
+				// Capture each hosted, movable member once, even when it is
+				// reachable from two group roots (multi-owned contexts).
+				if !pending[id] || !m.classAllowedIn(view, id) {
+					continue
+				}
+				pending[id] = false
+				b, ok := m.encodeState(id)
+				if !ok {
+					continue
+				}
+				encoded, err := encodePayload(snapshotPayload{
+					Root:   uint64(id),
+					States: map[uint64][]byte{uint64(id): b},
+				})
+				if err != nil {
+					return err
+				}
+				entries[snapshotKey(id, nextSnapshotSeq(maxSeq[uint64(id)]))] = encoded
+				prune = append(prune, oldKeys[uint64(id)]...)
+				count++
+			}
+			return nil
+		})
+		if err != nil {
+			return count, fmt.Errorf("checkpoint %v: %w", root, err)
+		}
+	}
+	if len(entries) > 0 {
+		if _, err := m.store.PutBatch(entries); err != nil {
+			return 0, fmt.Errorf("checkpoint %v: %w", srv, err)
+		}
+		// Prune only after the fresh batch landed: a crash between the two
+		// writes leaves extra history, never a missing checkpoint.
+		if err := m.store.DeleteBatch(prune); err != nil {
+			return count, fmt.Errorf("checkpoint %v prune: %w", srv, err)
 		}
 	}
 	return count, nil

@@ -65,6 +65,10 @@ type Config struct {
 	// MaxConcurrentMigrations bounds how many disjoint group migrations the
 	// engine runs at once. Zero means the engine default (4).
 	MaxConcurrentMigrations int
+	// Transfer overrides the migration engine's state-transfer step: the
+	// node runtime ships member state over the transport mesh to the
+	// destination node here. nil keeps in-process transfer semantics.
+	Transfer migration.TransferFunc
 }
 
 // DefaultConfig returns production-ish defaults.
@@ -81,7 +85,7 @@ func DefaultConfig() Config {
 type Manager struct {
 	cfg    Config
 	rt     *core.Runtime
-	store  *cloudstore.Store
+	store  cloudstore.API
 	engine *migration.Engine
 
 	mu          sync.Mutex
@@ -99,8 +103,10 @@ type Manager struct {
 	done chan struct{}
 }
 
-// New creates a manager for a runtime, journaling into store.
-func New(rt *core.Runtime, store *cloudstore.Store, cfg Config) *Manager {
+// New creates a manager for a runtime, journaling into store — the local
+// in-memory store, or (on a non-store node of a multi-process deployment) a
+// RemoteStore reaching the authoritative one over the transport mesh.
+func New(rt *core.Runtime, store cloudstore.API, cfg Config) *Manager {
 	if cfg.PollInterval == 0 {
 		cfg.PollInterval = 250 * time.Millisecond
 	}
@@ -108,6 +114,7 @@ func New(rt *core.Runtime, store *cloudstore.Store, cfg Config) *Manager {
 		Delta:         cfg.Delta,
 		ProtocolWork:  cfg.ProtocolWork,
 		MaxConcurrent: cfg.MaxConcurrentMigrations,
+		Transfer:      cfg.Transfer,
 	})
 	return &Manager{
 		cfg:           cfg,
@@ -123,7 +130,7 @@ func New(rt *core.Runtime, store *cloudstore.Store, cfg Config) *Manager {
 func (m *Manager) Runtime() *core.Runtime { return m.rt }
 
 // Store returns the backing cloud store.
-func (m *Manager) Store() *cloudstore.Store { return m.store }
+func (m *Manager) Store() cloudstore.API { return m.store }
 
 // Engine returns the migration engine (metrics, async API).
 func (m *Manager) Engine() *migration.Engine { return m.engine }

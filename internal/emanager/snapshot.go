@@ -4,9 +4,10 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
-	"sync/atomic"
+	"sync"
 
 	"aeon/internal/ownership"
+	"aeon/internal/schema"
 )
 
 // Checkpointer lets application state customize what a snapshot stores
@@ -17,57 +18,120 @@ type Checkpointer interface {
 	CheckpointState() any
 }
 
-// RegisterSnapshotType registers an application state type with the
-// snapshot codec (gob); call once per state type at startup.
-func RegisterSnapshotType(v any) { gob.Register(v) }
+// RegisterSnapshotType registers an application state type with the shared
+// wire codec (see schema.RegisterWireType); call once per state type at
+// startup. The same registration covers checkpoints, migration state
+// transfer, and node wire frames, so the codecs cannot drift.
+func RegisterSnapshotType(v any) { schema.RegisterWireType(v) }
 
 type snapshotPayload struct {
 	Root   uint64
 	States map[uint64][]byte
 }
 
-type stateBox struct {
-	V any
+// Snapshot sequence numbers must be monotonic per root *across processes*:
+// in multi-process deployments every node checkpoints into one
+// authoritative store, and failure recovery picks the highest sequence as
+// the freshest checkpoint. A plain process-local counter would let the
+// group's new host (after a migration) write seq 1 under the old host's
+// seq 7 and have recovery restore stale state. So writers first read the
+// store's current maximum for the root and continue above it; the
+// process-local floor keeps concurrent local snapshots from colliding.
+var (
+	snapSeqMu    sync.Mutex
+	snapSeqFloor uint64
+)
+
+// nextSnapshotSeq returns a sequence number above both the store's maximum
+// for the root and everything issued by this process.
+func nextSnapshotSeq(storeMax uint64) uint64 {
+	snapSeqMu.Lock()
+	defer snapSeqMu.Unlock()
+	if storeMax > snapSeqFloor {
+		snapSeqFloor = storeMax
+	}
+	snapSeqFloor++
+	return snapSeqFloor
 }
 
-var snapshotSeq atomic.Uint64
+// storeMaxSnapshotSeq reads the highest sequence number the store holds for
+// a root.
+func (m *Manager) storeMaxSnapshotSeq(root ownership.ID) (uint64, error) {
+	keys, err := m.store.List(fmt.Sprintf("snapshot/%d/", uint64(root)))
+	if err != nil {
+		return 0, err
+	}
+	var max uint64
+	for _, k := range keys {
+		if s := snapshotSeqOf(k); s > max {
+			max = s
+		}
+	}
+	return max, nil
+}
+
+// snapshotKey renders the storage key of one checkpoint.
+func snapshotKey(root ownership.ID, seq uint64) string {
+	return fmt.Sprintf("snapshot/%d/%d", uint64(root), seq)
+}
+
+// encodeState captures one context's current state for a checkpoint
+// payload. A Checkpointer override is honored; a nil or unencodable state
+// reports ok=false and is skipped.
+func (m *Manager) encodeState(id ownership.ID) (b []byte, ok bool) {
+	c, err := m.rt.Context(id)
+	if err != nil {
+		return nil, false
+	}
+	st := c.State()
+	if cp, isCP := st.(Checkpointer); isCP {
+		st = cp.CheckpointState()
+	}
+	if st == nil {
+		return nil, false
+	}
+	b, err = schema.EncodeWire(st)
+	if err != nil {
+		return nil, false // unregistered or unencodable state: skip
+	}
+	return b, true
+}
+
+// encodePayload gob-encodes one snapshot payload.
+func encodePayload(p snapshotPayload) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, fmt.Errorf("encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
 
 // Snapshot takes a consistent checkpoint of a context and all its
 // descendants and writes it to the cloud store. It returns the storage key
-// and the number of contexts captured. Contexts whose Checkpointer returns
-// nil, and contexts with nil or unencodable state, are skipped.
+// and the number of contexts captured.
 func (m *Manager) Snapshot(root ownership.ID) (string, int, error) {
+	max, err := m.storeMaxSnapshotSeq(root)
+	if err != nil {
+		return "", 0, err
+	}
 	payload := snapshotPayload{Root: uint64(root), States: make(map[uint64][]byte)}
-	err := m.rt.WithSubtreeShared(root, func(ids []ownership.ID) error {
+	err = m.rt.WithSubtreeShared(root, func(ids []ownership.ID) error {
 		for _, id := range ids {
-			c, err := m.rt.Context(id)
-			if err != nil {
-				continue
+			if b, ok := m.encodeState(id); ok {
+				payload.States[uint64(id)] = b
 			}
-			st := c.State()
-			if cp, ok := st.(Checkpointer); ok {
-				st = cp.CheckpointState()
-			}
-			if st == nil {
-				continue
-			}
-			var buf bytes.Buffer
-			if err := gob.NewEncoder(&buf).Encode(stateBox{V: st}); err != nil {
-				continue // unregistered or unencodable state: skip
-			}
-			payload.States[uint64(id)] = buf.Bytes()
 		}
 		return nil
 	})
 	if err != nil {
 		return "", 0, err
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
-		return "", 0, fmt.Errorf("encode snapshot: %w", err)
+	encoded, err := encodePayload(payload)
+	if err != nil {
+		return "", 0, err
 	}
-	key := fmt.Sprintf("snapshot/%d/%d", uint64(root), snapshotSeq.Add(1))
-	if _, err := m.store.Put(key, buf.Bytes()); err != nil {
+	key := snapshotKey(root, nextSnapshotSeq(max))
+	if _, err := m.store.Put(key, encoded); err != nil {
 		return "", 0, fmt.Errorf("store snapshot: %w", err)
 	}
 	return key, len(payload.States), nil
@@ -85,11 +149,11 @@ func (m *Manager) LoadSnapshot(key string) (map[ownership.ID]any, error) {
 	}
 	out := make(map[ownership.ID]any, len(payload.States))
 	for id, b := range payload.States {
-		var box stateBox
-		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&box); err != nil {
+		v, err := schema.DecodeWire(b)
+		if err != nil {
 			return nil, fmt.Errorf("decode state %d: %w", id, err)
 		}
-		out[ownership.ID(id)] = box.V
+		out[ownership.ID(id)] = v
 	}
 	return out, nil
 }

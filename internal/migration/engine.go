@@ -86,7 +86,21 @@ type Config struct {
 	// preempts the attempt, which is retried after a backoff. Zero means
 	// 25ms.
 	StopTimeout time.Duration
+	// Transfer, when set, performs the group's state transfer in step IV —
+	// the node runtime ships serialized member state over the transport mesh
+	// to the destination node here. It runs inside the stop window, after
+	// the bandwidth charge and before the directory remap; an error aborts
+	// the migration with the WAL record left behind for Recover. nil keeps
+	// the single-process semantics (state stays in the shared registry, so
+	// there is nothing to move).
+	Transfer TransferFunc
 }
+
+// TransferFunc moves a stopped group's state to the destination. totalBytes
+// is the coalesced state size already charged against both NICs; the
+// implementation must leave the group's TransferBytes accounting to the
+// engine (it lands on both endpoints either way).
+type TransferFunc func(members []ownership.ID, from, to cluster.ServerID, totalBytes int) error
 
 // Hooks are test instrumentation points; leave zero in production.
 type Hooks struct {
@@ -106,7 +120,7 @@ type Hooks struct {
 type Engine struct {
 	cfg   Config
 	rt    *core.Runtime
-	store *cloudstore.Store
+	store cloudstore.API
 
 	// Hooks may be set before the engine is used (tests only).
 	Hooks Hooks
@@ -138,8 +152,9 @@ type Engine struct {
 	BytesMoved metrics.Counter
 }
 
-// NewEngine creates an engine for a runtime, journaling into store.
-func NewEngine(rt *core.Runtime, store *cloudstore.Store, cfg Config) *Engine {
+// NewEngine creates an engine for a runtime, journaling into store (the
+// local in-memory store, or a node runtime's RemoteStore over the mesh).
+func NewEngine(rt *core.Runtime, store cloudstore.API, cfg Config) *Engine {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 4
 	}
@@ -506,7 +521,11 @@ func (e *Engine) run(root ownership.ID, from, to cluster.ServerID, members []own
 	if srcServer != nil && srcServer.Profile().MigrationMBps < mbps {
 		mbps = srcServer.Profile().MigrationMBps
 	}
-	if mbps > 0 && total > 0 {
+	// The modeled NIC sleep stands in for the state copy only in
+	// single-process mode; a configured Transfer hook moves the real bytes
+	// over the real wire below, and charging both would double the group's
+	// stop window.
+	if mbps > 0 && total > 0 && e.cfg.Transfer == nil {
 		time.Sleep(time.Duration(float64(total) / (mbps * 1e6) * float64(time.Second)))
 	}
 	if srcServer != nil {
@@ -529,6 +548,18 @@ func (e *Engine) run(root ownership.ID, from, to cluster.ServerID, members []own
 			if _, err := e.store.PutBatch(lateMaps); err != nil {
 				return fmt.Errorf("publish straggler mapping: %w", err)
 			}
+		}
+	}
+	// Multi-process deployments ship the serialized member states to the
+	// destination node here — after the final adoption sweep, so the frame
+	// carries the complete membership (stragglers ride along with factory
+	// state), and before this node's directory remap publishes the new
+	// placement. A failed transfer aborts the migration with the WAL record
+	// intact for Recover; the destination installs state and remaps its own
+	// directory replica inside the handler.
+	if e.cfg.Transfer != nil {
+		if err := e.cfg.Transfer(members, from, to, total); err != nil {
+			return fmt.Errorf("state transfer %v→%v: %w", from, to, err)
 		}
 	}
 	if err := e.rt.RehostBatch(members, to); err != nil {

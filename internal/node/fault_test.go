@@ -1,0 +1,239 @@
+package node
+
+// Fault injection at the mesh layer: node crashes, partitions, and
+// dropped/duplicated calls. The invariants under test: operations fail fast
+// with typed errors instead of wedging, queued work keeps draining, and the
+// eManager's checkpoint-based failure recovery still rehosts lost contexts
+// from the authoritative store after a node dies.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"aeon/internal/transport"
+)
+
+// deployFaulty builds a 2-node deployment over a fault-injecting wrapper of
+// the in-memory mesh (itself over a partitionable simulated network).
+func deployFaulty(t *testing.T, nodes int) (*Deployment, *transport.FaultyMesh, *transport.SimNetwork) {
+	t.Helper()
+	net := transport.NewSim(transport.SimConfig{})
+	fm := transport.NewFaultyMesh(transport.NewInMemMesh(net))
+	d, err := Deploy(fm, Topology{Nodes: nodes})
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	t.Cleanup(d.Close)
+	return d, fm, net
+}
+
+func TestDroppedCallFailsTypedNotWedged(t *testing.T) {
+	d, fm, _ := deployFaulty(t, 2)
+	acct := d.Top.Accounts[1][0]
+
+	fm.Drop(1, 2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Nodes[0].Submit(acct, "deposit", 10)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, transport.ErrDropped) {
+			t.Fatalf("err = %v, want ErrDropped", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("dropped call wedged the submitter")
+	}
+
+	// The link heals and the same submit succeeds — nothing leaked.
+	fm.Heal(1, 2)
+	res, err := d.Nodes[0].Submit(acct, "deposit", 10)
+	if err != nil || res.(int) != 1010 {
+		t.Fatalf("post-heal submit = %v err=%v", res, err)
+	}
+}
+
+func TestPartitionedNetworkFailsTyped(t *testing.T) {
+	d, _, net := deployFaulty(t, 2)
+	acct := d.Top.Accounts[1][0]
+
+	net.Partition(1, 2)
+	_, err := d.Nodes[0].Submit(acct, "deposit", 10)
+	if !errors.Is(err, transport.ErrPartitioned) {
+		t.Fatalf("err = %v, want ErrPartitioned", err)
+	}
+	net.Heal(1, 2)
+	if _, err := d.Nodes[0].Submit(acct, "deposit", 10); err != nil {
+		t.Fatalf("post-heal: %v", err)
+	}
+}
+
+func TestDuplicatedCallDoesNotWedgeAndReadsStayCorrect(t *testing.T) {
+	d, fm, _ := deployFaulty(t, 2)
+	acct := d.Top.Accounts[1][0]
+
+	// A duplicated readonly call executes twice on the owner; the caller
+	// sees one correct response and the system stays consistent.
+	fm.Duplicate(1, 2, 1)
+	res, err := d.Nodes[0].Submit(acct, "balance")
+	if err != nil || res.(int) != 1000 {
+		t.Fatalf("duplicated balance = %v err=%v", res, err)
+	}
+	// A duplicated mutating call is at-least-once delivery: the owner
+	// applies it twice. The caller still gets a response and nothing
+	// wedges — the visible cost of retransmission without event IDs, which
+	// is why only the transport duplicates here, never the node layer.
+	fm.Duplicate(1, 2, 1)
+	if _, err := d.Nodes[0].Submit(acct, "deposit", 5); err != nil {
+		t.Fatalf("duplicated deposit err=%v", err)
+	}
+	res, err = d.Nodes[1].Submit(acct, "balance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.(int) != 1010 { // 1000 + 2×5: both deliveries applied
+		t.Fatalf("balance after duplicated deposit = %v, want 1010", res)
+	}
+}
+
+func TestCrashedNodeFailsFastAndQueuedWorkDrains(t *testing.T) {
+	d, _, _ := deployFaulty(t, 2)
+	n1 := d.Nodes[0]
+	remote := d.Top.Accounts[1][0]
+	local := d.Top.Accounts[0][0]
+
+	// Queue asynchronous work against both banks, then crash node 2.
+	fLocal := n1.Runtime().SubmitAsync(local, "deposit", 1)
+	if err := d.Nodes[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote submits fail typed (the mesh no longer knows the node), fast.
+	done := make(chan error, 1)
+	go func() {
+		_, err := n1.Submit(remote, "deposit", 1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, transport.ErrNodeUnknown) {
+			t.Fatalf("err = %v, want ErrNodeUnknown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("submit to crashed node wedged")
+	}
+
+	// Local work queued before the crash still completes.
+	if _, err := fLocal.Wait(); err != nil {
+		t.Fatalf("local async work: %v", err)
+	}
+	if res, err := n1.Submit(local, "balance"); err != nil || res.(int) != 1001 {
+		t.Fatalf("local balance = %v err=%v", res, err)
+	}
+}
+
+// TestTransferSurvivesLostAck pins the split-brain fix: the destination
+// commits a migration transfer (state install + directory remap) inside the
+// handler, so a lost acknowledgment leaves the source unsure whether the
+// group moved. The source must probe the destination and, on "committed",
+// complete its own remap — never abort into a state where both processes
+// consider themselves authoritative.
+func TestTransferSurvivesLostAck(t *testing.T) {
+	net := transport.NewSim(transport.SimConfig{})
+	fm := transport.NewFaultyMesh(transport.NewInMemMesh(net))
+	// Store on node 2, so the only 2→1 calls during the migration are the
+	// transfer and its commit probe.
+	d, err := Deploy(fm, Topology{Nodes: 2, StoreNode: 2})
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	t.Cleanup(d.Close)
+	n1, n2 := d.Nodes[0], d.Nodes[1]
+	bank2 := d.Top.Banks[1]
+	acct := d.Top.Accounts[1][0]
+	if _, err := n2.Submit(acct, "deposit", 500); err != nil {
+		t.Fatal(err)
+	}
+
+	// The transfer's ack is lost; its commit probe goes through.
+	fm.DropReply(2, 1, 1)
+	if err := n1.MigrateRemote(n2.ID(), bank2, 1); err != nil {
+		t.Fatalf("migration must resolve the lost ack via the commit probe: %v", err)
+	}
+
+	// One authority: both replicas agree the group lives on server 1, and
+	// both sides serve the transferred balance.
+	for i, n := range d.Nodes {
+		if srv, _ := n.Runtime().Directory().Locate(bank2); srv != 1 {
+			t.Fatalf("node %d maps bank2 to %v, want 1", i+1, srv)
+		}
+	}
+	if res, err := n1.Submit(acct, "balance"); err != nil || res.(int) != 1500 {
+		t.Fatalf("node1 balance = %v err=%v, want 1500", res, err)
+	}
+	if res, err := n2.Submit(acct, "balance"); err != nil || res.(int) != 1500 {
+		t.Fatalf("node2 balance = %v err=%v, want 1500", res, err)
+	}
+	// The journal cleared: the migration completed, it was not abandoned.
+	if keys, _ := d.Stores[1].List("wal/migration/"); len(keys) != 0 {
+		t.Fatalf("migration WAL left behind: %v", keys)
+	}
+}
+
+// TestFailureRecoveryRehostsFromCheckpointsAfterNodeCrash is the paper's
+// § 5.3 story across processes: node 2 checkpoints its server through the
+// mesh into the authoritative store, crashes, and the surviving node's
+// eManager re-homes the lost contexts from those checkpoints.
+func TestFailureRecoveryRehostsFromCheckpointsAfterNodeCrash(t *testing.T) {
+	d, _, _ := deployFaulty(t, 2)
+	n1, n2 := d.Nodes[0], d.Nodes[1]
+	acct := d.Top.Accounts[1][0]
+
+	// Real money lands on node 2, then its server checkpoints over the mesh
+	// (the writes go through RemoteStore into node 1's store).
+	if _, err := n2.Submit(acct, "deposit", 500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n2.Manager().CheckpointServer(2); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if keys, _ := d.Stores[0].List("snapshot/"); len(keys) == 0 {
+		t.Fatal("no checkpoints reached the authoritative store")
+	}
+
+	// Node 2 dies.
+	if err := n2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The survivor re-homes server 2's contexts from checkpoints.
+	report, err := n1.Manager().RecoverServerFailure(2)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if len(report.Lost) == 0 {
+		t.Fatal("recovery found nothing to re-home")
+	}
+	found := false
+	for _, id := range report.Restored {
+		if id == acct {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("account %v not restored from checkpoint (restored=%v reset=%v)",
+			acct, report.Restored, report.Reset)
+	}
+
+	// The restored account serves events on node 1 with the checkpointed
+	// balance.
+	res, err := n1.Submit(acct, "balance")
+	if err != nil {
+		t.Fatalf("post-recovery balance: %v", err)
+	}
+	if res.(int) != 1500 {
+		t.Fatalf("recovered balance = %v, want 1500", res)
+	}
+}

@@ -1,0 +1,176 @@
+package node
+
+// In-process multi-node harness: builds N node runtimes — each embodying
+// one server of an identically replicated topology — and attaches them to
+// one Mesh, so the full wire protocol (submit, forwarding, remote store,
+// mesh state transfer) is exercised inside ordinary `go test` with either
+// the in-memory mesh or TCP loopback.
+
+import (
+	"fmt"
+	"time"
+
+	"aeon/internal/cloudstore"
+	"aeon/internal/cluster"
+	"aeon/internal/core"
+	"aeon/internal/emanager"
+	"aeon/internal/ownership"
+	"aeon/internal/transport"
+)
+
+// Topology describes an in-process deployment.
+type Topology struct {
+	// Nodes is the number of node processes (and servers; 1:1).
+	Nodes int
+	// Profile is the server instance profile (default m3.large).
+	Profile cluster.Profile
+	// StoreNode serves the authoritative cloud store (default node 1).
+	StoreNode transport.NodeID
+	// NetCfg is the simulated intra-node network (default: zero-latency
+	// NullNetwork semantics via zero SimConfig — mesh calls carry the real
+	// cost in TCP deployments).
+	NetCfg transport.SimConfig
+	// Runtime overrides the runtime config (zero value → DefaultConfig
+	// with client-hop charging off, since the mesh pays real costs).
+	Runtime *core.Config
+	// Manager configures each node's elasticity manager.
+	Manager emanager.Config
+	// AccountsPerBank sizes the bank workload (default 4).
+	AccountsPerBank int
+	// InitialBalance seeds every account (default 1000).
+	InitialBalance int
+	// NodeDefaults, when non-nil, is applied to every node Config before
+	// ID/Runtime/stores are filled in (timeouts, hop budget, learning).
+	NodeDefaults *Config
+}
+
+// Deployment is a set of in-process nodes attached to one mesh.
+type Deployment struct {
+	// Nodes in ID order (Nodes[0] is node 1).
+	Nodes []*Node
+	// Top is the replicated bank topology (identical on every node).
+	Top *BankTopology
+	// Stores[i] is node i+1's local in-memory store; only the store
+	// node's is authoritative.
+	Stores []*cloudstore.Store
+}
+
+// Deploy builds and starts an in-process deployment on mesh. Every node
+// replays the same deterministic construction: same schema, same cluster,
+// same bank topology — so IDs and placements agree without coordination,
+// exactly like N processes launched from the same binary and flags.
+func Deploy(mesh transport.Mesh, top Topology) (*Deployment, error) {
+	if top.Nodes <= 0 {
+		return nil, fmt.Errorf("node: deployment needs at least one node")
+	}
+	if top.Profile.Name == "" {
+		top.Profile = cluster.M3Large
+	}
+	if top.StoreNode == 0 {
+		top.StoreNode = 1
+	}
+	if top.AccountsPerBank <= 0 {
+		top.AccountsPerBank = 4
+	}
+	if top.InitialBalance == 0 {
+		top.InitialBalance = 1000
+	}
+	d := &Deployment{}
+	for i := 1; i <= top.Nodes; i++ {
+		n, bank, store, err := buildNode(mesh, top, transport.NodeID(i))
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.Nodes = append(d.Nodes, n)
+		d.Stores = append(d.Stores, store)
+		if d.Top == nil {
+			d.Top = bank
+		}
+	}
+	return d, nil
+}
+
+// buildNode constructs one node's full replica and attaches it.
+func buildNode(mesh transport.Mesh, top Topology, id transport.NodeID) (*Node, *BankTopology, *cloudstore.Store, error) {
+	net := transport.NewSim(top.NetCfg)
+	cl := cluster.New(net)
+	for i := 0; i < top.Nodes; i++ {
+		cl.AddServer(top.Profile)
+	}
+	rtCfg := core.DefaultConfig()
+	rtCfg.ChargeClientHops = false
+	if top.Runtime != nil {
+		rtCfg = *top.Runtime
+	}
+	s := BankSchema()
+	if err := s.Freeze(); err != nil {
+		return nil, nil, nil, err
+	}
+	rt, err := core.New(s, ownership.NewGraph(), cl, rtCfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bank, err := BuildBank(rt, top.AccountsPerBank, top.InitialBalance)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	store := cloudstore.New()
+	cfg := Config{}
+	if top.NodeDefaults != nil {
+		cfg = *top.NodeDefaults
+	}
+	cfg.ID = id
+	cfg.Runtime = rt
+	cfg.LocalStore = store
+	cfg.StoreNode = top.StoreNode
+	cfg.Manager = top.Manager
+	n, err := Start(mesh, cfg)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("start node %v: %w", id, err)
+	}
+	return n, bank, store, nil
+}
+
+// Node returns the node with the given mesh ID.
+func (d *Deployment) Node(id transport.NodeID) *Node {
+	for _, n := range d.Nodes {
+		if n != nil && n.ID() == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// WaitReady pings every node from every other until the deployment is fully
+// meshed or the timeout elapses.
+func (d *Deployment) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, from := range d.Nodes {
+		for _, to := range d.Nodes {
+			if from == to {
+				continue
+			}
+			for {
+				if err := from.Ping(to.ID()); err == nil {
+					break
+				} else if time.Now().After(deadline) {
+					return fmt.Errorf("node %v unreachable from %v: %w", to.ID(), from.ID(), err)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}
+	return nil
+}
+
+// Close detaches every node and drains its runtime.
+func (d *Deployment) Close() {
+	for _, n := range d.Nodes {
+		if n == nil {
+			continue
+		}
+		_ = n.Close()
+		n.Runtime().Close()
+	}
+}

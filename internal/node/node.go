@@ -1,0 +1,587 @@
+// Package node implements AEON's distributed node runtime: it wraps one
+// process's server-slice of the system and attaches it to a transport.Mesh,
+// so N AEON servers run as N OS processes exchanging gob frames instead of
+// sharing an address space.
+//
+// Deployment model. Every node process builds the same cluster topology and
+// the same ownership network (deterministic construction from a shared
+// workload spec — identical creation order yields identical context IDs),
+// but each process *embodies* only its own server(s): context state is
+// authoritative only on the node hosting the context, and events execute on
+// the node embodying the server that hosts their sequencing point (the
+// dominator). The remaining replicas are routing metadata — exactly the
+// paper's split between the authoritative context mapping in cloud storage
+// and the cached mapping on every host (§ 5.1).
+//
+// Wire protocol (see wire.go): client submit and cross-node event
+// forwarding (placement resolved against the local directory snapshot;
+// misses forward along the directory's answer, stale callers pay the
+// forwarding hop of § 5.2 and repair their cache from the response), remote
+// cloud-store access (one node serves Get/Put/PutBatch/CAS/List to the
+// others, so every process journals into one authoritative store), and
+// migration state transfer (the engine's step IV ships serialized member
+// state to the destination node instead of relying on a shared registry).
+//
+// Known limitation, documented rather than hidden: runtime context creation
+// (Call.NewContext) is process-local — the ownership-network mutation is not
+// yet replicated to peer nodes, so multi-process deployments must create
+// their context topology at startup. Replicating graph mutations through
+// the cloud store is the natural next step on the roadmap.
+package node
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aeon/internal/cloudstore"
+	"aeon/internal/cluster"
+	"aeon/internal/core"
+	"aeon/internal/emanager"
+	"aeon/internal/ownership"
+	"aeon/internal/schema"
+	"aeon/internal/transport"
+)
+
+// Config describes one node process.
+type Config struct {
+	// ID is the node's mesh address. By default the node embodies the
+	// server with the same ID (ServerID and transport.NodeID are the same
+	// type), which is the 1:1 node-per-server deployment.
+	ID transport.NodeID
+	// Runtime is the node's runtime over the replicated topology. Start
+	// installs the multi-process hooks on it (Runtime.SetRemote).
+	Runtime *core.Runtime
+	// Servers lists the servers this process embodies. Empty means
+	// {ServerID(ID)}.
+	Servers []cluster.ServerID
+	// LocalStore is this process's in-memory cloud store. Required on the
+	// store node (it becomes the authoritative store every peer reaches
+	// over the mesh); ignored elsewhere unless StoreNode is zero.
+	LocalStore *cloudstore.Store
+	// StoreNode is the node serving the authoritative cloud store. Zero
+	// means this node uses its LocalStore directly (single-node or test
+	// deployments).
+	StoreNode transport.NodeID
+	// Manager configures the node's elasticity manager; its migration
+	// engine is wired to transfer state over the mesh automatically.
+	Manager emanager.Config
+	// MaxHops bounds submit forwarding chains. Zero means 4.
+	MaxHops int
+	// CallTimeout bounds each mesh call (submit forwards, store ops). Zero
+	// means 10s. Transfers and commanded migrations use TransferTimeout.
+	CallTimeout time.Duration
+	// TransferTimeout bounds state-transfer and commanded-migration calls,
+	// which move real bytes and sleep through protocol windows. Zero means
+	// 60s.
+	TransferTimeout time.Duration
+	// NoPlacementLearning disables repairing the local directory from
+	// submit responses. The mesh bench uses it to keep a deliberately stale
+	// directory paying the forwarding hop on every call.
+	NoPlacementLearning bool
+}
+
+// Node is one process's attachment to the AEON deployment.
+type Node struct {
+	cfg   Config
+	id    transport.NodeID
+	rt    *core.Runtime
+	local map[cluster.ServerID]bool
+
+	ep    transport.Endpoint
+	mgr   *emanager.Manager
+	store cloudstore.API
+
+	// forwarded counts submits this node forwarded to another node;
+	// executed counts peer submits it executed locally.
+	forwarded, executed, transfersIn, transfersOut atomic.Uint64
+
+	shutdownOnce sync.Once
+	shutdownCh   chan struct{}
+
+	closeOnce sync.Once
+}
+
+// Start attaches a node to the mesh: it wires the runtime's multi-process
+// hooks, builds the store handle (local on the store node, RemoteStore over
+// the mesh elsewhere), and creates the node's elasticity manager with
+// mesh-based migration state transfer. The node serves peer requests as
+// soon as Start returns.
+func Start(mesh transport.Mesh, cfg Config) (*Node, error) {
+	if cfg.Runtime == nil {
+		return nil, fmt.Errorf("node %v: runtime is required", cfg.ID)
+	}
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = 4
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 10 * time.Second
+	}
+	if cfg.TransferTimeout <= 0 {
+		cfg.TransferTimeout = 60 * time.Second
+	}
+	servers := cfg.Servers
+	if len(servers) == 0 {
+		servers = []cluster.ServerID{cluster.ServerID(cfg.ID)}
+	}
+	n := &Node{
+		cfg:        cfg,
+		id:         cfg.ID,
+		rt:         cfg.Runtime,
+		local:      make(map[cluster.ServerID]bool, len(servers)),
+		shutdownCh: make(chan struct{}),
+	}
+	for _, s := range servers {
+		n.local[s] = true
+	}
+
+	// Wire the node fully before it can serve a single frame: a peer whose
+	// ping raced ahead must never reach an unconfigured manager, store, or
+	// runtime. Only the endpoint itself is pending when Attach runs, so the
+	// handler gates on `ready` until it is recorded.
+	if cfg.StoreNode == 0 || cfg.StoreNode == cfg.ID {
+		if cfg.LocalStore == nil {
+			return nil, fmt.Errorf("node %v: store node needs a LocalStore", cfg.ID)
+		}
+		n.store = cfg.LocalStore
+	} else {
+		n.store = &RemoteStore{node: n, to: cfg.StoreNode}
+	}
+	mgrCfg := cfg.Manager
+	mgrCfg.Transfer = n.transferGroup
+	n.mgr = emanager.New(n.rt, n.store, mgrCfg)
+	n.rt.SetRemote(n.isLocal, n.forward)
+
+	ready := make(chan struct{})
+	ep, err := mesh.Attach(cfg.ID, func(ctx context.Context, from transport.NodeID, req transport.Message) (transport.Message, error) {
+		<-ready
+		return n.handle(ctx, from, req)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("node %v: attach: %w", cfg.ID, err)
+	}
+	n.ep = ep
+	close(ready)
+	return n, nil
+}
+
+// ID returns the node's mesh address.
+func (n *Node) ID() transport.NodeID { return n.id }
+
+// Runtime returns the node's runtime.
+func (n *Node) Runtime() *core.Runtime { return n.rt }
+
+// Manager returns the node's elasticity manager (mesh-wired migrations).
+func (n *Node) Manager() *emanager.Manager { return n.mgr }
+
+// Store returns the node's view of the authoritative cloud store.
+func (n *Node) Store() cloudstore.API { return n.store }
+
+// Forwarded returns how many submits this node forwarded to peers.
+func (n *Node) Forwarded() uint64 { return n.forwarded.Load() }
+
+// Executed returns how many peer-submitted events this node executed.
+func (n *Node) Executed() uint64 { return n.executed.Load() }
+
+// Done is closed when a peer requests shutdown (KindShutdown).
+func (n *Node) Done() <-chan struct{} { return n.shutdownCh }
+
+// Close detaches the node from the mesh and stops its manager. The runtime
+// is left to the caller (it may outlive the mesh attachment in tests).
+func (n *Node) Close() error {
+	var err error
+	n.closeOnce.Do(func() {
+		n.mgr.Stop()
+		err = n.ep.Close()
+	})
+	return err
+}
+
+// isLocal reports whether this process embodies srv.
+func (n *Node) isLocal(srv cluster.ServerID) bool { return n.local[srv] }
+
+// nodeFor maps a server to the mesh address of the node embodying it (the
+// 1:1 deployment: same numeric ID).
+func (n *Node) nodeFor(srv cluster.ServerID) transport.NodeID {
+	return transport.NodeID(srv)
+}
+
+// Submit executes one event from this node: locally when this node embodies
+// the server hosting the event's sequencing point, otherwise over the mesh.
+// It is the multi-process equivalent of Runtime.Submit (and delegates to
+// it — the runtime's forwarding hook does the mesh call).
+func (n *Node) Submit(target ownership.ID, method string, args ...any) (any, error) {
+	return n.rt.Submit(target, method, args...)
+}
+
+// Ping checks that a peer is attached and serving.
+func (n *Node) Ping(peer transport.NodeID) error {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
+	defer cancel()
+	payload, err := encodeFrame(pingResp{Node: n.id})
+	if err != nil {
+		return err
+	}
+	_, err = n.ep.Call(ctx, peer, transport.Message{Kind: KindPing, Payload: payload})
+	return err
+}
+
+// Shutdown asks a peer to shut down (its Done channel closes).
+func (n *Node) Shutdown(peer transport.NodeID) error {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
+	defer cancel()
+	_, err := n.ep.Call(ctx, peer, transport.Message{Kind: KindShutdown})
+	return err
+}
+
+// MigrateRemote commands the node embodying the group's current host to
+// migrate root (and its co-located subtree) to server `to`. The migration —
+// including the mesh state transfer — runs on the owning node; this call
+// blocks until the group is live on the destination.
+func (n *Node) MigrateRemote(owner transport.NodeID, root ownership.ID, to cluster.ServerID) error {
+	payload, err := encodeFrame(migrateReq{Root: root, To: to})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.TransferTimeout)
+	defer cancel()
+	raw, err := n.ep.Call(ctx, owner, transport.Message{Kind: KindMigrate, Payload: payload})
+	if err != nil {
+		return fmt.Errorf("migrate %v via %v: %w", root, owner, err)
+	}
+	var resp migrateResp
+	if err := decodeFrame(raw.Payload, &resp); err != nil {
+		return err
+	}
+	return wireError(resp.ErrKind, resp.Err)
+}
+
+// forward is the runtime's multi-process hook: the event's sequencing point
+// is hosted on a server another node embodies, so ship the whole event
+// there. The response's authoritative host repairs this node's directory
+// cache when the placement moved.
+func (n *Node) forward(host cluster.ServerID, target ownership.ID, method string, args []any) (any, error) {
+	n.forwarded.Add(1)
+	resp, err := n.callSubmit(n.nodeFor(host), submitReq{
+		Target: target,
+		Method: method,
+		Args:   args,
+		Hops:   1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.learnPlacement(target, resp.Host)
+	if resp.Err != "" {
+		return nil, wireError(resp.ErrKind, resp.Err)
+	}
+	return resp.Result, nil
+}
+
+// callSubmit sends one submit frame and decodes the response.
+func (n *Node) callSubmit(to transport.NodeID, req submitReq) (submitResp, error) {
+	payload, err := encodeFrame(req)
+	if err != nil {
+		return submitResp{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
+	defer cancel()
+	raw, err := n.ep.Call(ctx, to, transport.Message{Kind: KindSubmit, Payload: payload})
+	if err != nil {
+		return submitResp{}, fmt.Errorf("submit to %v: %w", to, err)
+	}
+	var resp submitResp
+	if err := decodeFrame(raw.Payload, &resp); err != nil {
+		return submitResp{}, err
+	}
+	return resp, nil
+}
+
+// learnPlacement repairs the local directory cache from an authoritative
+// placement carried in a submit response. The response's Host is the
+// placement of the event's *dominator* — the entry every routing decision
+// (ours and our peers') is made on — so only that entry is repaired: the
+// target itself may legitimately live on another server (a leaf migrated
+// without its subtree), and overwriting its correct entry with the
+// dominator's host would corrupt it.
+func (n *Node) learnPlacement(target ownership.ID, host cluster.ServerID) {
+	if host == 0 || n.cfg.NoPlacementLearning {
+		return
+	}
+	dom, _, err := n.rt.Graph().Resolve(target)
+	if err != nil {
+		return
+	}
+	dir := n.rt.Directory()
+	if cur, ok := dir.Locate(dom); ok && cur != host && !n.isLocal(cur) {
+		// Cache repair only — hosted counters track authoritative
+		// placements and are maintained by the migration protocol.
+		_ = dir.Move(dom, host)
+	}
+}
+
+// handle is the node's mesh request handler.
+func (n *Node) handle(ctx context.Context, from transport.NodeID, req transport.Message) (transport.Message, error) {
+	switch req.Kind {
+	case KindPing:
+		payload, err := encodeFrame(pingResp{Node: n.id})
+		return transport.Message{Kind: KindPing, Payload: payload}, err
+	case KindSubmit:
+		var sr submitReq
+		if err := decodeFrame(req.Payload, &sr); err != nil {
+			return transport.Message{}, err
+		}
+		payload, err := encodeFrame(n.handleSubmit(sr))
+		return transport.Message{Kind: KindSubmit, Payload: payload}, err
+	case KindStore:
+		var sr storeReq
+		if err := decodeFrame(req.Payload, &sr); err != nil {
+			return transport.Message{}, err
+		}
+		payload, err := encodeFrame(n.handleStore(sr))
+		return transport.Message{Kind: KindStore, Payload: payload}, err
+	case KindTransfer:
+		var tr transferReq
+		if err := decodeFrame(req.Payload, &tr); err != nil {
+			return transport.Message{}, err
+		}
+		msg, kind := errFields(n.handleTransfer(tr))
+		payload, err := encodeFrame(transferResp{Err: msg, ErrKind: kind})
+		return transport.Message{Kind: KindTransfer, Payload: payload}, err
+	case KindTransferQuery:
+		var tq transferQueryReq
+		if err := decodeFrame(req.Payload, &tq); err != nil {
+			return transport.Message{}, err
+		}
+		host, ok := n.rt.Directory().Locate(tq.Probe)
+		payload, err := encodeFrame(transferQueryResp{Committed: ok && host == tq.To})
+		return transport.Message{Kind: KindTransferQuery, Payload: payload}, err
+	case KindMigrate:
+		var mr migrateReq
+		if err := decodeFrame(req.Payload, &mr); err != nil {
+			return transport.Message{}, err
+		}
+		msg, kind := errFields(n.handleMigrate(mr))
+		payload, err := encodeFrame(migrateResp{Err: msg, ErrKind: kind})
+		return transport.Message{Kind: KindMigrate, Payload: payload}, err
+	case KindShutdown:
+		n.shutdownOnce.Do(func() { close(n.shutdownCh) })
+		return transport.Message{Kind: KindShutdown}, nil
+	default:
+		return transport.Message{}, fmt.Errorf("node %v: unknown frame kind %q", n.id, req.Kind)
+	}
+}
+
+// handleSubmit executes or forwards one submitted event. Placement is
+// resolved against the local directory snapshot; a miss forwards along the
+// directory's answer with the hop budget decremented, so a stale sender
+// pays exactly the forwarding hop of the paper's staleness window.
+func (n *Node) handleSubmit(req submitReq) submitResp {
+	dom, _, err := n.rt.Graph().Resolve(req.Target)
+	if err != nil {
+		msg, kind := errFields(fmt.Errorf("dominator of %v: %w", req.Target, core.ErrUnknownContext))
+		return submitResp{Err: msg, ErrKind: kind}
+	}
+	dir := n.rt.Directory()
+	host, ok := dir.Locate(dom)
+	if !ok {
+		msg, kind := errFields(fmt.Errorf("%v: %w", dom, core.ErrUnknownContext))
+		return submitResp{Err: msg, ErrKind: kind}
+	}
+	if !n.isLocal(host) {
+		// Forward on miss: our cached mapping says another node hosts the
+		// sequencing point.
+		if req.Hops >= n.cfg.MaxHops {
+			msg, kind := errFields(fmt.Errorf("%v after %d hops: %w", req.Target, req.Hops, ErrTooManyHops))
+			return submitResp{Err: msg, ErrKind: kind, Host: host}
+		}
+		fwd := req
+		fwd.Hops++
+		n.forwarded.Add(1)
+		resp, err := n.callSubmit(n.nodeFor(host), fwd)
+		if err != nil {
+			msg, kind := errFields(err)
+			return submitResp{Err: msg, ErrKind: kind, Host: host}
+		}
+		n.learnPlacement(req.Target, resp.Host)
+		return resp
+	}
+	n.executed.Add(1)
+	res, err := n.rt.Submit(req.Target, req.Method, req.Args...)
+	resp := submitResp{Result: res}
+	resp.Err, resp.ErrKind = errFields(err)
+	// Report the authoritative placement after execution (the runtime may
+	// itself have forwarded if a migration raced admission).
+	if cur, ok := dir.Locate(dom); ok {
+		resp.Host = cur
+	}
+	return resp
+}
+
+// handleMigrate serves a commanded migration: only the node embodying the
+// group's current host may run it (the migration engine is source-driven).
+func (n *Node) handleMigrate(req migrateReq) error {
+	host, ok := n.rt.Directory().Locate(req.Root)
+	if !ok {
+		return fmt.Errorf("%v: %w", req.Root, core.ErrUnknownContext)
+	}
+	if !n.isLocal(host) {
+		return fmt.Errorf("migrate %v hosted on %v: %w", req.Root, host, ErrNotLocalServer)
+	}
+	return n.mgr.MigrateGroup(req.Root, req.To)
+}
+
+// transferGroup is the migration engine's Transfer hook: serialize every
+// member's state and ship it to the destination node, which installs it and
+// remaps its directory replica. Destinations embodied by this node need no
+// wire round trip (the registry is shared process-wide).
+func (n *Node) transferGroup(members []ownership.ID, from, to cluster.ServerID, totalBytes int) error {
+	if n.isLocal(to) {
+		return nil
+	}
+	states := make(map[uint64][]byte, len(members))
+	for _, id := range members {
+		c, err := n.rt.Context(id)
+		if err != nil {
+			return fmt.Errorf("transfer %v: %w", id, err)
+		}
+		st := c.State()
+		if st == nil {
+			continue
+		}
+		b, err := schema.EncodeWire(st)
+		if err != nil {
+			return fmt.Errorf("transfer %v: %w", id, err)
+		}
+		states[uint64(id)] = b
+	}
+	payload, err := encodeFrame(transferReq{
+		Members:    members,
+		From:       from,
+		To:         to,
+		TotalBytes: totalBytes,
+		States:     states,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.TransferTimeout)
+	defer cancel()
+	n.transfersOut.Add(1)
+	raw, err := n.ep.Call(ctx, n.nodeFor(to), transport.Message{Kind: KindTransfer, Payload: payload})
+	if err != nil {
+		// Ambiguous outcome: the request — or just its ack — may have been
+		// lost after the destination installed the state and remapped its
+		// directory (it commits inside the handler). Probe the destination:
+		// if it committed, the transfer succeeded and the source must
+		// proceed with its own remap, or two processes would both consider
+		// themselves authoritative for the group. If the probe says "not
+		// committed" (or the peer is unreachable), abort with the WAL
+		// intact; Recover re-runs the protocol and converges.
+		if len(members) > 0 && n.transferCommitted(members[0], to) {
+			return nil
+		}
+		return fmt.Errorf("transfer to %v: %w", to, err)
+	}
+	var resp transferResp
+	if err := decodeFrame(raw.Payload, &resp); err != nil {
+		return err
+	}
+	return wireError(resp.ErrKind, resp.Err)
+}
+
+// transferCommitted asks the destination whether it committed a transfer
+// whose acknowledgment was lost. Any probe failure reports false — the
+// caller then aborts and leaves convergence to WAL recovery.
+func (n *Node) transferCommitted(probe ownership.ID, to cluster.ServerID) bool {
+	payload, err := encodeFrame(transferQueryReq{Probe: probe, To: to})
+	if err != nil {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
+	defer cancel()
+	raw, err := n.ep.Call(ctx, n.nodeFor(to), transport.Message{Kind: KindTransferQuery, Payload: payload})
+	if err != nil {
+		return false
+	}
+	var resp transferQueryResp
+	if err := decodeFrame(raw.Payload, &resp); err != nil {
+		return false
+	}
+	return resp.Committed
+}
+
+// handleTransfer installs a migrated group on this node: decode and set
+// each member's state, then remap the local directory replica in one
+// MoveBatch epoch (RehostBatch) and mirror the NIC transfer accounting the
+// source engine charges on its side.
+func (n *Node) handleTransfer(req transferReq) error {
+	if !n.isLocal(req.To) {
+		return fmt.Errorf("transfer for %v: %w", req.To, ErrNotLocalServer)
+	}
+	for _, id := range req.Members {
+		c, err := n.rt.Context(id)
+		if err != nil {
+			return fmt.Errorf("install %v: %w", id, err)
+		}
+		b, ok := req.States[uint64(id)]
+		if !ok {
+			continue
+		}
+		v, err := schema.DecodeWire(b)
+		if err != nil {
+			return fmt.Errorf("install %v: %w", id, err)
+		}
+		c.SetState(v)
+	}
+	if err := n.rt.RehostBatch(req.Members, req.To); err != nil {
+		return err
+	}
+	n.transfersIn.Add(1)
+	cl := n.rt.Cluster()
+	if s, ok := cl.Server(req.To); ok {
+		s.AddTransferBytes(int64(req.TotalBytes))
+	}
+	if s, ok := cl.Server(req.From); ok {
+		s.AddTransferBytes(int64(req.TotalBytes))
+	}
+	return nil
+}
+
+// handleStore serves one cloud-store operation from the authoritative local
+// store. Non-store nodes refuse typed, so a misconfigured peer fails fast.
+func (n *Node) handleStore(req storeReq) storeResp {
+	if n.cfg.StoreNode != 0 && n.cfg.StoreNode != n.id {
+		msg, kind := errFields(fmt.Errorf("node %v: %w", n.id, ErrNotStoreNode))
+		return storeResp{Err: msg, ErrKind: kind}
+	}
+	st := n.cfg.LocalStore
+	if st == nil {
+		msg, kind := errFields(fmt.Errorf("node %v has no local store: %w", n.id, ErrNotStoreNode))
+		return storeResp{Err: msg, ErrKind: kind}
+	}
+	var resp storeResp
+	var err error
+	switch req.Op {
+	case storeGet:
+		resp.Value, resp.Version, err = st.Get(req.Key)
+	case storePut:
+		resp.Version, err = st.Put(req.Key, req.Value)
+	case storePutBatch:
+		resp.Version, err = st.PutBatch(req.Entries)
+	case storeCAS:
+		resp.Version, err = st.CAS(req.Key, req.Expect, req.Value)
+	case storeDelete:
+		err = st.Delete(req.Key)
+	case storeDelBatch:
+		err = st.DeleteBatch(req.Keys)
+	case storeList:
+		resp.Keys, err = st.List(req.Key)
+	default:
+		err = fmt.Errorf("node %v: unknown store op %q", n.id, req.Op)
+	}
+	resp.Err, resp.ErrKind = errFields(err)
+	return resp
+}

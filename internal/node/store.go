@@ -1,0 +1,110 @@
+package node
+
+import (
+	"context"
+	"fmt"
+
+	"aeon/internal/cloudstore"
+	"aeon/internal/transport"
+)
+
+// RemoteStore is a cloudstore.API client over the transport mesh: every
+// operation is one request/response exchange with the store node, so all
+// processes of a deployment journal migrations, mappings, and checkpoints
+// into one authoritative store — the paper's cloud-storage role (§ 5.1),
+// with a node (or a dedicated external process running the same frame
+// handler) standing in for ZooKeeper/S3.
+type RemoteStore struct {
+	node *Node
+	to   transport.NodeID
+}
+
+var _ cloudstore.API = (*RemoteStore)(nil)
+
+// call performs one store exchange.
+func (r *RemoteStore) call(req storeReq) (storeResp, error) {
+	payload, err := encodeFrame(req)
+	if err != nil {
+		return storeResp{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.node.cfg.CallTimeout)
+	defer cancel()
+	raw, err := r.node.ep.Call(ctx, r.to, transport.Message{Kind: KindStore, Payload: payload})
+	if err != nil {
+		return storeResp{}, fmt.Errorf("store %s via %v: %w", req.Op, r.to, err)
+	}
+	var resp storeResp
+	if err := decodeFrame(raw.Payload, &resp); err != nil {
+		return storeResp{}, err
+	}
+	if resp.Err != "" {
+		return storeResp{}, wireError(resp.ErrKind, resp.Err)
+	}
+	return resp, nil
+}
+
+// Get implements cloudstore.API.
+func (r *RemoteStore) Get(key string) ([]byte, uint64, error) {
+	resp, err := r.call(storeReq{Op: storeGet, Key: key})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Value, resp.Version, nil
+}
+
+// Put implements cloudstore.API.
+func (r *RemoteStore) Put(key string, value []byte) (uint64, error) {
+	resp, err := r.call(storeReq{Op: storePut, Key: key, Value: value})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// PutBatch implements cloudstore.API: the whole batch is one mesh round
+// trip and one charged store write, preserving the batched-migration and
+// batched-checkpoint cost model across the process boundary.
+func (r *RemoteStore) PutBatch(entries map[string][]byte) (uint64, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	resp, err := r.call(storeReq{Op: storePutBatch, Entries: entries})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// CAS implements cloudstore.API.
+func (r *RemoteStore) CAS(key string, expect uint64, value []byte) (uint64, error) {
+	resp, err := r.call(storeReq{Op: storeCAS, Key: key, Expect: expect, Value: value})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// Delete implements cloudstore.API.
+func (r *RemoteStore) Delete(key string) error {
+	_, err := r.call(storeReq{Op: storeDelete, Key: key})
+	return err
+}
+
+// DeleteBatch implements cloudstore.API: one mesh round trip, one charged
+// write for the whole prune.
+func (r *RemoteStore) DeleteBatch(keys []string) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	_, err := r.call(storeReq{Op: storeDelBatch, Keys: keys})
+	return err
+}
+
+// List implements cloudstore.API.
+func (r *RemoteStore) List(prefix string) ([]string, error) {
+	resp, err := r.call(storeReq{Op: storeList, Key: prefix})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Keys, nil
+}

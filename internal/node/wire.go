@@ -1,0 +1,277 @@
+package node
+
+// The node wire protocol: gob frames carried in transport.Message payloads
+// over Mesh.Call. Every exchange is strictly request/response. Handler-level
+// failures travel in-band as an error kind plus message, so typed errors
+// (unknown context, hop-budget exhaustion, backpressure, store version
+// mismatch) survive the wire instead of flattening into strings.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"aeon/internal/cloudstore"
+	"aeon/internal/cluster"
+	"aeon/internal/core"
+	"aeon/internal/ownership"
+	"aeon/internal/schema"
+	"aeon/internal/transport"
+)
+
+// Frame kinds, routed by transport.Message.Kind.
+const (
+	// KindPing checks liveness and readiness of a peer.
+	KindPing = "node.ping"
+	// KindSubmit submits (or forwards) one event for execution.
+	KindSubmit = "node.submit"
+	// KindStore performs one cloud-store operation on the store node.
+	KindStore = "node.store"
+	// KindTransfer installs a migrated group's state on the destination
+	// node (migration protocol step IV over the mesh).
+	KindTransfer = "node.transfer"
+	// KindTransferQuery asks a destination whether it committed a transfer
+	// (state installed and directory remapped). The source uses it to
+	// resolve a lost transfer ack: without it, a dropped response would
+	// leave the destination live while the source aborted — two
+	// authoritative copies.
+	KindTransferQuery = "node.transfer.query"
+	// KindMigrate asks a node to migrate a group it hosts (control plane).
+	KindMigrate = "node.migrate"
+	// KindShutdown asks a node to shut down (control plane; the smoke
+	// driver uses it to stop its peers).
+	KindShutdown = "node.shutdown"
+)
+
+// Wire error kinds; mapped back to sentinel errors on the calling side.
+const (
+	errKindNone            = ""
+	errKindApp             = "app"
+	errKindUnknownContext  = "unknown-context"
+	errKindUnknownMethod   = "unknown-method"
+	errKindTooManyHops     = "too-many-hops"
+	errKindBackpressure    = "backpressure"
+	errKindClosed          = "closed"
+	errKindNotLocal        = "not-local"
+	errKindNotStoreNode    = "not-store-node"
+	errKindNotFound        = "store-not-found"
+	errKindVersionMismatch = "store-version-mismatch"
+	errKindUnavailable     = "store-unavailable"
+)
+
+var (
+	// ErrTooManyHops is returned when a submit frame exhausts its forwarding
+	// budget — the placement directories of the involved nodes disagree
+	// persistently (a bug or a torn deployment), so the event fails typed
+	// instead of bouncing forever.
+	ErrTooManyHops = errors.New("node: submit exceeded forwarding hop budget")
+	// ErrNotStoreNode is returned when a store frame reaches a node that
+	// does not serve the authoritative cloud store.
+	ErrNotStoreNode = errors.New("node: not the store node")
+	// ErrNotLocalServer is returned when a frame requires a server this
+	// node does not embody (e.g. a transfer addressed to the wrong node).
+	ErrNotLocalServer = errors.New("node: server not embodied by this node")
+)
+
+// submitReq asks the receiving node to execute one event. Hops counts how
+// many times the frame has been forwarded already.
+type submitReq struct {
+	Target ownership.ID
+	Method string
+	Args   []any
+	Hops   int
+}
+
+// submitResp carries the event result. Host is the authoritative placement
+// of the event's sequencing point after execution, so stale callers can
+// repair their directory cache ("notify source host to update its context
+// map", § 5.2).
+type submitResp struct {
+	Result  any
+	Host    cluster.ServerID
+	Err     string
+	ErrKind string
+}
+
+// Store operation selectors.
+const (
+	storeGet      = "get"
+	storePut      = "put"
+	storePutBatch = "putbatch"
+	storeCAS      = "cas"
+	storeDelete   = "delete"
+	storeDelBatch = "deletebatch"
+	storeList     = "list"
+)
+
+// storeReq is one cloud-store operation.
+type storeReq struct {
+	Op      string
+	Key     string
+	Keys    []string
+	Value   []byte
+	Entries map[string][]byte
+	Expect  uint64
+}
+
+// storeResp is the result of a store operation.
+type storeResp struct {
+	Value   []byte
+	Version uint64
+	Keys    []string
+	Err     string
+	ErrKind string
+}
+
+// transferReq ships a stopped migration group's serialized state to the
+// destination node. States maps member ID to its schema.EncodeWire payload;
+// members without an entry (nil state, adopted stragglers carrying factory
+// state) are remapped without a state install.
+type transferReq struct {
+	Members    []ownership.ID
+	From       cluster.ServerID
+	To         cluster.ServerID
+	TotalBytes int
+	States     map[uint64][]byte
+}
+
+// transferResp acknowledges a state transfer.
+type transferResp struct {
+	Err     string
+	ErrKind string
+}
+
+// transferQueryReq probes whether the destination committed a transfer:
+// Probe is the group's root (first member), To the destination server.
+type transferQueryReq struct {
+	Probe ownership.ID
+	To    cluster.ServerID
+}
+
+// transferQueryResp answers a commit probe.
+type transferQueryResp struct {
+	Committed bool
+	Err       string
+	ErrKind   string
+}
+
+// migrateReq asks the receiving node to migrate a group it hosts.
+type migrateReq struct {
+	Root ownership.ID
+	To   cluster.ServerID
+}
+
+// migrateResp acknowledges a commanded migration.
+type migrateResp struct {
+	Err     string
+	ErrKind string
+}
+
+// pingResp reports liveness.
+type pingResp struct {
+	Node transport.NodeID
+}
+
+func init() {
+	// Node wire frames travel through the shared registry like every other
+	// cross-process payload.
+	schema.RegisterWireTypes(
+		submitReq{}, submitResp{},
+		storeReq{}, storeResp{},
+		transferReq{}, transferResp{},
+		transferQueryReq{}, transferQueryResp{},
+		migrateReq{}, migrateResp{},
+		pingResp{},
+	)
+}
+
+// encodeFrame gob-encodes one wire frame.
+func encodeFrame(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("node: encode frame %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeFrame decodes a wire frame into out (a pointer).
+func decodeFrame(b []byte, out any) error {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(out); err != nil {
+		return fmt.Errorf("node: decode frame %T: %w", out, err)
+	}
+	return nil
+}
+
+// errKindOf classifies an error for the wire.
+func errKindOf(err error) string {
+	switch {
+	case err == nil:
+		return errKindNone
+	case errors.Is(err, core.ErrUnknownContext):
+		return errKindUnknownContext
+	case errors.Is(err, core.ErrUnknownMethod):
+		return errKindUnknownMethod
+	case errors.Is(err, core.ErrBackpressure):
+		return errKindBackpressure
+	case errors.Is(err, core.ErrClosed):
+		return errKindClosed
+	case errors.Is(err, core.ErrNotLocal):
+		return errKindNotLocal
+	case errors.Is(err, ErrTooManyHops):
+		return errKindTooManyHops
+	case errors.Is(err, ErrNotStoreNode):
+		return errKindNotStoreNode
+	case errors.Is(err, ErrNotLocalServer):
+		return errKindNotLocal
+	case errors.Is(err, cloudstore.ErrNotFound):
+		return errKindNotFound
+	case errors.Is(err, cloudstore.ErrVersionMismatch):
+		return errKindVersionMismatch
+	case errors.Is(err, cloudstore.ErrUnavailable):
+		return errKindUnavailable
+	default:
+		return errKindApp
+	}
+}
+
+// wireError reconstructs a typed error from its wire form, so callers can
+// branch with errors.Is across the process boundary.
+func wireError(kind, msg string) error {
+	var sentinel error
+	switch kind {
+	case errKindNone:
+		return nil
+	case errKindUnknownContext:
+		sentinel = core.ErrUnknownContext
+	case errKindUnknownMethod:
+		sentinel = core.ErrUnknownMethod
+	case errKindBackpressure:
+		sentinel = core.ErrBackpressure
+	case errKindClosed:
+		sentinel = core.ErrClosed
+	case errKindNotLocal:
+		sentinel = core.ErrNotLocal
+	case errKindTooManyHops:
+		sentinel = ErrTooManyHops
+	case errKindNotStoreNode:
+		sentinel = ErrNotStoreNode
+	case errKindNotFound:
+		sentinel = cloudstore.ErrNotFound
+	case errKindVersionMismatch:
+		sentinel = cloudstore.ErrVersionMismatch
+	case errKindUnavailable:
+		sentinel = cloudstore.ErrUnavailable
+	default:
+		return errors.New(msg)
+	}
+	return fmt.Errorf("%s: %w", msg, sentinel)
+}
+
+// errFields renders an error into (message, kind) wire fields.
+func errFields(err error) (msg, kind string) {
+	if err == nil {
+		return "", errKindNone
+	}
+	return err.Error(), errKindOf(err)
+}

@@ -1,0 +1,182 @@
+package node
+
+// The deterministic bank workload hosted by multi-process deployments: one
+// Bank context per server, each owning a row of Account contexts, built in
+// the same order on every node so context IDs and placements agree across
+// processes without any coordination. It is the quickstart example's schema,
+// made reproducible enough to serve as the node smoke/bench workload.
+
+import (
+	"errors"
+	"fmt"
+
+	"aeon/internal/cluster"
+	"aeon/internal/core"
+	"aeon/internal/ownership"
+	"aeon/internal/schema"
+	"aeon/internal/transport"
+)
+
+// BankAccount is the account state; exported (and wire-registered) so it
+// can ride migration state transfer and checkpoints across processes.
+type BankAccount struct {
+	Balance int
+}
+
+func init() {
+	schema.RegisterWireType(&BankAccount{})
+}
+
+// ErrInsufficientFunds is returned by withdraw/transfer when the source
+// account cannot cover the amount.
+var ErrInsufficientFunds = errors.New("bank: insufficient funds")
+
+// BankSchema declares the bank contextclasses (quickstart's schema): Bank
+// owns Accounts; transfer atomically moves money, audit is a readonly sweep.
+func BankSchema() *schema.Schema {
+	s := schema.New()
+	acc := s.MustDeclareClass("Account", func() any { return &BankAccount{} })
+	acc.MustDeclareMethod("deposit", func(call schema.Call, args []any) (any, error) {
+		st := call.State().(*BankAccount)
+		st.Balance += args[0].(int)
+		return st.Balance, nil
+	})
+	acc.MustDeclareMethod("withdraw", func(call schema.Call, args []any) (any, error) {
+		st := call.State().(*BankAccount)
+		amt := args[0].(int)
+		if amt > st.Balance {
+			return nil, ErrInsufficientFunds
+		}
+		st.Balance -= amt
+		return st.Balance, nil
+	})
+	acc.MustDeclareMethod("balance", func(call schema.Call, args []any) (any, error) {
+		return call.State().(*BankAccount).Balance, nil
+	}, schema.RO())
+
+	bank := s.MustDeclareClass("Bank", nil)
+	bank.MustDeclareMethod("transfer", func(call schema.Call, args []any) (any, error) {
+		from, to, amt := args[0].(ownership.ID), args[1].(ownership.ID), args[2].(int)
+		if _, err := call.Sync(from, "withdraw", amt); err != nil {
+			return nil, err
+		}
+		return call.Sync(to, "deposit", amt)
+	}, schema.MayCall("Account", "withdraw"), schema.MayCall("Account", "deposit"))
+	bank.MustDeclareMethod("audit", func(call schema.Call, args []any) (any, error) {
+		accounts, err := call.Children("Account")
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, a := range accounts {
+			b, err := call.Sync(a, "balance")
+			if err != nil {
+				return nil, err
+			}
+			total += b.(int)
+		}
+		return total, nil
+	}, schema.RO(), schema.MayCall("Account", "balance"))
+	return s
+}
+
+// BankTopology records the deterministic placement of the bank workload.
+type BankTopology struct {
+	// Banks[i] is the Bank placed on server i+1.
+	Banks []ownership.ID
+	// Accounts[i] are Banks[i]'s accounts, in creation order.
+	Accounts [][]ownership.ID
+}
+
+// BuildBank populates rt with one Bank per cluster server, each owning
+// accountsPerBank accounts seeded with initialBalance. Creation order is
+// fixed (server order, then account index), so every node that runs it
+// against an identically built cluster derives identical context IDs —
+// the agreement multi-process routing relies on.
+func BuildBank(rt *core.Runtime, accountsPerBank, initialBalance int) (*BankTopology, error) {
+	top := &BankTopology{}
+	for _, srv := range rt.Cluster().Servers() {
+		bankID, err := rt.CreateContextOn(srv.ID(), "Bank")
+		if err != nil {
+			return nil, fmt.Errorf("bank on %v: %w", srv.ID(), err)
+		}
+		accounts := make([]ownership.ID, 0, accountsPerBank)
+		for i := 0; i < accountsPerBank; i++ {
+			a, err := rt.CreateContextOn(srv.ID(), "Account", bankID)
+			if err != nil {
+				return nil, fmt.Errorf("account %d on %v: %w", i, srv.ID(), err)
+			}
+			if initialBalance != 0 {
+				if c, err := rt.Context(a); err == nil {
+					c.SetState(&BankAccount{Balance: initialBalance})
+				}
+			}
+			accounts = append(accounts, a)
+		}
+		top.Banks = append(top.Banks, bankID)
+		top.Accounts = append(top.Accounts, accounts)
+	}
+	return top, nil
+}
+
+// SubmitFunc abstracts "submit an event" over node deployments and plain
+// runtimes, so the same script drives both.
+type SubmitFunc func(target ownership.ID, method string, args ...any) (any, error)
+
+// RunBankScript replays one deterministic op sequence against the bank
+// topology — deposits to every account (cross-bank, so submits from one
+// node cross the mesh), an in-bank transfer, a failing transfer, and a
+// final audit per bank — recording every outcome as a printable string. The
+// multi-process smoke driver compares its output against a single-process
+// run of the same script: the node layer must be semantically invisible.
+func RunBankScript(submit SubmitFunc, top *BankTopology) []string {
+	var out []string
+	rec := func(v any, err error) {
+		if err != nil {
+			out = append(out, "err:"+err.Error())
+		} else {
+			out = append(out, fmt.Sprintf("%v", v))
+		}
+	}
+	for b := range top.Banks {
+		for i, acct := range top.Accounts[b] {
+			rec(submit(acct, "deposit", 10*(b+1)+i))
+		}
+	}
+	if len(top.Banks) > 0 && len(top.Accounts[0]) > 1 {
+		rec(submit(top.Banks[0], "transfer", top.Accounts[0][0], top.Accounts[0][1], 30))
+	}
+	if len(top.Banks) > 1 && len(top.Accounts[1]) > 1 {
+		rec(submit(top.Banks[1], "transfer", top.Accounts[1][0], top.Accounts[1][1], 1<<30)) // insufficient funds
+	}
+	for b := range top.Banks {
+		rec(submit(top.Banks[b], "audit"))
+	}
+	return out
+}
+
+// BankOracle builds a fresh single-process runtime with the identical bank
+// topology, replays the script on it, and returns (outcomes, per-bank audit
+// totals). Multi-process drivers use it as the ground truth.
+func BankOracle(nodes, accountsPerBank, initialBalance int) ([]string, *BankTopology, error) {
+	cl := cluster.New(transport.NewSim(transport.SimConfig{}))
+	for i := 0; i < nodes; i++ {
+		cl.AddServer(cluster.M3Large)
+	}
+	s := BankSchema()
+	if err := s.Freeze(); err != nil {
+		return nil, nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.ChargeClientHops = false
+	rt, err := core.New(s, ownership.NewGraph(), cl, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer rt.Close()
+	top, err := BuildBank(rt, accountsPerBank, initialBalance)
+	if err != nil {
+		return nil, nil, err
+	}
+	return RunBankScript(rt.Submit, top), top, nil
+}

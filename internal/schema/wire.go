@@ -1,0 +1,87 @@
+package schema
+
+// Central gob type registry for every codec that moves AEON values across a
+// process or storage boundary: event payloads shipped between nodes over the
+// transport mesh, migration state-transfer records, the migration WAL, and
+// eManager checkpoints. Registering in one place keeps the codecs from
+// drifting — a type registered for checkpoints is automatically decodable in
+// a node wire frame and vice versa, and a payload type forgotten by one
+// subsystem fails the same way everywhere instead of only on the rarely
+// exercised path.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"aeon/internal/ownership"
+)
+
+var (
+	wireMu    sync.Mutex
+	wireTypes = make(map[reflect.Type]bool)
+)
+
+// RegisterWireType registers a concrete type with the shared gob codec so
+// values of that type can travel inside `any`-typed fields (event arguments
+// and results, checkpointed context state, migration transfer records).
+// Registration is idempotent per concrete type; call it from init or setup
+// code for every application payload type.
+func RegisterWireType(v any) {
+	if v == nil {
+		return
+	}
+	t := reflect.TypeOf(v)
+	wireMu.Lock()
+	defer wireMu.Unlock()
+	if wireTypes[t] {
+		return
+	}
+	gob.Register(v)
+	wireTypes[t] = true
+}
+
+// RegisterWireTypes registers several payload types at once.
+func RegisterWireTypes(vs ...any) {
+	for _, v := range vs {
+		RegisterWireType(v)
+	}
+}
+
+func init() {
+	// Types every AEON deployment exchanges: context IDs appear in event
+	// arguments and results (gob pre-registers the ordinary scalars).
+	RegisterWireTypes(
+		ownership.ID(0),
+		[]ownership.ID(nil),
+		[]any(nil),
+		map[string]any(nil),
+	)
+}
+
+// wireBox wraps an arbitrary value so gob records its concrete type; the
+// single box type is shared by checkpoints, migration transfer records, and
+// node wire frames.
+type wireBox struct {
+	V any
+}
+
+// EncodeWire gob-encodes one value of any registered type.
+func EncodeWire(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wireBox{V: v}); err != nil {
+		return nil, fmt.Errorf("schema: encode wire value: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeWire decodes a value produced by EncodeWire.
+func DecodeWire(b []byte) (any, error) {
+	var box wireBox
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&box); err != nil {
+		return nil, fmt.Errorf("schema: decode wire value: %w", err)
+	}
+	return box.V, nil
+}

@@ -8,7 +8,15 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
+
+// isTimeout reports whether err is a network timeout (deadline exceeded on
+// the socket).
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
 
 // TCPMesh is a Mesh whose endpoints communicate over real TCP sockets with
 // gob-encoded frames. It supports multi-process deployments: each process
@@ -45,19 +53,33 @@ func NewTCPMesh() *TCPMesh {
 	}
 }
 
-// Register associates a node ID with a dialable address.
+// ErrCallTimeout is returned by TCP mesh calls whose context deadline
+// expired before the peer answered (dead peer, partition, or overload); the
+// connection is discarded so a late response can never be mis-matched to a
+// later call.
+var ErrCallTimeout = errors.New("transport: call timed out")
+
+// Register associates a node ID with a dialable address. Registering the
+// local node's own ID before Attach makes Attach listen on that address.
 func (m *TCPMesh) Register(id NodeID, addr string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.addrs[id] = addr
 }
 
-// Attach implements Mesh: it starts a TCP listener on an ephemeral port (use
-// AttachListener to control the address) and serves requests with h.
+// Attach implements Mesh: it starts a TCP listener — on the node's
+// registered address when one was Registered, otherwise on an ephemeral
+// loopback port — and serves requests with h.
 func (m *TCPMesh) Attach(id NodeID, h Handler) (Endpoint, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	m.mu.RLock()
+	addr, ok := m.addrs[id]
+	m.mu.RUnlock()
+	if !ok {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("listen: %w", err)
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
 	}
 	return m.AttachListener(id, h, ln)
 }
@@ -200,23 +222,53 @@ func (e *tcpEndpoint) Call(ctx context.Context, to NodeID, req Message) (Message
 		var d net.Dialer
 		conn, err := d.DialContext(ctx, "tcp", addr)
 		if err != nil {
+			// A peer whose handshake never completes (host down, SYN
+			// blackholed) is the same dead-peer case as a hung response:
+			// surface the typed timeout.
+			if isTimeout(err) || errors.Is(err, context.DeadlineExceeded) {
+				return Message{}, fmt.Errorf("dial %v: %w", to, ErrCallTimeout)
+			}
 			return Message{}, fmt.Errorf("dial %v: %w", to, err)
 		}
 		cc = &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 	}
 
+	// Honor the caller's deadline on the socket itself: without it a dead
+	// peer (process gone but connection alive, or a partition that eats the
+	// response) wedges the decoder forever. A timed-out connection is closed,
+	// never pooled, so a late response cannot be mis-matched to a later call.
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := cc.conn.SetDeadline(deadline); err != nil {
+			_ = cc.conn.Close()
+			return Message{}, fmt.Errorf("set deadline for %v: %w", to, err)
+		}
+	}
 	if err := cc.enc.Encode(wireReq{From: e.id, Req: req}); err != nil {
 		_ = cc.conn.Close()
+		if isTimeout(err) {
+			return Message{}, fmt.Errorf("send to %v: %w", to, ErrCallTimeout)
+		}
 		return Message{}, fmt.Errorf("send to %v: %w", to, err)
 	}
 	var resp wireResp
 	if err := cc.dec.Decode(&resp); err != nil {
 		_ = cc.conn.Close()
+		if isTimeout(err) {
+			return Message{}, fmt.Errorf("recv from %v: %w", to, ErrCallTimeout)
+		}
 		return Message{}, fmt.Errorf("recv from %v: %w", to, err)
+	}
+	pool := true
+	if _, ok := ctx.Deadline(); ok {
+		// Clear the deadline before the connection returns to the pool.
+		if err := cc.conn.SetDeadline(time.Time{}); err != nil {
+			_ = cc.conn.Close()
+			pool = false
+		}
 	}
 
 	e.mu.Lock()
-	if !e.closed {
+	if pool && !e.closed {
 		e.conns[to] = append(e.conns[to], cc)
 		e.mu.Unlock()
 	} else {
