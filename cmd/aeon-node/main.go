@@ -60,6 +60,7 @@ func run() error {
 		balance  = flag.Int("balance", 1000, "initial balance per account")
 		storeID  = flag.Int("store", 1, "node serving the authoritative cloud store")
 		drive    = flag.Bool("drive", false, "drive the smoke workload against the deployment, then shut peers down")
+		repl     = flag.Bool("replicate", true, "sequence runtime topology mutations through the replicated mutation log (dynamic topologies)")
 	)
 	flag.Parse()
 
@@ -104,12 +105,18 @@ func run() error {
 	for pid, addr := range addrs {
 		mesh.Register(pid, addr)
 	}
+	var peerIDs []transport.NodeID
+	for pid := range addrs {
+		peerIDs = append(peerIDs, pid)
+	}
 	n, err := node.Start(mesh, node.Config{
 		ID:         self,
 		Runtime:    rt,
 		LocalStore: cloudstore.New(),
 		StoreNode:  transport.NodeID(*storeID),
 		Manager:    emanager.DefaultConfig(),
+		Replicate:  *repl,
+		Peers:      peerIDs,
 	})
 	if err != nil {
 		return err
@@ -117,9 +124,16 @@ func run() error {
 	defer n.Close()
 	fmt.Printf("aeon-node %d listening on %s (%d-node deployment, store on node %d)\n",
 		*id, addrs[self], len(addrs), *storeID)
+	if p := n.Plane(); p != nil {
+		if err := p.LastError(); err != nil {
+			// Normal when the store node boots after this one (the tailer
+			// keeps retrying); a persisting message means a wedged replica.
+			fmt.Printf("aeon-node %d: replication catch-up pending: %v\n", *id, err)
+		}
+	}
 
 	if *drive {
-		return runDrive(n, top, addrs, *accounts, *balance)
+		return runDrive(n, top, addrs, *accounts, *balance, *repl)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -161,9 +175,10 @@ func parsePeers(spec string) (map[transport.NodeID]string, error) {
 
 // runDrive is the smoke driver: wait for the peers, replay the bank script
 // across the deployment, compare with the single-process oracle, migrate a
-// remote bank group over the mesh, verify the transferred state, and shut
-// everything down.
-func runDrive(n *node.Node, top *node.BankTopology, addrs map[transport.NodeID]string, accounts, balance int) error {
+// remote bank group over the mesh, verify the transferred state, replay the
+// dynamic-topology script (runtime context creation on every process,
+// sequenced through the replicated mutation log), and shut everything down.
+func runDrive(n *node.Node, top *node.BankTopology, addrs map[transport.NodeID]string, accounts, balance int, replicate bool) error {
 	var peerIDs []transport.NodeID
 	for pid := range addrs {
 		if pid != n.ID() {
@@ -197,20 +212,14 @@ func runDrive(n *node.Node, top *node.BankTopology, addrs map[transport.NodeID]s
 	// so every other bank's ops cross the mesh. Results must be identical
 	// to a single-process run.
 	got := node.RunBankScript(n.Submit, top)
-	want, _, err := node.BankOracle(len(addrs), accounts, balance)
+	want, wantDynamic, err := node.BankDynamicOracle(len(addrs), accounts, balance)
 	if err != nil {
 		shutdownPeers()
 		return err
 	}
-	if len(got) != len(want) {
+	if err := diffResults("script", got, want); err != nil {
 		shutdownPeers()
-		return fmt.Errorf("script result counts differ: %d vs %d", len(got), len(want))
-	}
-	for i := range got {
-		if got[i] != want[i] {
-			shutdownPeers()
-			return fmt.Errorf("script result %d diverged: multi-process=%q single-process=%q", i, got[i], want[i])
-		}
+		return err
 	}
 	fmt.Printf("drive: %d script results identical to single-process run\n", len(got))
 
@@ -252,7 +261,36 @@ func runDrive(n *node.Node, top *node.BankTopology, addrs map[transport.NodeID]s
 			bank, src, srv.TransferBytes(), postAudit)
 	}
 
+	// Phase 3: runtime topology churn — open a fresh account at every bank
+	// (creations execute on whichever process hosts the bank, so every peer
+	// captures mutations into the replicated log), deposit into the new
+	// accounts by their returned IDs, and audit. Results — including the
+	// log-assigned context IDs — must match the single-process oracle,
+	// which pins fleet-wide ID-assignment determinism.
+	if replicate {
+		gotDynamic := node.RunBankDynamicScript(n.Submit, top)
+		if err := diffResults("dynamic script", gotDynamic, wantDynamic); err != nil {
+			shutdownPeers()
+			return err
+		}
+		fmt.Printf("drive: %d runtime-topology results identical to single-process run (replication plane at seq %d)\n",
+			len(gotDynamic), n.Plane().Applied())
+	}
+
 	shutdownPeers()
 	fmt.Println("drive: OK")
+	return nil
+}
+
+// diffResults compares a deployment's outcome stream with the oracle's.
+func diffResults(phase string, got, want []string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s result counts differ: %d vs %d", phase, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("%s result %d diverged: multi-process=%q single-process=%q", phase, i, got[i], want[i])
+		}
+	}
 	return nil
 }

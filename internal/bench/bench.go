@@ -132,6 +132,10 @@ var experiments = map[string]func(Options) ([]*Table, error){
 		return wrap(t, err)
 	},
 	"mesh": func(o Options) ([]*Table, error) { t, err := MeshExp(o); return wrap(t, err) },
+	"replication": func(o Options) ([]*Table, error) {
+		t, err := ReplicationExp(o)
+		return wrap(t, err)
+	},
 }
 
 func wrap(t *Table, err error) ([]*Table, error) {

@@ -1,0 +1,59 @@
+package cloudstore
+
+import (
+	"errors"
+	"time"
+)
+
+// RetryPolicy bounds an optimistic-concurrency retry loop around CAS
+// operations. Every writer that sequences itself through a shared key (the
+// replication log head, checkpoint sequence slots) needs the same shape:
+// attempt, and on ErrVersionMismatch re-read whatever the attempt is based
+// on and try again after an exponential backoff. Centralizing the loop keeps
+// the backoff behavior uniform instead of hand-rolled per call site.
+type RetryPolicy struct {
+	// Attempts caps how many times the operation runs; 0 means unlimited.
+	// CAS conflicts imply another writer made progress, so an unlimited
+	// loop is lock-free, not livelocked — bounded policies exist for
+	// callers that prefer to surface sustained contention.
+	Attempts int
+	// Base is the first backoff sleep (default 200µs).
+	Base time.Duration
+	// Max caps the exponential backoff (default 8ms).
+	Max time.Duration
+}
+
+// DefaultRetry is the policy used by the replication log and checkpoint
+// writers: unlimited attempts, 200µs→8ms exponential backoff.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{Base: 200 * time.Microsecond, Max: 8 * time.Millisecond}
+}
+
+// Retry runs op until it succeeds or fails with anything other than
+// ErrVersionMismatch (store unavailability, encoding failures and the like
+// are real errors, not contention, and surface immediately). op must
+// re-read its CAS basis on every attempt — the conflict means the basis
+// moved. When a bounded policy exhausts its attempts the last
+// ErrVersionMismatch is returned.
+func Retry(p RetryPolicy, op func() error) error {
+	if p.Base <= 0 {
+		p.Base = 200 * time.Microsecond
+	}
+	if p.Max <= 0 {
+		p.Max = 8 * time.Millisecond
+	}
+	backoff := p.Base
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil || !errors.Is(err, ErrVersionMismatch) {
+			return err
+		}
+		if p.Attempts > 0 && attempt >= p.Attempts {
+			return err
+		}
+		time.Sleep(backoff)
+		if backoff < p.Max {
+			backoff *= 2
+		}
+	}
+}

@@ -206,6 +206,19 @@ func (c *Cluster) AddServer(p Profile) *Server {
 // RemoveServer releases a server ("scale in"). The caller (the eManager)
 // must have migrated its contexts away first.
 func (c *Cluster) RemoveServer(id ServerID) error {
+	return c.removeServer(id, false)
+}
+
+// ForceRemoveServer releases a server without the hosted-contexts check.
+// Replication log applies use it: the drain was validated on the node that
+// captured the mutation against its authoritative counters, and replica
+// nodes — whose hosted counters are best-effort routing metadata — must
+// apply the removal identically or cluster membership would diverge.
+func (c *Cluster) ForceRemoveServer(id ServerID) error {
+	return c.removeServer(id, true)
+}
+
+func (c *Cluster) removeServer(id ServerID, force bool) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	cur := c.view.Load()
@@ -213,7 +226,7 @@ func (c *Cluster) RemoveServer(id ServerID) error {
 	if !ok {
 		return fmt.Errorf("%v: %w", id, ErrNoSuchServer)
 	}
-	if n := s.hosted.Load(); n != 0 {
+	if n := s.hosted.Load(); n != 0 && !force {
 		return fmt.Errorf("cluster: server %v still hosts %d contexts", id, n)
 	}
 	s.removed.Store(true)

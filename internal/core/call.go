@@ -211,7 +211,7 @@ func (c *callEnv) AddOwner(parent, child ownership.ID) error {
 	if !c.ev.holds(child) {
 		return fmt.Errorf("child %v: %w", child, ErrOwnerNotHeld)
 	}
-	return c.rt.graph.AddEdge(parent, child)
+	return c.rt.AddOwnerEdge(parent, child)
 }
 
 // Children implements schema.Call.

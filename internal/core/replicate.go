@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"aeon/internal/cluster"
+	"aeon/internal/ownership"
+	"aeon/internal/schema"
+)
+
+// Replicator sequences structural ownership-network mutations through a
+// fleet-wide log so every node of a multi-process deployment applies them in
+// the same order (and therefore assigns the same context IDs). The runtime
+// calls it on its mutation entry points when one is installed
+// (SetReplicator); the replication plane calls back into the Apply* helpers
+// below, which perform the local side effects without re-entering the
+// replicator. Event submission never touches the replicator — the hot path
+// stays log- and mesh-free.
+type Replicator interface {
+	// CreateContext appends a context-creation mutation and returns the ID
+	// the log sequence assigned once the local replica has applied it.
+	CreateContext(class string, srv cluster.ServerID, owners []ownership.ID) (ownership.ID, error)
+	// AddEdge appends a direct-ownership edge mutation.
+	AddEdge(parent, child ownership.ID) error
+	// DestroyContext appends a detach-and-remove mutation.
+	DestroyContext(id ownership.ID) error
+	// CatchUp applies every log record the local replica has not seen. The
+	// runtime calls it before failing an event with ErrUnknownContext: the
+	// target may have been created on another node an instant ago.
+	CatchUp() error
+}
+
+// SetReplicator installs the fleet-wide mutation log on the runtime's
+// structural mutation paths (CreateContext/CreateContextOn, Call.NewContext,
+// Call.AddOwner, DestroyContext). Call once during node startup before
+// events are submitted, like SetRemote; nil restores process-local
+// mutations.
+func (r *Runtime) SetReplicator(rep Replicator) { r.repl = rep }
+
+// catchUpOnUnknown gives the replica one chance to catch up with the
+// mutation log when a lookup missed: a context created on another node is
+// locally unknown only until the log applies. It reports whether the caller
+// should retry the lookup.
+func (r *Runtime) catchUpOnUnknown(err error) bool {
+	if r.repl == nil || !errors.Is(err, ErrUnknownContext) {
+		return false
+	}
+	return r.repl.CatchUp() == nil
+}
+
+// AddOwnerEdge records a direct-ownership edge, through the replication log
+// when one is installed.
+func (r *Runtime) AddOwnerEdge(parent, child ownership.ID) error {
+	if r.repl != nil {
+		return r.repl.AddEdge(parent, child)
+	}
+	return r.graph.AddEdge(parent, child)
+}
+
+// ApplyCreateContext performs the local side effects of a context creation:
+// the graph mutation (which assigns the ID), registry materialization,
+// directory placement, and hosted accounting. In replicated deployments it
+// runs on every node, in log-sequence order, which is what makes the
+// assigned IDs agree across the fleet; single-process deployments reach it
+// directly from CreateContextOn. It never consults the replicator.
+func (r *Runtime) ApplyCreateContext(class string, srv cluster.ServerID, owners ...ownership.ID) (ownership.ID, error) {
+	cls := r.schema.Class(class)
+	if cls == nil {
+		return ownership.None, fmt.Errorf("class %q: %w", class, schema.ErrUnknownClass)
+	}
+	server, ok := r.cluster.Server(srv)
+	if !ok {
+		return ownership.None, fmt.Errorf("create %q: %w", class, cluster.ErrNoSuchServer)
+	}
+	id, err := r.graph.AddContext(class, owners...)
+	if err != nil {
+		return ownership.None, fmt.Errorf("create %q: %w", class, err)
+	}
+	c := &Context{id: id, class: cls, lock: newEventLock(), state: cls.NewState()}
+	r.reg.put(id, c)
+	r.dir.Place(id, srv)
+	server.AddHosted(1)
+	return id, nil
+}
+
+// ApplyDestroyContext performs the local side effects of destroying a leaf
+// context: detach from the graph, directory and hosted-count cleanup,
+// registry removal. Replication applies call it on every node; it never
+// consults the replicator.
+func (r *Runtime) ApplyDestroyContext(id ownership.ID) error {
+	if err := r.graph.DetachContext(id); err != nil {
+		return err
+	}
+	r.forgetContext(id)
+	return nil
+}
+
+// forgetContext drops a removed context's placement, hosted accounting, and
+// registry entry.
+func (r *Runtime) forgetContext(id ownership.ID) {
+	if srv, ok := r.dir.Locate(id); ok {
+		if server, sok := r.cluster.Server(srv); sok {
+			server.AddHosted(-1)
+		}
+	}
+	r.dir.Forget(id)
+	r.reg.delete(id)
+}

@@ -94,6 +94,10 @@ type Runtime struct {
 	isLocal func(cluster.ServerID) bool
 	forward ForwardFunc
 
+	// repl, when installed (SetReplicator), sequences structural mutations
+	// through the fleet-wide log instead of applying them process-locally.
+	repl Replicator
+
 	eventSeq atomic.Uint64
 	closed   atomic.Bool
 	subWG    sync.WaitGroup
@@ -189,14 +193,15 @@ func (r *Runtime) CreateContext(class string, owners ...ownership.ID) (ownership
 	return r.CreateContextOn(srv, class, owners...)
 }
 
-// CreateContextOn creates a context on an explicit server.
+// CreateContextOn creates a context on an explicit server. With a
+// replicator installed the mutation is sequenced through the fleet-wide log
+// (the log order, not this call's local order, assigns the ID); otherwise it
+// applies process-locally.
 func (r *Runtime) CreateContextOn(srv cluster.ServerID, class string, owners ...ownership.ID) (ownership.ID, error) {
-	cls := r.schema.Class(class)
-	if cls == nil {
+	if r.schema.Class(class) == nil {
 		return ownership.None, fmt.Errorf("class %q: %w", class, schema.ErrUnknownClass)
 	}
-	server, ok := r.cluster.Server(srv)
-	if !ok {
+	if _, ok := r.cluster.Server(srv); !ok {
 		return ownership.None, fmt.Errorf("create %q: %w", class, cluster.ErrNoSuchServer)
 	}
 	if len(owners) > 1 && r.cfg.SharedOwnershipUpdateCost > 0 {
@@ -206,15 +211,10 @@ func (r *Runtime) CreateContextOn(srv cluster.ServerID, class string, owners ...
 		time.Sleep(r.cfg.SharedOwnershipUpdateCost)
 		r.sharedCreateMu.Unlock()
 	}
-	id, err := r.graph.AddContext(class, owners...)
-	if err != nil {
-		return ownership.None, fmt.Errorf("create %q: %w", class, err)
+	if r.repl != nil {
+		return r.repl.CreateContext(class, srv, owners)
 	}
-	c := &Context{id: id, class: cls, lock: newEventLock(), state: cls.NewState()}
-	r.reg.put(id, c)
-	r.dir.Place(id, srv)
-	server.AddHosted(1)
-	return id, nil
+	return r.ApplyCreateContext(class, srv, owners...)
 }
 
 func (r *Runtime) defaultPlacement(owners []ownership.ID) (cluster.ServerID, error) {
@@ -270,19 +270,13 @@ func (r *Runtime) Context(id ownership.ID) (*Context, error) {
 
 // DestroyContext removes a leaf context with no remaining edges from the
 // runtime (e.g. consumed TPC-C NewOrder markers). The caller must ensure no
-// event holds it.
+// event holds it. With a replicator installed the removal is sequenced
+// through the fleet-wide log like every other structural mutation.
 func (r *Runtime) DestroyContext(id ownership.ID) error {
-	if err := r.graph.DetachContext(id); err != nil {
-		return err
+	if r.repl != nil {
+		return r.repl.DestroyContext(id)
 	}
-	if srv, ok := r.dir.Locate(id); ok {
-		if server, sok := r.cluster.Server(srv); sok {
-			server.AddHosted(-1)
-		}
-	}
-	r.dir.Forget(id)
-	r.reg.delete(id)
-	return nil
+	return r.ApplyDestroyContext(id)
 }
 
 // Submit runs an event to completion and returns its result (the paper's
@@ -340,6 +334,12 @@ func (r *Runtime) runWith(target ownership.ID, method string, args []any, asSub 
 	start := time.Now()
 
 	tc, err := r.Context(target)
+	if err != nil && r.catchUpOnUnknown(err) {
+		// The target may have been created on another node moments ago and
+		// the notify hint not arrived yet: pull the mutation log once and
+		// retry before failing the event.
+		tc, err = r.Context(target)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -155,6 +155,11 @@ type FailureReport struct {
 // the mapping is republished. The failed server is removed from the
 // cluster.
 func (m *Manager) RecoverServerFailure(failed cluster.ServerID) (*FailureReport, error) {
+	// Checkpoint keys name log-assigned context IDs; replay them against
+	// the replicated graph, not a possibly stale local rebuild.
+	if err := m.syncReplica(); err != nil {
+		return nil, fmt.Errorf("recover %v: sync replica: %w", failed, err)
+	}
 	dir := m.rt.Directory()
 	lost := dir.HostedOn(failed)
 	report := &FailureReport{Lost: lost}
@@ -207,7 +212,7 @@ func (m *Manager) RecoverServerFailure(failed cluster.ServerID) (*FailureReport,
 		}
 		release()
 	}
-	if err := m.rt.Cluster().RemoveServer(failed); err != nil {
+	if err := m.removeServer(failed); err != nil {
 		return report, fmt.Errorf("remove failed server: %w", err)
 	}
 	return report, nil

@@ -69,6 +69,26 @@ type Config struct {
 	// node runtime ships member state over the transport mesh to the
 	// destination node here. nil keeps in-process transfer semantics.
 	Transfer migration.TransferFunc
+	// SyncReplica, when set, catches the local ownership/cluster replica up
+	// with the fleet's replicated mutation log. Recovery paths call it
+	// before replaying WAL or checkpoint records: those records name
+	// context IDs assigned by log sequence, so they must be replayed
+	// against the replicated graph, not whatever this process happened to
+	// rebuild locally. nil means the topology is process-local (single
+	// process, or a static multi-process deployment).
+	SyncReplica func() error
+	// Membership, when set, sequences cluster scale-out/scale-in through
+	// the replicated mutation log so every node's cluster map applies the
+	// change (the node runtime wires the replication plane here). nil
+	// mutates the local cluster directly.
+	Membership Membership
+}
+
+// Membership sequences cluster-membership mutations; the replication
+// plane implements it in multi-process deployments.
+type Membership interface {
+	AddServer(p cluster.Profile) (cluster.ServerID, error)
+	RemoveServer(id cluster.ServerID) error
 }
 
 // DefaultConfig returns production-ish defaults.
@@ -265,8 +285,7 @@ func (m *Manager) applyAsync(action Action) (*migration.Future, error) {
 	}
 	switch a := action.(type) {
 	case AddServer:
-		m.rt.Cluster().AddServer(a.Profile)
-		return nil, nil
+		return nil, m.addServer(a.Profile)
 	case RemoveServer:
 		return nil, m.DrainAndRemove(a.Server)
 	case MigrateContext:
@@ -485,7 +504,7 @@ func (m *Manager) DrainAndRemove(srv cluster.ServerID) error {
 			}
 		}
 	}
-	return m.rt.Cluster().RemoveServer(srv)
+	return m.removeServer(srv)
 }
 
 // drainGroups partitions a server's hosted contexts into placement groups:
@@ -555,9 +574,44 @@ func (m *Manager) MigrateGroupAsync(root ownership.ID, to cluster.ServerID) *mig
 // Recover scans the migration journal and completes in-flight group
 // migrations a crashed eManager left behind. Journal entries are cleared
 // only after the group's move has converged, so a crash during recovery
-// itself never orphans an in-flight migration.
+// itself never orphans an in-flight migration. With a replicated topology
+// the local replica is caught up with the mutation log first: WAL records
+// name log-assigned context IDs, and a freshly restarted process has not
+// necessarily applied the mutations that created them.
 func (m *Manager) Recover() error {
+	if err := m.syncReplica(); err != nil {
+		return fmt.Errorf("recover: sync replica: %w", err)
+	}
 	return m.engine.Recover()
+}
+
+// syncReplica catches the local topology replica up with the fleet's
+// mutation log, when one is wired.
+func (m *Manager) syncReplica() error {
+	if m.cfg.SyncReplica == nil {
+		return nil
+	}
+	return m.cfg.SyncReplica()
+}
+
+// addServer provisions a server, through the replicated membership log when
+// one is wired.
+func (m *Manager) addServer(p cluster.Profile) error {
+	if m.cfg.Membership != nil {
+		_, err := m.cfg.Membership.AddServer(p)
+		return err
+	}
+	m.rt.Cluster().AddServer(p)
+	return nil
+}
+
+// removeServer releases a drained server, through the replicated membership
+// log when one is wired.
+func (m *Manager) removeServer(id cluster.ServerID) error {
+	if m.cfg.Membership != nil {
+		return m.cfg.Membership.RemoveServer(id)
+	}
+	return m.rt.Cluster().RemoveServer(id)
 }
 
 // PersistMapping journals the current context mapping to the cloud store

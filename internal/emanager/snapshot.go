@@ -3,9 +3,11 @@ package emanager
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
 
+	"aeon/internal/cloudstore"
 	"aeon/internal/ownership"
 	"aeon/internal/schema"
 )
@@ -130,8 +132,24 @@ func (m *Manager) Snapshot(root ownership.ID) (string, int, error) {
 	if err != nil {
 		return "", 0, err
 	}
-	key := snapshotKey(root, nextSnapshotSeq(max))
-	if _, err := m.store.Put(key, encoded); err != nil {
+	// CAS-create the sequence slot instead of a blind Put: two processes
+	// checkpointing the same root concurrently can compute the same next
+	// sequence, and overwriting would silently drop one checkpoint. On a
+	// conflict the loser re-reads the store's maximum and takes the next
+	// slot (shared retry/backoff helper, same loop the replication log
+	// uses).
+	var key string
+	err = cloudstore.Retry(cloudstore.DefaultRetry(), func() error {
+		key = snapshotKey(root, nextSnapshotSeq(max))
+		_, casErr := m.store.CAS(key, 0, encoded)
+		if errors.Is(casErr, cloudstore.ErrVersionMismatch) {
+			if m2, merr := m.storeMaxSnapshotSeq(root); merr == nil && m2 > max {
+				max = m2
+			}
+		}
+		return casErr
+	})
+	if err != nil {
 		return "", 0, fmt.Errorf("store snapshot: %w", err)
 	}
 	return key, len(payload.States), nil

@@ -39,6 +39,10 @@ type Topology struct {
 	AccountsPerBank int
 	// InitialBalance seeds every account (default 1000).
 	InitialBalance int
+	// Replicate enables the replicated ownership-metadata control plane on
+	// every node: runtime structural mutations are sequenced through the
+	// authoritative store's mutation log instead of staying process-local.
+	Replicate bool
 	// NodeDefaults, when non-nil, is applied to every node Config before
 	// ID/Runtime/stores are filled in (timeouts, hop budget, learning).
 	NodeDefaults *Config
@@ -55,14 +59,10 @@ type Deployment struct {
 	Stores []*cloudstore.Store
 }
 
-// Deploy builds and starts an in-process deployment on mesh. Every node
-// replays the same deterministic construction: same schema, same cluster,
-// same bank topology — so IDs and placements agree without coordination,
-// exactly like N processes launched from the same binary and flags.
-func Deploy(mesh transport.Mesh, top Topology) (*Deployment, error) {
-	if top.Nodes <= 0 {
-		return nil, fmt.Errorf("node: deployment needs at least one node")
-	}
+// withDefaults fills the Topology defaults shared by Deploy and Restart —
+// one place, so a restarted node always rebuilds the same boot topology as
+// its original incarnation.
+func (top Topology) withDefaults() Topology {
 	if top.Profile.Name == "" {
 		top.Profile = cluster.M3Large
 	}
@@ -75,6 +75,18 @@ func Deploy(mesh transport.Mesh, top Topology) (*Deployment, error) {
 	if top.InitialBalance == 0 {
 		top.InitialBalance = 1000
 	}
+	return top
+}
+
+// Deploy builds and starts an in-process deployment on mesh. Every node
+// replays the same deterministic construction: same schema, same cluster,
+// same bank topology — so IDs and placements agree without coordination,
+// exactly like N processes launched from the same binary and flags.
+func Deploy(mesh transport.Mesh, top Topology) (*Deployment, error) {
+	if top.Nodes <= 0 {
+		return nil, fmt.Errorf("node: deployment needs at least one node")
+	}
+	top = top.withDefaults()
 	d := &Deployment{}
 	for i := 1; i <= top.Nodes; i++ {
 		n, bank, store, err := buildNode(mesh, top, transport.NodeID(i))
@@ -125,11 +137,42 @@ func buildNode(mesh transport.Mesh, top Topology, id transport.NodeID) (*Node, *
 	cfg.LocalStore = store
 	cfg.StoreNode = top.StoreNode
 	cfg.Manager = top.Manager
+	if top.Replicate {
+		cfg.Replicate = true
+		for i := 1; i <= top.Nodes; i++ {
+			cfg.Peers = append(cfg.Peers, transport.NodeID(i))
+		}
+	}
 	n, err := Start(mesh, cfg)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("start node %v: %w", id, err)
 	}
 	return n, bank, store, nil
+}
+
+// Restart rebuilds the node with the given mesh ID from scratch — a fresh
+// deterministic startup replica, like a crashed process relaunched from the
+// same binary and flags — and re-attaches it to the mesh. The previous
+// incarnation must have been closed (Close + Runtime().Close()). With
+// Topology.Replicate the restarted node replays the mutation log before it
+// serves, which is how a rejoining process recovers runtime-created
+// topology it was not alive to apply.
+func (d *Deployment) Restart(mesh transport.Mesh, top Topology, id transport.NodeID) (*Node, error) {
+	top = top.withDefaults()
+	if id == top.StoreNode {
+		return nil, fmt.Errorf("node %v: restarting the store node would lose the log", id)
+	}
+	n, _, store, err := buildNode(mesh, top, id)
+	if err != nil {
+		return nil, err
+	}
+	for i := range d.Nodes {
+		if d.Nodes[i] != nil && d.Nodes[i].ID() == id {
+			d.Nodes[i] = n
+			d.Stores[i] = store
+		}
+	}
+	return n, nil
 }
 
 // Node returns the node with the given mesh ID.

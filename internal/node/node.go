@@ -22,15 +22,22 @@
 // migration state transfer (the engine's step IV ships serialized member
 // state to the destination node instead of relying on a shared registry).
 //
-// Known limitation, documented rather than hidden: runtime context creation
-// (Call.NewContext) is process-local — the ownership-network mutation is not
-// yet replicated to peer nodes, so multi-process deployments must create
-// their context topology at startup. Replicating graph mutations through
-// the cloud store is the natural next step on the roadmap.
+// Dynamic topologies: with Config.Replicate, structural mutations —
+// runtime context creation (Call.NewContext), edge changes, context
+// destruction, server membership — are sequenced through the replicated
+// ownership-metadata control plane (internal/replication): a CAS-appended
+// mutation log in the authoritative cloud store that every node tails and
+// applies in order, with a node.replicate.notify frame as the steady-state
+// propagation hint. Log order assigns context IDs, so a context created at
+// runtime on one node is immediately submittable from every other; submits
+// carry the sender's applied log sequence and the receiver blocks on that
+// sequence before admission, so a lagging replica can never reject a
+// freshly created target.
 package node
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -41,6 +48,7 @@ import (
 	"aeon/internal/core"
 	"aeon/internal/emanager"
 	"aeon/internal/ownership"
+	"aeon/internal/replication"
 	"aeon/internal/schema"
 	"aeon/internal/transport"
 )
@@ -81,6 +89,27 @@ type Config struct {
 	// submit responses. The mesh bench uses it to keep a deliberately stale
 	// directory paying the forwarding hop on every call.
 	NoPlacementLearning bool
+	// Replicate sequences structural mutations (runtime context creation,
+	// edge changes, server membership) through the replicated mutation log
+	// in the authoritative cloud store, making dynamic topologies work
+	// across processes. Off, mutations stay process-local (static
+	// topologies only, the pre-replication behavior).
+	Replicate bool
+	// ReplicationPoll overrides the log tailer's fallback poll interval
+	// (zero: the replication default). Steady-state propagation rides
+	// notify frames; the poll only bounds staleness under frame loss.
+	ReplicationPoll time.Duration
+	// ReplicaLagWait bounds how long a submit handler blocks waiting for
+	// the local replica to reach the sender's log sequence before failing
+	// typed with replication.ErrReplicaLagging. Zero means 5s.
+	ReplicaLagWait time.Duration
+	// Peers lists the mesh nodes of the deployment (this node included or
+	// not — it is skipped either way); replicate-notify hints go to them.
+	// Empty falls back to deriving peers from the cluster's server set via
+	// the 1:1 node-per-server mapping — correct until a replicated
+	// scale-out adds a server no process embodies, so deployments that
+	// scale at runtime should set it.
+	Peers []transport.NodeID
 }
 
 // Node is one process's attachment to the AEON deployment.
@@ -93,6 +122,7 @@ type Node struct {
 	ep    transport.Endpoint
 	mgr   *emanager.Manager
 	store cloudstore.API
+	plane *replication.Plane
 
 	// forwarded counts submits this node forwarded to another node;
 	// executed counts peer submits it executed locally.
@@ -122,6 +152,9 @@ func Start(mesh transport.Mesh, cfg Config) (*Node, error) {
 	if cfg.TransferTimeout <= 0 {
 		cfg.TransferTimeout = 60 * time.Second
 	}
+	if cfg.ReplicaLagWait <= 0 {
+		cfg.ReplicaLagWait = 5 * time.Second
+	}
 	servers := cfg.Servers
 	if len(servers) == 0 {
 		servers = []cluster.ServerID{cluster.ServerID(cfg.ID)}
@@ -149,8 +182,31 @@ func Start(mesh transport.Mesh, cfg Config) (*Node, error) {
 	} else {
 		n.store = &RemoteStore{node: n, to: cfg.StoreNode}
 	}
+	if cfg.Replicate {
+		// The replicated ownership-metadata control plane: structural
+		// mutations captured on this node append to the shared log, and the
+		// tailer applies every node's mutations to the local replica.
+		n.plane = replication.New(n.rt, n.store, replication.Config{
+			Origin: cfg.ID,
+			Poll:   cfg.ReplicationPoll,
+		})
+		n.plane.SetNotify(n.notifyReplicated)
+		n.rt.SetReplicator(n.plane)
+	}
 	mgrCfg := cfg.Manager
 	mgrCfg.Transfer = n.transferGroup
+	if n.plane != nil {
+		// Recovery replays WAL and checkpoint records against the
+		// replicated graph, so it must catch the replica up first; and
+		// policy-driven scale-out/in must mutate membership fleet-wide, not
+		// just this node's cluster replica.
+		if mgrCfg.SyncReplica == nil {
+			mgrCfg.SyncReplica = n.plane.CatchUp
+		}
+		if mgrCfg.Membership == nil {
+			mgrCfg.Membership = n.plane
+		}
+	}
 	n.mgr = emanager.New(n.rt, n.store, mgrCfg)
 	n.rt.SetRemote(n.isLocal, n.forward)
 
@@ -163,6 +219,14 @@ func Start(mesh transport.Mesh, cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("node %v: attach: %w", cfg.ID, err)
 	}
 	n.ep = ep
+	if n.plane != nil {
+		// Catch up from the log before serving a single frame, so a node
+		// that (re)joins a live deployment replays every mutation it missed
+		// before peers can route to it. Best-effort: when the store node is
+		// not reachable yet (peers booting in any order) the tailer keeps
+		// retrying, and admission gating covers the window.
+		_ = n.plane.Start()
+	}
 	close(ready)
 	return n, nil
 }
@@ -179,6 +243,9 @@ func (n *Node) Manager() *emanager.Manager { return n.mgr }
 // Store returns the node's view of the authoritative cloud store.
 func (n *Node) Store() cloudstore.API { return n.store }
 
+// Plane returns the node's replication plane (nil unless Config.Replicate).
+func (n *Node) Plane() *replication.Plane { return n.plane }
+
 // Forwarded returns how many submits this node forwarded to peers.
 func (n *Node) Forwarded() uint64 { return n.forwarded.Load() }
 
@@ -194,6 +261,9 @@ func (n *Node) Close() error {
 	var err error
 	n.closeOnce.Do(func() {
 		n.mgr.Stop()
+		if n.plane != nil {
+			n.plane.Close()
+		}
 		err = n.ep.Close()
 	})
 	return err
@@ -258,6 +328,50 @@ func (n *Node) MigrateRemote(owner transport.NodeID, root ownership.ID, to clust
 	return wireError(resp.ErrKind, resp.Err)
 }
 
+// notifyReplicated is the replication plane's propagation hint: after a
+// durable append, tell every peer node the log advanced so their tailers
+// pull immediately instead of waiting out a poll interval. Fire-and-forget
+// per peer — a lost hint only costs poll latency, never correctness.
+func (n *Node) notifyReplicated(seq uint64) {
+	payload, err := encodeFrame(replicateReq{Seq: seq})
+	if err != nil {
+		return
+	}
+	peers := make(map[transport.NodeID]bool)
+	if len(n.cfg.Peers) > 0 {
+		for _, p := range n.cfg.Peers {
+			if p != n.id {
+				peers[p] = true
+			}
+		}
+	} else {
+		// 1:1 node-per-server fallback; a replicated scale-out can add a
+		// server no process embodies, so configured Peers take precedence.
+		for _, s := range n.rt.Cluster().Servers() {
+			if !n.isLocal(s.ID()) {
+				peers[n.nodeFor(s.ID())] = true
+			}
+		}
+	}
+	for peer := range peers {
+		go func(peer transport.NodeID) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_, _ = n.ep.Call(ctx, peer, transport.Message{Kind: KindReplicate, Payload: payload})
+		}(peer)
+	}
+}
+
+// replicaSeq reports the local replica's applied log sequence (0 without
+// replication), stamped into outgoing submits as the receiver's admission
+// floor.
+func (n *Node) replicaSeq() uint64 {
+	if n.plane == nil {
+		return 0
+	}
+	return n.plane.Applied()
+}
+
 // forward is the runtime's multi-process hook: the event's sequencing point
 // is hosted on a server another node embodies, so ship the whole event
 // there. The response's authoritative host repairs this node's directory
@@ -269,6 +383,7 @@ func (n *Node) forward(host cluster.ServerID, target ownership.ID, method string
 		Method: method,
 		Args:   args,
 		Hops:   1,
+		MinSeq: n.replicaSeq(),
 	})
 	if err != nil {
 		return nil, err
@@ -366,6 +481,16 @@ func (n *Node) handle(ctx context.Context, from transport.NodeID, req transport.
 		msg, kind := errFields(n.handleMigrate(mr))
 		payload, err := encodeFrame(migrateResp{Err: msg, ErrKind: kind})
 		return transport.Message{Kind: KindMigrate, Payload: payload}, err
+	case KindReplicate:
+		var rr replicateReq
+		if err := decodeFrame(req.Payload, &rr); err != nil {
+			return transport.Message{}, err
+		}
+		if n.plane != nil {
+			n.plane.Poke(rr.Seq)
+		}
+		payload, err := encodeFrame(replicateResp{})
+		return transport.Message{Kind: KindReplicate, Payload: payload}, err
 	case KindShutdown:
 		n.shutdownOnce.Do(func() { close(n.shutdownCh) })
 		return transport.Message{Kind: KindShutdown}, nil
@@ -379,9 +504,30 @@ func (n *Node) handle(ctx context.Context, from transport.NodeID, req transport.
 // directory's answer with the hop budget decremented, so a stale sender
 // pays exactly the forwarding hop of the paper's staleness window.
 func (n *Node) handleSubmit(req submitReq) submitResp {
+	// Lag-aware admission: the sender's replica had applied MinSeq of the
+	// mutation log when it routed here. Block until ours has too (the
+	// target may only exist past that sequence), then fail typed if the
+	// replica stays behind — never admit against a torn view.
+	if n.plane != nil && req.MinSeq > n.plane.Applied() {
+		if err := n.plane.WaitFor(req.MinSeq, n.cfg.ReplicaLagWait); err != nil {
+			msg, kind := errFields(fmt.Errorf("submit %v at seq %d: %w", req.Target, req.MinSeq, err))
+			return submitResp{Err: msg, ErrKind: kind}
+		}
+	}
 	dom, _, err := n.rt.Graph().Resolve(req.Target)
+	if err != nil && errors.Is(err, ownership.ErrNotFound) &&
+		n.plane != nil && n.plane.CatchUp() == nil {
+		// The sender may know the target from a mutation whose sequence it
+		// did not carry (e.g. a client-side retry): pull the log once
+		// before declaring the context unknown. Gated on not-found so other
+		// resolve failures don't buy a store round trip per submit.
+		dom, _, err = n.rt.Graph().Resolve(req.Target)
+	}
 	if err != nil {
-		msg, kind := errFields(fmt.Errorf("dominator of %v: %w", req.Target, core.ErrUnknownContext))
+		// Keep the typed sentinel for the wire kind, but carry the real
+		// cause (store outage mid-catch-up, resolve ambiguity) in the
+		// message — "unknown context" alone hides what actually failed.
+		msg, kind := errFields(fmt.Errorf("dominator of %v: %v: %w", req.Target, err, core.ErrUnknownContext))
 		return submitResp{Err: msg, ErrKind: kind}
 	}
 	dir := n.rt.Directory()
@@ -399,6 +545,9 @@ func (n *Node) handleSubmit(req submitReq) submitResp {
 		}
 		fwd := req
 		fwd.Hops++
+		if s := n.replicaSeq(); s > fwd.MinSeq {
+			fwd.MinSeq = s
+		}
 		n.forwarded.Add(1)
 		resp, err := n.callSubmit(n.nodeFor(host), fwd)
 		if err != nil {
@@ -463,6 +612,7 @@ func (n *Node) transferGroup(members []ownership.ID, from, to cluster.ServerID, 
 		To:         to,
 		TotalBytes: totalBytes,
 		States:     states,
+		MinSeq:     n.replicaSeq(),
 	})
 	if err != nil {
 		return err
@@ -520,6 +670,14 @@ func (n *Node) transferCommitted(probe ownership.ID, to cluster.ServerID) bool {
 func (n *Node) handleTransfer(req transferReq) error {
 	if !n.isLocal(req.To) {
 		return fmt.Errorf("transfer for %v: %w", req.To, ErrNotLocalServer)
+	}
+	// Group members created at runtime exist here only once the replica has
+	// applied their creating records: block on the source's sequence before
+	// installing, exactly like submit admission.
+	if n.plane != nil && req.MinSeq > n.plane.Applied() {
+		if err := n.plane.WaitFor(req.MinSeq, n.cfg.ReplicaLagWait); err != nil {
+			return fmt.Errorf("transfer at seq %d: %w", req.MinSeq, err)
+		}
 	}
 	for _, id := range req.Members {
 		c, err := n.rt.Context(id)

@@ -16,6 +16,7 @@ import (
 	"aeon/internal/cluster"
 	"aeon/internal/core"
 	"aeon/internal/ownership"
+	"aeon/internal/replication"
 	"aeon/internal/schema"
 	"aeon/internal/transport"
 )
@@ -37,6 +38,12 @@ const (
 	// leave the destination live while the source aborted — two
 	// authoritative copies.
 	KindTransferQuery = "node.transfer.query"
+	// KindReplicate hints that the replication log advanced to a sequence:
+	// the appender sends it to every peer after a durable append so
+	// steady-state mutation propagation is one frame, not a poll interval.
+	// Best-effort — a lost or duplicated hint is absorbed by the tailer's
+	// poll and per-record idempotency.
+	KindReplicate = "node.replicate.notify"
 	// KindMigrate asks a node to migrate a group it hosts (control plane).
 	KindMigrate = "node.migrate"
 	// KindShutdown asks a node to shut down (control plane; the smoke
@@ -58,6 +65,7 @@ const (
 	errKindNotFound        = "store-not-found"
 	errKindVersionMismatch = "store-version-mismatch"
 	errKindUnavailable     = "store-unavailable"
+	errKindReplicaLag      = "replica-lagging"
 )
 
 var (
@@ -75,12 +83,17 @@ var (
 )
 
 // submitReq asks the receiving node to execute one event. Hops counts how
-// many times the frame has been forwarded already.
+// many times the frame has been forwarded already. MinSeq is the sender's
+// applied replication sequence: the receiver must have applied at least
+// that much of the mutation log before admitting the event, or it could
+// reject a target the sender just created (it blocks on the needed
+// sequence, then fails typed if the replica stays behind).
 type submitReq struct {
 	Target ownership.ID
 	Method string
 	Args   []any
 	Hops   int
+	MinSeq uint64
 }
 
 // submitResp carries the event result. Host is the authoritative placement
@@ -127,13 +140,17 @@ type storeResp struct {
 // transferReq ships a stopped migration group's serialized state to the
 // destination node. States maps member ID to its schema.EncodeWire payload;
 // members without an entry (nil state, adopted stragglers carrying factory
-// state) are remapped without a state install.
+// state) are remapped without a state install. MinSeq is the source's
+// applied replication sequence: members created at runtime exist on the
+// destination only once its replica reaches their creating records, so the
+// install blocks on that sequence like submit admission does.
 type transferReq struct {
 	Members    []ownership.ID
 	From       cluster.ServerID
 	To         cluster.ServerID
 	TotalBytes int
 	States     map[uint64][]byte
+	MinSeq     uint64
 }
 
 // transferResp acknowledges a state transfer.
@@ -168,6 +185,15 @@ type migrateResp struct {
 	ErrKind string
 }
 
+// replicateReq hints that the replication log reached Seq (the transport
+// already identifies the sender).
+type replicateReq struct {
+	Seq uint64
+}
+
+// replicateResp acknowledges a replicate-notify hint.
+type replicateResp struct{}
+
 // pingResp reports liveness.
 type pingResp struct {
 	Node transport.NodeID
@@ -182,6 +208,7 @@ func init() {
 		transferReq{}, transferResp{},
 		transferQueryReq{}, transferQueryResp{},
 		migrateReq{}, migrateResp{},
+		replicateReq{}, replicateResp{},
 		pingResp{},
 	)
 }
@@ -230,6 +257,8 @@ func errKindOf(err error) string {
 		return errKindVersionMismatch
 	case errors.Is(err, cloudstore.ErrUnavailable):
 		return errKindUnavailable
+	case errors.Is(err, replication.ErrReplicaLagging):
+		return errKindReplicaLag
 	default:
 		return errKindApp
 	}
@@ -262,6 +291,8 @@ func wireError(kind, msg string) error {
 		sentinel = cloudstore.ErrVersionMismatch
 	case errKindUnavailable:
 		sentinel = cloudstore.ErrUnavailable
+	case errKindReplicaLag:
+		sentinel = replication.ErrReplicaLagging
 	default:
 		return errors.New(msg)
 	}

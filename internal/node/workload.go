@@ -55,6 +55,23 @@ func BankSchema() *schema.Schema {
 	}, schema.RO())
 
 	bank := s.MustDeclareClass("Bank", nil)
+	bank.MustDeclareMethod("open", func(call schema.Call, args []any) (any, error) {
+		// Runtime topology mutation: create a fresh account owned by this
+		// bank and seed it. In a replicated deployment the creation is
+		// sequenced through the fleet-wide mutation log on whichever node
+		// executes this event, so the returned ID is immediately
+		// submittable from every other node.
+		id, err := call.NewContext("Account", call.Self())
+		if err != nil {
+			return nil, err
+		}
+		if initial := args[0].(int); initial != 0 {
+			if _, err := call.Sync(id, "deposit", initial); err != nil {
+				return nil, err
+			}
+		}
+		return id, nil
+	}, schema.MayCall("Account", "deposit"))
 	bank.MustDeclareMethod("transfer", func(call schema.Call, args []any) (any, error) {
 		from, to, amt := args[0].(ownership.ID), args[1].(ownership.ID), args[2].(int)
 		if _, err := call.Sync(from, "withdraw", amt); err != nil {
@@ -155,6 +172,39 @@ func RunBankScript(submit SubmitFunc, top *BankTopology) []string {
 	return out
 }
 
+// RunBankDynamicScript replays one deterministic runtime-topology-churn
+// sequence: open a fresh account at every bank (the creation executes on
+// whichever node hosts the bank, so a multi-process driver exercises
+// context creation from several processes), deposit into each new account
+// by its returned ID, then audit every bank. Outcomes include the created
+// context IDs, so diffing against a single-process run pins log-order ID
+// assignment, not just balances.
+func RunBankDynamicScript(submit SubmitFunc, top *BankTopology) []string {
+	var out []string
+	rec := func(v any, err error) {
+		if err != nil {
+			out = append(out, "err:"+err.Error())
+		} else {
+			out = append(out, fmt.Sprintf("%v", v))
+		}
+	}
+	var opened []ownership.ID
+	for b := range top.Banks {
+		v, err := submit(top.Banks[b], "open", 100*(b+1))
+		rec(v, err)
+		if id, ok := v.(ownership.ID); err == nil && ok {
+			opened = append(opened, id)
+		}
+	}
+	for i, id := range opened {
+		rec(submit(id, "deposit", 7*(i+1)))
+	}
+	for b := range top.Banks {
+		rec(submit(top.Banks[b], "audit"))
+	}
+	return out
+}
+
 // BankOracle builds a fresh single-process runtime with the identical bank
 // topology, replays the script on it, and returns (outcomes, per-bank audit
 // totals). Multi-process drivers use it as the ground truth.
@@ -179,4 +229,33 @@ func BankOracle(nodes, accountsPerBank, initialBalance int) ([]string, *BankTopo
 		return nil, nil, err
 	}
 	return RunBankScript(rt.Submit, top), top, nil
+}
+
+// BankDynamicOracle replays the static script and then the dynamic
+// (topology-churn) script on a fresh single-process runtime and returns
+// both outcome slices. A replicated multi-process deployment that drives
+// the same two scripts in the same order must produce identical outcomes —
+// including the runtime-created context IDs, since sequential submission
+// makes log order equal submission order.
+func BankDynamicOracle(nodes, accountsPerBank, initialBalance int) (static, dynamic []string, err error) {
+	cl := cluster.New(transport.NewSim(transport.SimConfig{}))
+	for i := 0; i < nodes; i++ {
+		cl.AddServer(cluster.M3Large)
+	}
+	s := BankSchema()
+	if err := s.Freeze(); err != nil {
+		return nil, nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.ChargeClientHops = false
+	rt, err := core.New(s, ownership.NewGraph(), cl, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer rt.Close()
+	top, err := BuildBank(rt, accountsPerBank, initialBalance)
+	if err != nil {
+		return nil, nil, err
+	}
+	return RunBankScript(rt.Submit, top), RunBankDynamicScript(rt.Submit, top), nil
 }

@@ -139,8 +139,8 @@ func (g *Graph) mintVirtualJoin(s *Snapshot, id ID) (ID, *Snapshot, error) {
 		g.dropVirtualKeyLocked(v)
 	}
 
-	vid := g.nextID
-	g.nextID++
+	vid := g.nextVirtual
+	g.nextVirtual++
 	vn := &node{id: vid, class: VirtualClass}
 	nodes := cur.nodes
 	for _, m := range maxima {

@@ -40,6 +40,19 @@ func (id ID) String() string { return fmt.Sprintf("ctx#%d", uint64(id)) }
 // to restore the join semi-lattice property.
 const VirtualClass = "__virtual__"
 
+// VirtualIDBase is the first ID of the reserved virtual band: named contexts
+// allocate sequentially from 1, virtual joins allocate sequentially from
+// VirtualIDBase. The split keeps the two allocators independent, which is
+// what lets a replicated deployment assign named-context IDs by log-sequence
+// order on every node while each process still mints virtual sequencing
+// points lazily (in whatever order its own dominator queries arrive) without
+// ever colliding with a replicated ID. 2^32 leaves both bands effectively
+// unbounded while keeping virtual IDs shallow in the radix trie.
+const VirtualIDBase ID = 1 << 32
+
+// IsVirtual reports whether id lies in the reserved virtual-join band.
+func (id ID) IsVirtual() bool { return id >= VirtualIDBase }
+
 var (
 	// ErrNotFound is returned when an ID does not name a context.
 	ErrNotFound = errors.New("ownership: context not found")
@@ -85,7 +98,11 @@ type Graph struct {
 	mu   sync.Mutex
 	snap atomic.Pointer[Snapshot]
 
-	nextID ID
+	// nextID allocates named contexts (sequential from 1); nextVirtual
+	// allocates virtual joins from the reserved high band. See VirtualIDBase
+	// for why the spaces are disjoint.
+	nextID      ID
+	nextVirtual ID
 
 	// virtualJoin memoizes virtual contexts created for a given set of
 	// minimal upper bounds so repeated queries reuse the same context;
@@ -100,6 +117,7 @@ type Graph struct {
 func NewGraph() *Graph {
 	g := &Graph{
 		nextID:      1,
+		nextVirtual: VirtualIDBase,
 		virtualJoin: make(map[string]ID),
 		virtualKey:  make(map[ID]string),
 	}
