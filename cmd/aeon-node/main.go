@@ -38,6 +38,7 @@ import (
 	"aeon/internal/cluster"
 	"aeon/internal/core"
 	"aeon/internal/emanager"
+	"aeon/internal/ingress"
 	"aeon/internal/node"
 	"aeon/internal/ownership"
 	"aeon/internal/transport"
@@ -133,7 +134,7 @@ func run() error {
 	}
 
 	if *drive {
-		return runDrive(n, top, addrs, *accounts, *balance, *repl)
+		return runDrive(n, mesh, top, addrs, *accounts, *balance, *repl)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -177,8 +178,9 @@ func parsePeers(spec string) (map[transport.NodeID]string, error) {
 // across the deployment, compare with the single-process oracle, migrate a
 // remote bank group over the mesh, verify the transferred state, replay the
 // dynamic-topology script (runtime context creation on every process,
-// sequenced through the replicated mutation log), and shut everything down.
-func runDrive(n *node.Node, top *node.BankTopology, addrs map[transport.NodeID]string, accounts, balance int, replicate bool) error {
+// sequenced through the replicated mutation log), drive pipelined traffic
+// from an external ingress client, and shut everything down.
+func runDrive(n *node.Node, mesh transport.Mesh, top *node.BankTopology, addrs map[transport.NodeID]string, accounts, balance int, replicate bool) error {
 	var peerIDs []transport.NodeID
 	for pid := range addrs {
 		if pid != n.ID() {
@@ -277,8 +279,79 @@ func runDrive(n *node.Node, top *node.BankTopology, addrs map[transport.NodeID]s
 			len(gotDynamic), n.Plane().Applied())
 	}
 
+	// Phase 4: external ingress — a client outside the fleet attaches to the
+	// mesh, pipelines deposits over multiplexed connections, and repairs its
+	// routing cache from authoritative responses (including the route the
+	// phase-2 migration made stale).
+	if err := driveIngress(n, mesh, top); err != nil {
+		shutdownPeers()
+		return fmt.Errorf("ingress: %w", err)
+	}
+
 	shutdownPeers()
 	fmt.Println("drive: OK")
+	return nil
+}
+
+// driveIngress verifies the client SDK against the live deployment:
+// pipelined deposits from outside the fleet land exactly once (audit deltas
+// match), and the client's dominator→node cache converges to the true hosts.
+func driveIngress(n *node.Node, mesh transport.Mesh, top *node.BankTopology) error {
+	var fleet []transport.NodeID
+	for i := range top.Banks {
+		fleet = append(fleet, transport.NodeID(i+1))
+	}
+	cli, err := ingress.Dial(mesh, ingress.Config{Nodes: fleet})
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+
+	before := make([]int, len(top.Banks))
+	for i, bank := range top.Banks {
+		audit, err := cli.Submit(bank, "audit")
+		if err != nil {
+			return fmt.Errorf("pre audit bank %d: %w", i+1, err)
+		}
+		before[i] = audit.(int)
+	}
+
+	const perAccount = 25
+	start := time.Now()
+	var futures []*ingress.Future
+	for _, bankAccounts := range top.Accounts {
+		for _, acct := range bankAccounts {
+			for k := 0; k < perAccount; k++ {
+				futures = append(futures, cli.Go(acct, "deposit", 1))
+			}
+		}
+	}
+	for _, f := range futures {
+		if _, err := f.Wait(); err != nil {
+			return fmt.Errorf("pipelined deposit: %w", err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	for i, bank := range top.Banks {
+		audit, err := cli.Submit(bank, "audit")
+		if err != nil {
+			return fmt.Errorf("post audit bank %d: %w", i+1, err)
+		}
+		if want := before[i] + perAccount*len(top.Accounts[i]); audit.(int) != want {
+			return fmt.Errorf("bank %d audit = %d after pipelined deposits, want %d", i+1, audit, want)
+		}
+	}
+	// The cache must agree with the fleet's directory — including the bank
+	// the phase-2 migration moved onto this node.
+	for i, bank := range top.Banks {
+		host, _ := n.Runtime().Directory().Locate(bank)
+		if cached, ok := cli.Route(bank); !ok || cached != transport.NodeID(host) {
+			return fmt.Errorf("client route for bank %d = %v (ok=%v), directory says %v", i+1, cached, ok, host)
+		}
+	}
+	fmt.Printf("drive: ingress client pipelined %d deposits in %v (%.0f ev/s), audits and routes converged\n",
+		len(futures), elapsed.Round(time.Millisecond), float64(len(futures))/elapsed.Seconds())
 	return nil
 }
 

@@ -131,7 +131,8 @@ var experiments = map[string]func(Options) ([]*Table, error){
 		t, err := MigrationBatch(o)
 		return wrap(t, err)
 	},
-	"mesh": func(o Options) ([]*Table, error) { t, err := MeshExp(o); return wrap(t, err) },
+	"mesh":    func(o Options) ([]*Table, error) { t, err := MeshExp(o); return wrap(t, err) },
+	"ingress": Ingress,
 	"replication": func(o Options) ([]*Table, error) {
 		t, err := ReplicationExp(o)
 		return wrap(t, err)

@@ -41,6 +41,10 @@ type API interface {
 	Put(key string, value []byte) (uint64, error)
 	// PutBatch stores every entry in one charged round trip.
 	PutBatch(entries map[string][]byte) (uint64, error)
+	// CreateBatch atomically creates every entry in one charged round trip,
+	// failing with ErrVersionMismatch — and writing nothing — if any key
+	// already exists. It is the batch analogue of CAS(key, 0, value).
+	CreateBatch(entries map[string][]byte) (uint64, error)
 	// CAS stores value only if the current version equals expect (0 means
 	// "key must not exist").
 	CAS(key string, expect uint64, value []byte) (uint64, error)
@@ -158,6 +162,45 @@ func (s *Store) PutBatch(entries map[string][]byte) (uint64, error) {
 	sort.Strings(keys)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var last uint64
+	for _, k := range keys {
+		v := s.next
+		s.next++
+		value := entries[k]
+		stored := make([]byte, len(value))
+		copy(stored, value)
+		s.data[k] = entry{value: stored, version: v}
+		last = v
+	}
+	return last, nil
+}
+
+// CreateBatch atomically creates every entry — one charged write — failing
+// with ErrVersionMismatch (and writing nothing) if any key already exists.
+// Concurrent writers racing to create the same generation of keys collide on
+// the first common key instead of silently overwriting each other, which is
+// what makes CAS-style read-recompute-retry loops possible over batches.
+func (s *Store) CreateBatch(entries map[string][]byte) (uint64, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	if err := s.charge(); err != nil {
+		return 0, err
+	}
+	// One batched RPC, like PutBatch.
+	s.writes.Add(1)
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		if e, ok := s.data[k]; ok {
+			return 0, fmt.Errorf("%q exists at v%d: %w", k, e.version, ErrVersionMismatch)
+		}
+	}
 	var last uint64
 	for _, k := range keys {
 		v := s.next

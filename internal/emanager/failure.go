@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"aeon/internal/cloudstore"
 	"aeon/internal/cluster"
 	"aeon/internal/migration"
 	"aeon/internal/ownership"
@@ -26,35 +27,22 @@ import (
 // under one shared activation, emitting one per-context snapshot entry per
 // member — each state is captured and stored once (a subtree snapshot per
 // hosted context would store every descendant's state twice), and recovery
-// keeps reading per-context keys. Storage cost per sweep: one List (the
-// cross-process sequence floors), one charged PutBatch for all fresh
-// entries, and one charged DeleteBatch pruning the sequences they
-// supersede — so the snapshot keyspace stays bounded instead of growing
-// with every periodic sweep. It returns the number of contexts captured.
+// keeps reading per-context keys.
+//
+// Publication is a CAS loop, not a blind write: the expensive capture walk
+// runs once, then List → assign fresh sequences above the observed floors →
+// CreateBatch (atomic create-only). A concurrent sweeper that published the
+// same sequence first makes the CreateBatch fail with ErrVersionMismatch and
+// the loop re-reads the floors and re-keys — so two sweeps interleave their
+// histories instead of silently overwriting each other's entries. Pruning of
+// the superseded sequences happens only after the fresh batch landed: a
+// crash between the two writes leaves extra history, never a missing
+// checkpoint. It returns the number of contexts captured.
 func (m *Manager) CheckpointServer(srv cluster.ServerID) (int, error) {
 	hosted := m.rt.Directory().HostedOn(srv)
 	if len(hosted) == 0 {
 		return 0, nil
 	}
-	// One store read establishes the per-root sequence floors for the whole
-	// sweep (sequences must stay monotonic across processes; see
-	// nextSnapshotSeq) and the superseded keys to prune afterwards.
-	keys, err := m.store.List("snapshot/")
-	if err != nil {
-		return 0, fmt.Errorf("checkpoint %v: %w", srv, err)
-	}
-	maxSeq := make(map[uint64]uint64)
-	oldKeys := make(map[uint64][]string)
-	for _, k := range keys {
-		var root, seq uint64
-		if _, err := fmt.Sscanf(k, "snapshot/%d/%d", &root, &seq); err == nil {
-			oldKeys[root] = append(oldKeys[root], k)
-			if seq > maxSeq[root] {
-				maxSeq[root] = seq
-			}
-		}
-	}
-
 	view := m.rt.Graph().Snapshot()
 	pending := make(map[ownership.ID]bool, len(hosted))
 	for _, id := range hosted {
@@ -64,8 +52,7 @@ func (m *Manager) CheckpointServer(srv cluster.ServerID) (int, error) {
 	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
 
 	count := 0
-	entries := make(map[string][]byte)
-	var prune []string
+	captured := make(map[uint64][]byte)
 	for _, root := range roots {
 		err := m.rt.WithSubtreeShared(root, func(ids []ownership.ID) error {
 			for _, id := range ids {
@@ -86,8 +73,7 @@ func (m *Manager) CheckpointServer(srv cluster.ServerID) (int, error) {
 				if err != nil {
 					return err
 				}
-				entries[snapshotKey(id, nextSnapshotSeq(maxSeq[uint64(id)]))] = encoded
-				prune = append(prune, oldKeys[uint64(id)]...)
+				captured[uint64(id)] = encoded
 				count++
 			}
 			return nil
@@ -96,15 +82,44 @@ func (m *Manager) CheckpointServer(srv cluster.ServerID) (int, error) {
 			return count, fmt.Errorf("checkpoint %v: %w", root, err)
 		}
 	}
-	if len(entries) > 0 {
-		if _, err := m.store.PutBatch(entries); err != nil {
-			return 0, fmt.Errorf("checkpoint %v: %w", srv, err)
+	if len(captured) == 0 {
+		return 0, nil
+	}
+
+	var prune []string
+	err := cloudstore.Retry(cloudstore.DefaultRetry(), func() error {
+		// Re-read the sequence floors each attempt: a competing sweep may
+		// have advanced them since the last try (sequences must stay
+		// monotonic across processes; see nextSnapshotSeq).
+		keys, err := m.store.List("snapshot/")
+		if err != nil {
+			return err
 		}
-		// Prune only after the fresh batch landed: a crash between the two
-		// writes leaves extra history, never a missing checkpoint.
-		if err := m.store.DeleteBatch(prune); err != nil {
-			return count, fmt.Errorf("checkpoint %v prune: %w", srv, err)
+		maxSeq := make(map[uint64]uint64)
+		oldKeys := make(map[uint64][]string)
+		for _, k := range keys {
+			var root, seq uint64
+			if _, err := fmt.Sscanf(k, "snapshot/%d/%d", &root, &seq); err == nil {
+				oldKeys[root] = append(oldKeys[root], k)
+				if seq > maxSeq[root] {
+					maxSeq[root] = seq
+				}
+			}
 		}
+		entries := make(map[string][]byte, len(captured))
+		prune = prune[:0]
+		for id, encoded := range captured {
+			entries[snapshotKey(ownership.ID(id), nextSnapshotSeq(maxSeq[id]))] = encoded
+			prune = append(prune, oldKeys[id]...)
+		}
+		_, err = m.store.CreateBatch(entries)
+		return err
+	})
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint %v: %w", srv, err)
+	}
+	if err := m.store.DeleteBatch(prune); err != nil {
+		return count, fmt.Errorf("checkpoint %v prune: %w", srv, err)
 	}
 	return count, nil
 }

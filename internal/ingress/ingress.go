@@ -1,0 +1,277 @@
+// Package ingress is the client SDK for submitting events to an AEON
+// deployment from outside the fleet: a Client attaches to the transport mesh
+// as a non-serving endpoint, speaks the node wire protocol's hot submit
+// frames, and pipelines many in-flight submits over one multiplexed
+// connection per node (transport.Stream) instead of paying a strict
+// request/response round trip per event.
+//
+// Routing. Events execute on the node embodying the server that hosts their
+// dominator. The client does not know placements a priori: it routes each
+// target to its cached node (falling back to a default node round-robin for
+// unseen targets) and repairs the cache from the authoritative Host field
+// every submit response carries — exactly the stale-directory repair peer
+// nodes use (§ 5.2). A stale route costs one server-side forwarding hop,
+// never a failure, and the very next submit for that target goes direct.
+//
+// Backpressure. Pipelined submits share the per-stream in-flight window
+// (transport.MuxWindow); when it fills, Submit blocks until a slot frees or
+// the call timeout expires. Go (the async variant) additionally bounds the
+// client's total in-flight futures by Config.Window so a producer that never
+// waits cannot spawn unbounded goroutines.
+package ingress
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aeon/internal/node"
+	"aeon/internal/ownership"
+	"aeon/internal/schema"
+	"aeon/internal/transport"
+)
+
+// ClientIDBase is the start of the mesh-address range ingress clients
+// auto-assign from. Fleet nodes use small IDs (1:1 with server IDs), so the
+// ranges cannot collide in any realistic deployment.
+const ClientIDBase transport.NodeID = 1 << 16
+
+var nextClientID atomic.Int64
+
+// ErrClientClosed is returned by calls on a closed Client.
+var ErrClientClosed = errors.New("ingress: client closed")
+
+// Config describes one ingress client.
+type Config struct {
+	// ID is the client's mesh address. Zero auto-assigns from ClientIDBase.
+	ID transport.NodeID
+	// Nodes lists the fleet's mesh addresses. Targets with no cached route
+	// are submitted round-robin across these (the response repairs the
+	// cache). Required.
+	Nodes []transport.NodeID
+	// CallTimeout bounds each submit. Zero means 10s.
+	CallTimeout time.Duration
+	// Window bounds in-flight futures from Go. Zero means 256.
+	Window int
+	// NoPipeline disables multiplexed streams: every submit is a one-shot
+	// mesh call (one outstanding request per connection). The bench uses it
+	// as the baseline; real clients leave it off.
+	NoPipeline bool
+}
+
+// Client submits events to an AEON deployment over the mesh.
+type Client struct {
+	cfg Config
+	ep  transport.Endpoint
+
+	// routes caches target → node placement, repaired from authoritative
+	// submit responses.
+	routes sync.Map // ownership.ID → transport.NodeID
+
+	streamMu sync.Mutex
+	streams  map[transport.NodeID]transport.Stream
+
+	rr     atomic.Uint64 // round-robin cursor over cfg.Nodes
+	window chan struct{} // Go's in-flight bound
+
+	closed atomic.Bool
+}
+
+// Dial attaches a client to the mesh. The client endpoint never serves
+// requests; peers that call it get an error.
+func Dial(mesh transport.Mesh, cfg Config) (*Client, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("ingress: Config.Nodes is required")
+	}
+	if cfg.ID == 0 {
+		cfg.ID = ClientIDBase + transport.NodeID(nextClientID.Add(1))
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 10 * time.Second
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 256
+	}
+	ep, err := mesh.Attach(cfg.ID, func(ctx context.Context, from transport.NodeID, req transport.Message) (transport.Message, error) {
+		return transport.Message{}, fmt.Errorf("ingress client %v does not serve requests", cfg.ID)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ingress: attach client %v: %w", cfg.ID, err)
+	}
+	return &Client{
+		cfg:     cfg,
+		ep:      ep,
+		streams: make(map[transport.NodeID]transport.Stream),
+		window:  make(chan struct{}, cfg.Window),
+	}, nil
+}
+
+// ID returns the client's mesh address.
+func (c *Client) ID() transport.NodeID { return c.ep.ID() }
+
+// Close detaches the client and closes its streams. In-flight submits fail.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	c.streamMu.Lock()
+	streams := c.streams
+	c.streams = make(map[transport.NodeID]transport.Stream)
+	c.streamMu.Unlock()
+	for _, st := range streams {
+		_ = st.Close()
+	}
+	return c.ep.Close()
+}
+
+// route picks the node for a target: the cached placement when one is known,
+// otherwise round-robin over the configured fleet.
+func (c *Client) route(target ownership.ID) transport.NodeID {
+	if v, ok := c.routes.Load(target); ok {
+		return v.(transport.NodeID)
+	}
+	return c.cfg.Nodes[c.rr.Add(1)%uint64(len(c.cfg.Nodes))]
+}
+
+// learn repairs the routing cache from a response's authoritative host.
+// Fleet deployments map servers to nodes 1:1, so the wire's ServerID is the
+// node address.
+func (c *Client) learn(target ownership.ID, host int64) {
+	if host == 0 {
+		return
+	}
+	c.routes.Store(target, transport.NodeID(host))
+}
+
+// Route reports the cached placement of a target (for tests and the bench).
+func (c *Client) Route(target ownership.ID) (transport.NodeID, bool) {
+	v, ok := c.routes.Load(target)
+	if !ok {
+		return 0, false
+	}
+	return v.(transport.NodeID), true
+}
+
+// stream returns the cached pipelined stream to a node, opening one on first
+// use; nil means pipelining is off or unsupported and the caller one-shots.
+func (c *Client) stream(to transport.NodeID) transport.Stream {
+	if c.cfg.NoPipeline {
+		return nil
+	}
+	c.streamMu.Lock()
+	st, ok := c.streams[to]
+	c.streamMu.Unlock()
+	if ok {
+		return st
+	}
+	st, supported, err := transport.OpenStream(c.ep, to)
+	if !supported || err != nil {
+		return nil
+	}
+	c.streamMu.Lock()
+	if c.closed.Load() {
+		c.streamMu.Unlock()
+		_ = st.Close()
+		return nil
+	}
+	if cur, ok := c.streams[to]; ok {
+		c.streamMu.Unlock()
+		_ = st.Close()
+		return cur
+	}
+	c.streams[to] = st
+	c.streamMu.Unlock()
+	return st
+}
+
+// dropStream discards a broken stream so the next submit redials.
+func (c *Client) dropStream(to transport.NodeID, st transport.Stream) {
+	c.streamMu.Lock()
+	if cur, ok := c.streams[to]; ok && cur == st {
+		delete(c.streams, to)
+	}
+	c.streamMu.Unlock()
+	_ = st.Close()
+}
+
+// Submit executes one event on the deployment and returns its result.
+// Concurrent Submits from many goroutines pipeline onto shared per-node
+// connections.
+func (c *Client) Submit(target ownership.ID, method string, args ...any) (any, error) {
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	req := schema.SubmitReq{Target: target, Method: method, Args: args}
+	buf := schema.GetFrameBuf()
+	payload, err := req.MarshalWire((*buf)[:0])
+	if err != nil {
+		schema.PutFrameBuf(buf)
+		return nil, fmt.Errorf("ingress: encode submit: %w", err)
+	}
+	*buf = payload
+
+	to := c.route(target)
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+	defer cancel()
+	msg := transport.Message{Kind: node.KindSubmit, Payload: payload}
+	var raw transport.Message
+	if st := c.stream(to); st != nil {
+		raw, err = st.Call(ctx, msg)
+		var remote *transport.RemoteError
+		if err != nil && !errors.As(err, &remote) {
+			c.dropStream(to, st)
+		}
+	} else {
+		raw, err = c.ep.Call(ctx, to, msg)
+	}
+	schema.PutFrameBuf(buf) // endpoints do not retain payloads past Call
+	if err != nil {
+		return nil, fmt.Errorf("ingress: submit %v to %v: %w", target, to, err)
+	}
+
+	var resp schema.SubmitResp
+	if !schema.IsHotFrame(raw.Payload) {
+		return nil, fmt.Errorf("ingress: node %v answered submit with a non-hot frame", to)
+	}
+	if err := resp.UnmarshalWire(raw.Payload); err != nil {
+		return nil, fmt.Errorf("ingress: decode submit response: %w", err)
+	}
+	// Repair the routing cache even on failures — the authoritative host is
+	// exactly what a mis-routed submit needs.
+	c.learn(target, resp.Host)
+	if resp.Err != "" {
+		return nil, node.WireError(resp.ErrKind, resp.Err)
+	}
+	return resp.Result, nil
+}
+
+// Future is an in-flight asynchronous submit.
+type Future struct {
+	done   chan struct{}
+	result any
+	err    error
+}
+
+// Wait blocks until the submit completes.
+func (f *Future) Wait() (any, error) {
+	<-f.done
+	return f.result, f.err
+}
+
+// Go submits asynchronously: it returns once the request occupies an
+// in-flight slot (blocking when Config.Window submits are already pending —
+// backpressure for producers that batch Waits). The returned Future resolves
+// when the response arrives.
+func (c *Client) Go(target ownership.ID, method string, args ...any) *Future {
+	f := &Future{done: make(chan struct{})}
+	c.window <- struct{}{}
+	go func() {
+		defer close(f.done)
+		defer func() { <-c.window }()
+		f.result, f.err = c.Submit(target, method, args...)
+	}()
+	return f
+}

@@ -124,6 +124,14 @@ type Node struct {
 	store cloudstore.API
 	plane *replication.Plane
 
+	// streams caches one pipelined mux stream per peer for the hot submit
+	// path; entries are dropped (and the stream closed) on transport failure
+	// so the next call redials. Nil entries never appear: meshes without
+	// stream support simply leave the map empty and calls fall back to the
+	// one-shot path.
+	streamMu sync.Mutex
+	streams  map[transport.NodeID]transport.Stream
+
 	// forwarded counts submits this node forwarded to another node;
 	// executed counts peer submits it executed locally.
 	forwarded, executed, transfersIn, transfersOut atomic.Uint64
@@ -164,6 +172,7 @@ func Start(mesh transport.Mesh, cfg Config) (*Node, error) {
 		id:         cfg.ID,
 		rt:         cfg.Runtime,
 		local:      make(map[cluster.ServerID]bool, len(servers)),
+		streams:    make(map[transport.NodeID]transport.Stream),
 		shutdownCh: make(chan struct{}),
 	}
 	for _, s := range servers {
@@ -264,6 +273,13 @@ func (n *Node) Close() error {
 		if n.plane != nil {
 			n.plane.Close()
 		}
+		n.streamMu.Lock()
+		streams := n.streams
+		n.streams = make(map[transport.NodeID]transport.Stream)
+		n.streamMu.Unlock()
+		for _, st := range streams {
+			_ = st.Close()
+		}
 		err = n.ep.Close()
 	})
 	return err
@@ -290,11 +306,12 @@ func (n *Node) Submit(target ownership.ID, method string, args ...any) (any, err
 func (n *Node) Ping(peer transport.NodeID) error {
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
 	defer cancel()
-	payload, err := encodeFrame(pingResp{Node: n.id})
+	buf, payload, err := encodeFramePooled(pingResp{Node: n.id})
 	if err != nil {
 		return err
 	}
 	_, err = n.ep.Call(ctx, peer, transport.Message{Kind: KindPing, Payload: payload})
+	releaseFrameBuf(buf)
 	return err
 }
 
@@ -311,13 +328,14 @@ func (n *Node) Shutdown(peer transport.NodeID) error {
 // including the mesh state transfer — runs on the owning node; this call
 // blocks until the group is live on the destination.
 func (n *Node) MigrateRemote(owner transport.NodeID, root ownership.ID, to cluster.ServerID) error {
-	payload, err := encodeFrame(migrateReq{Root: root, To: to})
+	buf, payload, err := encodeFramePooled(migrateReq{Root: root, To: to})
 	if err != nil {
 		return err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.TransferTimeout)
 	defer cancel()
 	raw, err := n.ep.Call(ctx, owner, transport.Message{Kind: KindMigrate, Payload: payload})
+	releaseFrameBuf(buf)
 	if err != nil {
 		return fmt.Errorf("migrate %v via %v: %w", root, owner, err)
 	}
@@ -325,7 +343,7 @@ func (n *Node) MigrateRemote(owner transport.NodeID, root ownership.ID, to clust
 	if err := decodeFrame(raw.Payload, &resp); err != nil {
 		return err
 	}
-	return wireError(resp.ErrKind, resp.Err)
+	return WireError(resp.ErrKind, resp.Err)
 }
 
 // notifyReplicated is the replication plane's propagation hint: after a
@@ -333,7 +351,10 @@ func (n *Node) MigrateRemote(owner transport.NodeID, root ownership.ID, to clust
 // pull immediately instead of waiting out a poll interval. Fire-and-forget
 // per peer — a lost hint only costs poll latency, never correctness.
 func (n *Node) notifyReplicated(seq uint64) {
-	payload, err := encodeFrame(replicateReq{Seq: seq})
+	// A notify hint fans out on every durable append: it rides the hot codec
+	// (a 12-byte frame instead of a gob stream with type metadata).
+	rec := schema.NotifyRec{Seq: seq}
+	payload, err := rec.MarshalWire(nil)
 	if err != nil {
 		return
 	}
@@ -357,7 +378,20 @@ func (n *Node) notifyReplicated(seq uint64) {
 		go func(peer transport.NodeID) {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()
-			_, _ = n.ep.Call(ctx, peer, transport.Message{Kind: KindReplicate, Payload: payload})
+			msg := transport.Message{Kind: KindReplicate, Payload: payload}
+			// Ride the cached pipelined stream when there is one — hints
+			// interleave with submits on the same connection. Best-effort
+			// either way: a lost hint costs poll latency, never correctness.
+			if st := n.stream(peer); st != nil {
+				if _, err := st.Call(ctx, msg); err != nil {
+					var remote *transport.RemoteError
+					if !errors.As(err, &remote) {
+						n.dropStream(peer, st)
+					}
+				}
+				return
+			}
+			_, _ = n.ep.Call(ctx, peer, msg)
 		}(peer)
 	}
 }
@@ -390,25 +424,102 @@ func (n *Node) forward(host cluster.ServerID, target ownership.ID, method string
 	}
 	n.learnPlacement(target, resp.Host)
 	if resp.Err != "" {
-		return nil, wireError(resp.ErrKind, resp.Err)
+		return nil, WireError(resp.ErrKind, resp.Err)
 	}
 	return resp.Result, nil
 }
 
-// callSubmit sends one submit frame and decodes the response.
+// stream returns the cached pipelined stream to a peer, opening one on first
+// use. Nil means the mesh has no stream support (or the dial failed) and the
+// caller should use the one-shot path.
+func (n *Node) stream(to transport.NodeID) transport.Stream {
+	n.streamMu.Lock()
+	st, ok := n.streams[to]
+	n.streamMu.Unlock()
+	if ok {
+		return st
+	}
+	st, supported, err := transport.OpenStream(n.ep, to)
+	if !supported || err != nil {
+		return nil
+	}
+	n.streamMu.Lock()
+	if cur, ok := n.streams[to]; ok {
+		// Another caller raced the dial; keep theirs.
+		n.streamMu.Unlock()
+		_ = st.Close()
+		return cur
+	}
+	n.streams[to] = st
+	n.streamMu.Unlock()
+	return st
+}
+
+// dropStream discards a cached stream after a transport failure so the next
+// call redials instead of reusing a broken connection.
+func (n *Node) dropStream(to transport.NodeID, st transport.Stream) {
+	n.streamMu.Lock()
+	if cur, ok := n.streams[to]; ok && cur == st {
+		delete(n.streams, to)
+	}
+	n.streamMu.Unlock()
+	_ = st.Close()
+}
+
+// callSubmit sends one submit frame and decodes the response. Submits are
+// the hot path: the frame rides the hand-rolled hot codec in a pooled
+// buffer, and travels over the cached pipelined stream to the peer when the
+// mesh supports one — many submits share one connection with in-flight
+// windowing — falling back to the one-shot call otherwise.
 func (n *Node) callSubmit(to transport.NodeID, req submitReq) (submitResp, error) {
-	payload, err := encodeFrame(req)
+	hot := schema.SubmitReq{
+		Target: req.Target,
+		Method: req.Method,
+		Args:   req.Args,
+		Hops:   uint32(req.Hops),
+		MinSeq: req.MinSeq,
+	}
+	buf := schema.GetFrameBuf()
+	payload, err := hot.MarshalWire((*buf)[:0])
 	if err != nil {
+		schema.PutFrameBuf(buf)
 		return submitResp{}, err
 	}
+	*buf = payload
+
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
 	defer cancel()
-	raw, err := n.ep.Call(ctx, to, transport.Message{Kind: KindSubmit, Payload: payload})
+	msg := transport.Message{Kind: KindSubmit, Payload: payload}
+	var raw transport.Message
+	if st := n.stream(to); st != nil {
+		raw, err = st.Call(ctx, msg)
+		var remote *transport.RemoteError
+		if err != nil && !errors.As(err, &remote) {
+			// Transport failure (not a handler error): the stream is broken
+			// or timed out; discard it so the next submit redials. No retry
+			// here — the outcome is ambiguous and events are not idempotent.
+			n.dropStream(to, st)
+		}
+	} else {
+		raw, err = n.ep.Call(ctx, to, msg)
+	}
+	schema.PutFrameBuf(buf) // endpoints do not retain payloads past Call
 	if err != nil {
 		return submitResp{}, fmt.Errorf("submit to %v: %w", to, err)
 	}
 	var resp submitResp
-	if err := decodeFrame(raw.Payload, &resp); err != nil {
+	if schema.IsHotFrame(raw.Payload) {
+		var hr schema.SubmitResp
+		if err := hr.UnmarshalWire(raw.Payload); err != nil {
+			return submitResp{}, err
+		}
+		resp = submitResp{
+			Result:  hr.Result,
+			Host:    cluster.ServerID(hr.Host),
+			Err:     hr.Err,
+			ErrKind: hr.ErrKind,
+		}
+	} else if err := decodeFrame(raw.Payload, &resp); err != nil {
 		return submitResp{}, err
 	}
 	return resp, nil
@@ -444,6 +555,30 @@ func (n *Node) handle(ctx context.Context, from transport.NodeID, req transport.
 		payload, err := encodeFrame(pingResp{Node: n.id})
 		return transport.Message{Kind: KindPing, Payload: payload}, err
 	case KindSubmit:
+		// Hot path: submits arrive on the hand-rolled codec and answer in
+		// kind; the gob branch remains for mixed-version peers and tests
+		// speaking the old frames.
+		if schema.IsHotFrame(req.Payload) {
+			var hr schema.SubmitReq
+			if err := hr.UnmarshalWire(req.Payload); err != nil {
+				return transport.Message{}, err
+			}
+			resp := n.handleSubmit(submitReq{
+				Target: hr.Target,
+				Method: hr.Method,
+				Args:   hr.Args,
+				Hops:   int(hr.Hops),
+				MinSeq: hr.MinSeq,
+			})
+			hot := schema.SubmitResp{
+				Result:  resp.Result,
+				Host:    int64(resp.Host),
+				Err:     resp.Err,
+				ErrKind: resp.ErrKind,
+			}
+			payload, err := hot.MarshalWire(nil)
+			return transport.Message{Kind: KindSubmit, Payload: payload}, err
+		}
 		var sr submitReq
 		if err := decodeFrame(req.Payload, &sr); err != nil {
 			return transport.Message{}, err
@@ -459,7 +594,20 @@ func (n *Node) handle(ctx context.Context, from transport.NodeID, req transport.
 		return transport.Message{Kind: KindStore, Payload: payload}, err
 	case KindTransfer:
 		var tr transferReq
-		if err := decodeFrame(req.Payload, &tr); err != nil {
+		if schema.IsHotFrame(req.Payload) {
+			var rec schema.TransferRec
+			if err := rec.UnmarshalWire(req.Payload); err != nil {
+				return transport.Message{}, err
+			}
+			tr = transferReq{
+				Members:    rec.Members,
+				From:       cluster.ServerID(rec.From),
+				To:         cluster.ServerID(rec.To),
+				TotalBytes: int(rec.TotalBytes),
+				States:     rec.States,
+				MinSeq:     rec.MinSeq,
+			}
+		} else if err := decodeFrame(req.Payload, &tr); err != nil {
 			return transport.Message{}, err
 		}
 		msg, kind := errFields(n.handleTransfer(tr))
@@ -482,6 +630,17 @@ func (n *Node) handle(ctx context.Context, from transport.NodeID, req transport.
 		payload, err := encodeFrame(migrateResp{Err: msg, ErrKind: kind})
 		return transport.Message{Kind: KindMigrate, Payload: payload}, err
 	case KindReplicate:
+		if schema.IsHotFrame(req.Payload) {
+			var nr schema.NotifyRec
+			if err := nr.UnmarshalWire(req.Payload); err != nil {
+				return transport.Message{}, err
+			}
+			if n.plane != nil {
+				n.plane.Poke(nr.Seq)
+			}
+			// The hint is fire-and-forget; an empty ack suffices.
+			return transport.Message{Kind: KindReplicate}, nil
+		}
 		var rr replicateReq
 		if err := decodeFrame(req.Payload, &rr); err != nil {
 			return transport.Message{}, err
@@ -606,14 +765,15 @@ func (n *Node) transferGroup(members []ownership.ID, from, to cluster.ServerID, 
 		}
 		states[uint64(id)] = b
 	}
-	payload, err := encodeFrame(transferReq{
+	rec := schema.TransferRec{
 		Members:    members,
-		From:       from,
-		To:         to,
-		TotalBytes: totalBytes,
+		From:       int64(from),
+		To:         int64(to),
+		TotalBytes: int64(totalBytes),
 		States:     states,
 		MinSeq:     n.replicaSeq(),
-	})
+	}
+	payload, err := rec.MarshalWire(nil)
 	if err != nil {
 		return err
 	}
@@ -639,20 +799,21 @@ func (n *Node) transferGroup(members []ownership.ID, from, to cluster.ServerID, 
 	if err := decodeFrame(raw.Payload, &resp); err != nil {
 		return err
 	}
-	return wireError(resp.ErrKind, resp.Err)
+	return WireError(resp.ErrKind, resp.Err)
 }
 
 // transferCommitted asks the destination whether it committed a transfer
 // whose acknowledgment was lost. Any probe failure reports false — the
 // caller then aborts and leaves convergence to WAL recovery.
 func (n *Node) transferCommitted(probe ownership.ID, to cluster.ServerID) bool {
-	payload, err := encodeFrame(transferQueryReq{Probe: probe, To: to})
+	buf, payload, err := encodeFramePooled(transferQueryReq{Probe: probe, To: to})
 	if err != nil {
 		return false
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
 	defer cancel()
 	raw, err := n.ep.Call(ctx, n.nodeFor(to), transport.Message{Kind: KindTransferQuery, Payload: payload})
+	releaseFrameBuf(buf)
 	if err != nil {
 		return false
 	}
@@ -729,6 +890,8 @@ func (n *Node) handleStore(req storeReq) storeResp {
 		resp.Version, err = st.Put(req.Key, req.Value)
 	case storePutBatch:
 		resp.Version, err = st.PutBatch(req.Entries)
+	case storeCreateBatch:
+		resp.Version, err = st.CreateBatch(req.Entries)
 	case storeCAS:
 		resp.Version, err = st.CAS(req.Key, req.Expect, req.Value)
 	case storeDelete:

@@ -248,7 +248,7 @@ func TestReplicaLagGateBlocksThenFails(t *testing.T) {
 	if kind != errKindReplicaLag {
 		t.Fatalf("lag error classifies as %q, want %q", kind, errKindReplicaLag)
 	}
-	if back := wireError(kind, msg); !errors.Is(back, replication.ErrReplicaLagging) {
+	if back := WireError(kind, msg); !errors.Is(back, replication.ErrReplicaLagging) {
 		t.Fatalf("wire round trip lost the sentinel: %v", back)
 	}
 	// A reachable sequence blocks and succeeds.

@@ -21,15 +21,18 @@ type RemoteStore struct {
 
 var _ cloudstore.API = (*RemoteStore)(nil)
 
-// call performs one store exchange.
+// call performs one store exchange. Store frames stay on the gob codec
+// (control path), but encode into a pooled buffer: endpoints do not retain
+// request payloads past Call, so the buffer recycles per exchange.
 func (r *RemoteStore) call(req storeReq) (storeResp, error) {
-	payload, err := encodeFrame(req)
+	buf, payload, err := encodeFramePooled(req)
 	if err != nil {
 		return storeResp{}, err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), r.node.cfg.CallTimeout)
 	defer cancel()
 	raw, err := r.node.ep.Call(ctx, r.to, transport.Message{Kind: KindStore, Payload: payload})
+	releaseFrameBuf(buf)
 	if err != nil {
 		return storeResp{}, fmt.Errorf("store %s via %v: %w", req.Op, r.to, err)
 	}
@@ -38,7 +41,7 @@ func (r *RemoteStore) call(req storeReq) (storeResp, error) {
 		return storeResp{}, err
 	}
 	if resp.Err != "" {
-		return storeResp{}, wireError(resp.ErrKind, resp.Err)
+		return storeResp{}, WireError(resp.ErrKind, resp.Err)
 	}
 	return resp, nil
 }
@@ -69,6 +72,19 @@ func (r *RemoteStore) PutBatch(entries map[string][]byte) (uint64, error) {
 		return 0, nil
 	}
 	resp, err := r.call(storeReq{Op: storePutBatch, Entries: entries})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// CreateBatch implements cloudstore.API: atomic create-only batch in one
+// mesh round trip and one charged store write.
+func (r *RemoteStore) CreateBatch(entries map[string][]byte) (uint64, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	resp, err := r.call(storeReq{Op: storeCreateBatch, Entries: entries})
 	if err != nil {
 		return 0, err
 	}

@@ -11,6 +11,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"sync"
 
 	"aeon/internal/cloudstore"
 	"aeon/internal/cluster"
@@ -109,13 +110,14 @@ type submitResp struct {
 
 // Store operation selectors.
 const (
-	storeGet      = "get"
-	storePut      = "put"
-	storePutBatch = "putbatch"
-	storeCAS      = "cas"
-	storeDelete   = "delete"
-	storeDelBatch = "deletebatch"
-	storeList     = "list"
+	storeGet         = "get"
+	storePut         = "put"
+	storePutBatch    = "putbatch"
+	storeCreateBatch = "createbatch"
+	storeCAS         = "cas"
+	storeDelete      = "delete"
+	storeDelBatch    = "deletebatch"
+	storeList        = "list"
 )
 
 // storeReq is one cloud-store operation.
@@ -222,6 +224,33 @@ func encodeFrame(v any) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// gobBufPool recycles encode buffers on the gob control path: mesh endpoints
+// do not retain request payloads after Call returns, so a caller can encode
+// into a pooled buffer, send, and return the buffer — one steady-state
+// allocation fewer per control frame.
+var gobBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeFramePooled gob-encodes v into a pooled buffer. The returned bytes
+// alias the buffer: release it with releaseFrameBuf only after the payload is
+// no longer referenced (for mesh calls, after Call returns).
+func encodeFramePooled(v any) (*bytes.Buffer, []byte, error) {
+	buf := gobBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		gobBufPool.Put(buf)
+		return nil, nil, fmt.Errorf("node: encode frame %T: %w", v, err)
+	}
+	return buf, buf.Bytes(), nil
+}
+
+// releaseFrameBuf recycles a buffer from encodeFramePooled.
+func releaseFrameBuf(buf *bytes.Buffer) {
+	if buf == nil || buf.Cap() > 1<<20 {
+		return // don't let one huge transfer pin a huge buffer in the pool
+	}
+	gobBufPool.Put(buf)
+}
+
 // decodeFrame decodes a wire frame into out (a pointer).
 func decodeFrame(b []byte, out any) error {
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(out); err != nil {
@@ -264,9 +293,10 @@ func errKindOf(err error) string {
 	}
 }
 
-// wireError reconstructs a typed error from its wire form, so callers can
-// branch with errors.Is across the process boundary.
-func wireError(kind, msg string) error {
+// WireError reconstructs a typed error from its wire (kind, message) form,
+// so callers — peer nodes and ingress clients alike — can branch with
+// errors.Is across the process boundary.
+func WireError(kind, msg string) error {
 	var sentinel error
 	switch kind {
 	case errKindNone:

@@ -1,0 +1,616 @@
+package schema
+
+// Hand-rolled binary codec for the hot wire frames: submit requests and
+// responses (every remote event pays one of each), replication-notify hints
+// (every durable append fans one out per peer), and migration transfer
+// records. Gob is reflection-driven and re-sends type metadata per frame on
+// the request/response path, which BENCH_4/5 show dominating the remote
+// submit cost; these frames instead get a fixed little-endian layout with
+// varint integers, a tagged value encoding for `any` fields, and buffer
+// reuse via sync.Pool, so the steady-state ingress path encodes and decodes
+// without allocating. Rare control frames (store ops, migrate commands,
+// pings) stay on the registered-gob codec — see RegisterWireType.
+//
+// Frame layout: every hot frame starts with [HotMagic, type byte]. HotMagic
+// (0xA7) can never begin a valid gob stream (gob's leading byte is either a
+// small literal length ≤ 0x7F or a 0xF8–0xFF length-of-length marker), so a
+// receiver can cheaply tell the two codecs apart. All integers are uvarint
+// or zigzag varint; strings and byte slices are length-prefixed.
+//
+// `any` values (event arguments and results) are encoded with a one-byte
+// tag covering the scalar kinds real workloads send — nil, bool, int,
+// int64, uint64, float64, string, []byte, ownership.ID — and fall back to
+// an embedded EncodeWire (gob) blob for anything else, so exotic payload
+// types stay correct, merely slower. Decoding preserves the concrete type
+// exactly like a gob round trip would (an int arrives as int, not int64),
+// which application method bodies rely on for type assertions.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"aeon/internal/ownership"
+)
+
+// HotMagic is the first byte of every hot-codec frame.
+const HotMagic byte = 0xA7
+
+// Hot frame type bytes (the second byte of a frame).
+const (
+	hotTypeSubmitReq  byte = 1
+	hotTypeSubmitResp byte = 2
+	hotTypeNotify     byte = 3
+	hotTypeTransfer   byte = 4
+)
+
+// Value tags for the `any` encoding.
+const (
+	tagNil    byte = 0
+	tagFalse  byte = 1
+	tagTrue   byte = 2
+	tagInt    byte = 3
+	tagInt64  byte = 4
+	tagUint64 byte = 5
+	tagFloat  byte = 6
+	tagString byte = 7
+	tagBytes  byte = 8
+	tagID     byte = 9
+	tagGob    byte = 10
+)
+
+// ErrHotFrame is wrapped by every hot-codec decode failure (truncated
+// buffer, wrong magic or type byte, corrupt varint), so callers can branch
+// on malformed frames without string matching.
+var ErrHotFrame = errors.New("schema: malformed hot frame")
+
+// hotMax bounds decoded lengths (strings, byte slices, collection counts)
+// so corrupt or adversarial frames cannot demand absurd allocations before
+// failing. 64 MiB matches the transport's frame bound.
+const hotMax = 64 << 20
+
+// SubmitReq is the hot submit request frame: execute one event on the
+// receiving node. It mirrors the node wire contract: Hops counts forwards
+// already taken, MinSeq is the sender's applied replication sequence (the
+// receiver's admission floor).
+type SubmitReq struct {
+	Target ownership.ID
+	Method string
+	Args   []any
+	Hops   uint32
+	MinSeq uint64
+}
+
+// SubmitResp is the hot submit response frame. Host is the authoritative
+// placement of the event's dominator after execution (0 = unknown), which
+// stale callers use to repair their routing caches; Err/ErrKind carry
+// handler failures in-band so typed errors survive the wire.
+type SubmitResp struct {
+	Result  any
+	Host    int64
+	Err     string
+	ErrKind string
+}
+
+// NotifyRec is the hot replication-notify hint: the mutation log reached
+// Seq.
+type NotifyRec struct {
+	Seq uint64
+}
+
+// TransferRec ships a stopped migration group's serialized state to the
+// destination node (migration step IV over the mesh). States maps member ID
+// to its EncodeWire payload; members without an entry are remapped without
+// a state install.
+type TransferRec struct {
+	Members    []ownership.ID
+	From, To   int64
+	TotalBytes int64
+	MinSeq     uint64
+	States     map[uint64][]byte
+}
+
+// IsHotFrame reports whether b begins like a hot-codec frame (as opposed to
+// a gob payload).
+func IsHotFrame(b []byte) bool {
+	return len(b) >= 2 && b[0] == HotMagic
+}
+
+// ---- frame buffers ----
+
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// GetFrameBuf returns a pooled byte slice (length 0) for MarshalWire to
+// append into. Return it with PutFrameBuf once the encoded frame is no
+// longer referenced — for mesh calls, after Call returns (endpoints do not
+// retain request payloads).
+func GetFrameBuf() *[]byte {
+	return framePool.Get().(*[]byte)
+}
+
+// PutFrameBuf recycles a buffer obtained from GetFrameBuf.
+func PutFrameBuf(b *[]byte) {
+	if b == nil || cap(*b) > hotMax {
+		return
+	}
+	*b = (*b)[:0]
+	framePool.Put(b)
+}
+
+// ---- primitive encoders ----
+
+func putUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func putVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+func putString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func putBytes(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// hotReader walks a frame body with bounds checks; every failure is an
+// ErrHotFrame, never a panic, so arbitrary bytes are safe to feed in.
+type hotReader struct {
+	b   []byte
+	off int
+}
+
+func (r *hotReader) fail(what string) error {
+	return fmt.Errorf("%w: %s at offset %d", ErrHotFrame, what, r.off)
+}
+
+func (r *hotReader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, r.fail("truncated byte")
+	}
+	c := r.b[r.off]
+	r.off++
+	return c, nil
+}
+
+func (r *hotReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, r.fail("bad uvarint")
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *hotReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, r.fail("bad varint")
+	}
+	r.off += n
+	return v, nil
+}
+
+// take returns the next n bytes of the frame without copying.
+func (r *hotReader) take(n uint64) ([]byte, error) {
+	if n > hotMax || r.off+int(n) > len(r.b) {
+		return nil, r.fail("truncated field")
+	}
+	b := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+// str decodes a length-prefixed string, copying out of the frame (frames
+// may live in pooled buffers; decoded values must not alias them).
+func (r *hotReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// internedStr decodes a length-prefixed string through the intern table:
+// repeated values (method names, error kinds — small closed sets) decode
+// with zero allocations after first sight.
+func (r *hotReader) internedStr() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(n)
+	if err != nil {
+		return "", err
+	}
+	return intern(b), nil
+}
+
+func (r *hotReader) header(frameType byte) error {
+	if len(r.b) < 2 || r.b[0] != HotMagic {
+		return fmt.Errorf("%w: missing magic", ErrHotFrame)
+	}
+	if r.b[1] != frameType {
+		return fmt.Errorf("%w: frame type %d, want %d", ErrHotFrame, r.b[1], frameType)
+	}
+	r.off = 2
+	return nil
+}
+
+// ---- string interning ----
+
+// Method names and error kinds are drawn from small closed sets (the frozen
+// schema's methods, the wire error kinds), so the decoder interns them: a
+// map hit with a []byte key compiles to zero allocations, making repeated
+// decodes allocation-free. Only bounded sets go through here — free-form
+// strings (error messages, app data) are copied instead, so the table
+// cannot grow without bound.
+var (
+	internMu  sync.RWMutex
+	internTab = make(map[string]string)
+)
+
+func intern(b []byte) string {
+	internMu.RLock()
+	s, ok := internTab[string(b)] // no alloc: mapaccess with byte-slice key
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if s, ok = internTab[string(b)]; ok {
+		return s
+	}
+	s = string(b)
+	internTab[s] = s
+	return s
+}
+
+// ---- `any` value codec ----
+
+// appendValue encodes one tagged value.
+func appendValue(dst []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, tagNil), nil
+	case bool:
+		if x {
+			return append(dst, tagTrue), nil
+		}
+		return append(dst, tagFalse), nil
+	case int:
+		return putVarint(append(dst, tagInt), int64(x)), nil
+	case int64:
+		return putVarint(append(dst, tagInt64), x), nil
+	case uint64:
+		return putUvarint(append(dst, tagUint64), x), nil
+	case float64:
+		dst = append(dst, tagFloat)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(x)), nil
+	case string:
+		return putString(append(dst, tagString), x), nil
+	case []byte:
+		return putBytes(append(dst, tagBytes), x), nil
+	case ownership.ID:
+		return putUvarint(append(dst, tagID), uint64(x)), nil
+	default:
+		// Exotic payload type: embed a registered-gob blob. Correct for
+		// every RegisterWireType'd type, just not allocation-free.
+		blob, err := EncodeWire(v)
+		if err != nil {
+			return nil, err
+		}
+		return putBytes(append(dst, tagGob), blob), nil
+	}
+}
+
+// readValue decodes one tagged value.
+func (r *hotReader) readValue() (any, error) {
+	tag, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagNil:
+		return nil, nil
+	case tagFalse:
+		return false, nil
+	case tagTrue:
+		return true, nil
+	case tagInt:
+		v, err := r.varint()
+		return int(v), err
+	case tagInt64:
+		return r.varint()
+	case tagUint64:
+		return r.uvarint()
+	case tagFloat:
+		b, err := r.take(8)
+		if err != nil {
+			return nil, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+	case tagString:
+		return r.str()
+	case tagBytes:
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.take(n)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out, nil
+	case tagID:
+		v, err := r.uvarint()
+		return ownership.ID(v), err
+	case tagGob:
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.take(n)
+		if err != nil {
+			return nil, err
+		}
+		v, err := DecodeWire(b)
+		if err != nil {
+			return nil, fmt.Errorf("%w: embedded gob: %v", ErrHotFrame, err)
+		}
+		return v, nil
+	default:
+		return nil, r.fail(fmt.Sprintf("unknown value tag %d", tag))
+	}
+}
+
+// ---- SubmitReq ----
+
+// MarshalWire appends the frame to dst and returns the extended slice. Pass
+// a pooled buffer (GetFrameBuf) with its length reset to zero to encode
+// without allocating.
+func (q *SubmitReq) MarshalWire(dst []byte) ([]byte, error) {
+	dst = append(dst, HotMagic, hotTypeSubmitReq)
+	dst = putUvarint(dst, uint64(q.Target))
+	dst = putString(dst, q.Method)
+	dst = putUvarint(dst, uint64(q.Hops))
+	dst = putUvarint(dst, q.MinSeq)
+	dst = putUvarint(dst, uint64(len(q.Args)))
+	var err error
+	for _, a := range q.Args {
+		if dst, err = appendValue(dst, a); err != nil {
+			return nil, fmt.Errorf("submit arg: %w", err)
+		}
+	}
+	return dst, nil
+}
+
+// UnmarshalWire decodes a frame produced by MarshalWire. The receiver's
+// Args slice is reused when its capacity suffices, so a long-lived decode
+// target reaches steady-state zero allocations; decoded values never alias
+// b.
+func (q *SubmitReq) UnmarshalWire(b []byte) error {
+	r := hotReader{b: b}
+	if err := r.header(hotTypeSubmitReq); err != nil {
+		return err
+	}
+	target, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	method, err := r.internedStr()
+	if err != nil {
+		return err
+	}
+	hops, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if hops > math.MaxUint32 {
+		return r.fail("hop count overflow")
+	}
+	minSeq, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if n > hotMax {
+		return r.fail("arg count overflow")
+	}
+	args := q.Args[:0]
+	for i := uint64(0); i < n; i++ {
+		v, err := r.readValue()
+		if err != nil {
+			return fmt.Errorf("submit arg %d: %w", i, err)
+		}
+		args = append(args, v)
+	}
+	q.Target = ownership.ID(target)
+	q.Method = method
+	q.Hops = uint32(hops)
+	q.MinSeq = minSeq
+	q.Args = args
+	return nil
+}
+
+// ---- SubmitResp ----
+
+// MarshalWire appends the frame to dst.
+func (p *SubmitResp) MarshalWire(dst []byte) ([]byte, error) {
+	dst = append(dst, HotMagic, hotTypeSubmitResp)
+	dst = putVarint(dst, p.Host)
+	dst = putString(dst, p.ErrKind)
+	dst = putString(dst, p.Err)
+	var err error
+	if dst, err = appendValue(dst, p.Result); err != nil {
+		return nil, fmt.Errorf("submit result: %w", err)
+	}
+	return dst, nil
+}
+
+// UnmarshalWire decodes a frame produced by MarshalWire.
+func (p *SubmitResp) UnmarshalWire(b []byte) error {
+	r := hotReader{b: b}
+	if err := r.header(hotTypeSubmitResp); err != nil {
+		return err
+	}
+	host, err := r.varint()
+	if err != nil {
+		return err
+	}
+	kind, err := r.internedStr()
+	if err != nil {
+		return err
+	}
+	msg, err := r.str()
+	if err != nil {
+		return err
+	}
+	res, err := r.readValue()
+	if err != nil {
+		return fmt.Errorf("submit result: %w", err)
+	}
+	p.Host = host
+	p.ErrKind = kind
+	p.Err = msg
+	p.Result = res
+	return nil
+}
+
+// ---- NotifyRec ----
+
+// MarshalWire appends the frame to dst.
+func (n *NotifyRec) MarshalWire(dst []byte) ([]byte, error) {
+	dst = append(dst, HotMagic, hotTypeNotify)
+	return putUvarint(dst, n.Seq), nil
+}
+
+// UnmarshalWire decodes a frame produced by MarshalWire.
+func (n *NotifyRec) UnmarshalWire(b []byte) error {
+	r := hotReader{b: b}
+	if err := r.header(hotTypeNotify); err != nil {
+		return err
+	}
+	seq, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	n.Seq = seq
+	return nil
+}
+
+// ---- TransferRec ----
+
+// MarshalWire appends the frame to dst.
+func (t *TransferRec) MarshalWire(dst []byte) ([]byte, error) {
+	dst = append(dst, HotMagic, hotTypeTransfer)
+	dst = putVarint(dst, t.From)
+	dst = putVarint(dst, t.To)
+	dst = putVarint(dst, t.TotalBytes)
+	dst = putUvarint(dst, t.MinSeq)
+	dst = putUvarint(dst, uint64(len(t.Members)))
+	for _, id := range t.Members {
+		dst = putUvarint(dst, uint64(id))
+	}
+	dst = putUvarint(dst, uint64(len(t.States)))
+	// Iterate members (ordered) rather than the map so the encoding is
+	// deterministic; entries for non-members cannot exist by construction
+	// but are guarded below anyway.
+	written := 0
+	for _, id := range t.Members {
+		b, ok := t.States[uint64(id)]
+		if !ok {
+			continue
+		}
+		dst = putUvarint(dst, uint64(id))
+		dst = putBytes(dst, b)
+		written++
+	}
+	if written != len(t.States) {
+		return nil, fmt.Errorf("schema: transfer frame has %d states for non-members", len(t.States)-written)
+	}
+	return dst, nil
+}
+
+// UnmarshalWire decodes a frame produced by MarshalWire.
+func (t *TransferRec) UnmarshalWire(b []byte) error {
+	r := hotReader{b: b}
+	if err := r.header(hotTypeTransfer); err != nil {
+		return err
+	}
+	var err error
+	if t.From, err = r.varint(); err != nil {
+		return err
+	}
+	if t.To, err = r.varint(); err != nil {
+		return err
+	}
+	if t.TotalBytes, err = r.varint(); err != nil {
+		return err
+	}
+	if t.MinSeq, err = r.uvarint(); err != nil {
+		return err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if n > hotMax {
+		return r.fail("member count overflow")
+	}
+	t.Members = make([]ownership.ID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		id, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		t.Members = append(t.Members, ownership.ID(id))
+	}
+	n, err = r.uvarint()
+	if err != nil {
+		return err
+	}
+	if n > hotMax {
+		return r.fail("state count overflow")
+	}
+	t.States = make(map[uint64][]byte, n)
+	for i := uint64(0); i < n; i++ {
+		id, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		ln, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		raw, err := r.take(ln)
+		if err != nil {
+			return err
+		}
+		st := make([]byte, len(raw))
+		copy(st, raw)
+		t.States[id] = st
+	}
+	return nil
+}

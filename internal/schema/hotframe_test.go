@@ -1,0 +1,346 @@
+package schema
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"reflect"
+	"testing"
+
+	"aeon/internal/ownership"
+)
+
+func roundTripSubmitReq(t *testing.T, in SubmitReq) SubmitReq {
+	t.Helper()
+	b, err := in.MarshalWire(nil)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !IsHotFrame(b) {
+		t.Fatalf("frame does not carry the hot magic: % x", b[:2])
+	}
+	var out SubmitReq
+	if err := out.UnmarshalWire(b); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return out
+}
+
+// TestSubmitReqRoundTrip pins the request frame: every field and every value
+// tag survives, with concrete types preserved (an int arrives as an int).
+func TestSubmitReqRoundTrip(t *testing.T) {
+	cases := []SubmitReq{
+		{},
+		{Target: 7, Method: "deposit", Args: []any{1}, Hops: 0, MinSeq: 0},
+		{Target: math.MaxUint64, Method: "transfer", Args: []any{ownership.ID(3), ownership.ID(9), 250}, Hops: 4, MinSeq: 1 << 40},
+		{Target: 1, Method: "m", Args: []any{
+			nil, true, false, int(-42), int64(math.MinInt64), uint64(math.MaxUint64),
+			3.14159, "hello", []byte{0, 1, 2}, ownership.ID(12345),
+		}},
+		{Target: 2, Method: "empty-args", Args: []any{}},
+	}
+	for i, in := range cases {
+		out := roundTripSubmitReq(t, in)
+		if out.Target != in.Target || out.Method != in.Method || out.Hops != in.Hops || out.MinSeq != in.MinSeq {
+			t.Errorf("case %d: scalar fields changed: %+v vs %+v", i, out, in)
+		}
+		if len(out.Args) != len(in.Args) {
+			t.Fatalf("case %d: %d args, want %d", i, len(out.Args), len(in.Args))
+		}
+		for j := range in.Args {
+			if !reflect.DeepEqual(out.Args[j], in.Args[j]) {
+				t.Errorf("case %d arg %d: got %#v (%T), want %#v (%T)",
+					i, j, out.Args[j], out.Args[j], in.Args[j], in.Args[j])
+			}
+		}
+	}
+}
+
+// TestSubmitReqGobFallback pins the exotic-type escape hatch: a value
+// outside the tagged scalar set rides an embedded registered-gob blob and
+// still round-trips with its concrete type.
+func TestSubmitReqGobFallback(t *testing.T) {
+	type exoticArg struct{ N int }
+	RegisterWireType(exoticArg{})
+	in := SubmitReq{Target: 1, Method: "m", Args: []any{exoticArg{N: 9}, "plain"}}
+	out := roundTripSubmitReq(t, in)
+	if got, ok := out.Args[0].(exoticArg); !ok || got.N != 9 {
+		t.Fatalf("exotic arg: got %#v", out.Args[0])
+	}
+	if out.Args[1] != "plain" {
+		t.Fatalf("arg after exotic: got %#v", out.Args[1])
+	}
+}
+
+// TestSubmitRespRoundTrip pins the response frame, including error fields
+// and the placement-repair Host.
+func TestSubmitRespRoundTrip(t *testing.T) {
+	cases := []SubmitResp{
+		{},
+		{Result: 450, Host: 3},
+		{Result: nil, Host: -1, Err: "ctx: no such method", ErrKind: "bad-method"},
+		{Result: []byte("blob"), Host: math.MaxInt64},
+	}
+	for i, in := range cases {
+		b, err := in.MarshalWire(nil)
+		if err != nil {
+			t.Fatalf("case %d marshal: %v", i, err)
+		}
+		var out SubmitResp
+		if err := out.UnmarshalWire(b); err != nil {
+			t.Fatalf("case %d unmarshal: %v", i, err)
+		}
+		if !reflect.DeepEqual(out, in) {
+			t.Errorf("case %d: got %+v, want %+v", i, out, in)
+		}
+	}
+}
+
+// TestNotifyAndTransferRoundTrip pins the replication and migration frames.
+func TestNotifyAndTransferRoundTrip(t *testing.T) {
+	nin := NotifyRec{Seq: 1<<50 + 17}
+	b, err := nin.MarshalWire(nil)
+	if err != nil {
+		t.Fatalf("notify marshal: %v", err)
+	}
+	var nout NotifyRec
+	if err := nout.UnmarshalWire(b); err != nil {
+		t.Fatalf("notify unmarshal: %v", err)
+	}
+	if nout != nin {
+		t.Fatalf("notify: got %+v, want %+v", nout, nin)
+	}
+
+	tin := TransferRec{
+		Members:    []ownership.ID{5, 9, 11},
+		From:       2,
+		To:         0,
+		TotalBytes: 4096,
+		MinSeq:     77,
+		States: map[uint64][]byte{
+			5:  []byte("state-5"),
+			11: {},
+		},
+	}
+	b, err = tin.MarshalWire(nil)
+	if err != nil {
+		t.Fatalf("transfer marshal: %v", err)
+	}
+	var tout TransferRec
+	if err := tout.UnmarshalWire(b); err != nil {
+		t.Fatalf("transfer unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(tout, tin) {
+		t.Fatalf("transfer: got %+v, want %+v", tout, tin)
+	}
+
+	// A state keyed by a non-member must be rejected, not silently dropped.
+	bad := tin
+	bad.States = map[uint64][]byte{99: []byte("orphan")}
+	if _, err := bad.MarshalWire(nil); err == nil {
+		t.Fatalf("transfer frame with non-member state encoded")
+	}
+}
+
+// TestHotFrameRejectsWrongType pins the header check: a frame of one type
+// must not decode as another, and gob bytes must not decode as hot frames.
+func TestHotFrameRejectsWrongType(t *testing.T) {
+	req := SubmitReq{Target: 1, Method: "m"}
+	b, _ := req.MarshalWire(nil)
+	var resp SubmitResp
+	if err := resp.UnmarshalWire(b); err == nil {
+		t.Fatalf("submitReq frame decoded as submitResp")
+	}
+
+	var gb bytes.Buffer
+	if err := gob.NewEncoder(&gb).Encode(struct{ X int }{1}); err != nil {
+		t.Fatal(err)
+	}
+	if IsHotFrame(gb.Bytes()) {
+		t.Fatalf("gob payload classified as hot frame (first byte %#x)", gb.Bytes()[0])
+	}
+	var q SubmitReq
+	if err := q.UnmarshalWire(gb.Bytes()); err == nil {
+		t.Fatalf("gob payload decoded as hot frame")
+	}
+}
+
+// TestSubmitReqZeroAlloc is the perf contract from the issue: steady-state
+// encode+decode of a submit frame allocates nothing — pooled encode buffer,
+// reused decode target, interned method, args drawn from the small-int
+// cache.
+func TestSubmitReqZeroAlloc(t *testing.T) {
+	req := SubmitReq{Target: 42, Method: "deposit", Args: []any{1}, Hops: 1, MinSeq: 9}
+	var dec SubmitReq
+	// Warm the intern table and the pool outside the measured window.
+	buf := GetFrameBuf()
+	b, err := req.MarshalWire((*buf)[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.UnmarshalWire(b); err != nil {
+		t.Fatal(err)
+	}
+	*buf = b
+	PutFrameBuf(buf)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		buf := GetFrameBuf()
+		b, err := req.MarshalWire((*buf)[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.UnmarshalWire(b); err != nil {
+			t.Fatal(err)
+		}
+		*buf = b
+		PutFrameBuf(buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("submit encode+decode allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestSubmitRespZeroAlloc: same contract for the response direction (the
+// result is a cached small int, the Host varint and interned ErrKind are
+// free).
+func TestSubmitRespZeroAlloc(t *testing.T) {
+	resp := SubmitResp{Result: 7, Host: 3}
+	var dec SubmitResp
+	buf := GetFrameBuf()
+	b, _ := resp.MarshalWire((*buf)[:0])
+	_ = dec.UnmarshalWire(b)
+	*buf = b
+	PutFrameBuf(buf)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		buf := GetFrameBuf()
+		b, err := resp.MarshalWire((*buf)[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.UnmarshalWire(b); err != nil {
+			t.Fatal(err)
+		}
+		*buf = b
+		PutFrameBuf(buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("resp encode+decode allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// BenchmarkSubmitReqHotCodec reports the hot path cost; run with -benchmem
+// to see the 0 B/op, 0 allocs/op contract.
+func BenchmarkSubmitReqHotCodec(b *testing.B) {
+	req := SubmitReq{Target: 42, Method: "deposit", Args: []any{1}, Hops: 1, MinSeq: 9}
+	var dec SubmitReq
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := GetFrameBuf()
+		fb, err := req.MarshalWire((*buf)[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dec.UnmarshalWire(fb); err != nil {
+			b.Fatal(err)
+		}
+		*buf = fb
+		PutFrameBuf(buf)
+	}
+}
+
+// BenchmarkSubmitReqGob is the baseline the hot codec replaces.
+func BenchmarkSubmitReqGob(b *testing.B) {
+	type gobSubmitReq struct {
+		Target ownership.ID
+		Method string
+		Args   []any
+		Hops   uint32
+		MinSeq uint64
+	}
+	gob.Register(gobSubmitReq{})
+	req := gobSubmitReq{Target: 42, Method: "deposit", Args: []any{1}, Hops: 1, MinSeq: 9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var bb bytes.Buffer
+		if err := gob.NewEncoder(&bb).Encode(&req); err != nil {
+			b.Fatal(err)
+		}
+		var dec gobSubmitReq
+		if err := gob.NewDecoder(&bb).Decode(&dec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// FuzzHotFrameRoundTrip feeds arbitrary bytes to every hot decoder (no
+// panics allowed) and, when the bytes decode, re-encodes and re-decodes to
+// check the codec agrees with itself — the round trip must be a fixed point.
+func FuzzHotFrameRoundTrip(f *testing.F) {
+	seedReq := SubmitReq{Target: 7, Method: "deposit", Args: []any{1, "x", ownership.ID(3)}, Hops: 2, MinSeq: 5}
+	if b, err := seedReq.MarshalWire(nil); err == nil {
+		f.Add(b)
+	}
+	seedResp := SubmitResp{Result: 450, Host: 3, Err: "boom", ErrKind: "ctx-missing"}
+	if b, err := seedResp.MarshalWire(nil); err == nil {
+		f.Add(b)
+	}
+	seedTr := TransferRec{Members: []ownership.ID{1, 2}, From: 1, To: 2, TotalBytes: 10, MinSeq: 3,
+		States: map[uint64][]byte{1: []byte("s")}}
+	if b, err := seedTr.MarshalWire(nil); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{HotMagic})
+	f.Add([]byte{HotMagic, 1})
+	f.Add([]byte{HotMagic, 4, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Add([]byte("not a frame at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q SubmitReq
+		if err := q.UnmarshalWire(data); err == nil {
+			b2, err := q.MarshalWire(nil)
+			if err != nil {
+				t.Fatalf("re-encode of decoded submitReq failed: %v", err)
+			}
+			var q2 SubmitReq
+			if err := q2.UnmarshalWire(b2); err != nil {
+				t.Fatalf("re-decode of re-encoded submitReq failed: %v", err)
+			}
+			if q2.Target != q.Target || q2.Method != q.Method || q2.Hops != q.Hops ||
+				q2.MinSeq != q.MinSeq || len(q2.Args) != len(q.Args) {
+				t.Fatalf("submitReq round trip not a fixed point: %+v vs %+v", q2, q)
+			}
+		}
+		var p SubmitResp
+		if err := p.UnmarshalWire(data); err == nil {
+			b2, err := p.MarshalWire(nil)
+			if err != nil {
+				t.Fatalf("re-encode of decoded submitResp failed: %v", err)
+			}
+			var p2 SubmitResp
+			if err := p2.UnmarshalWire(b2); err != nil {
+				t.Fatalf("re-decode of re-encoded submitResp failed: %v", err)
+			}
+		}
+		var n NotifyRec
+		if err := n.UnmarshalWire(data); err == nil {
+			b2, _ := n.MarshalWire(nil)
+			var n2 NotifyRec
+			if err := n2.UnmarshalWire(b2); err != nil || n2 != n {
+				t.Fatalf("notify round trip not a fixed point: %+v vs %+v (%v)", n2, n, err)
+			}
+		}
+		var tr TransferRec
+		if err := tr.UnmarshalWire(data); err == nil {
+			if b2, err := tr.MarshalWire(nil); err == nil {
+				var tr2 TransferRec
+				if err := tr2.UnmarshalWire(b2); err != nil {
+					t.Fatalf("re-decode of re-encoded transfer failed: %v", err)
+				}
+			}
+		}
+	})
+}

@@ -123,3 +123,65 @@ func (e *faultyEndpoint) Call(ctx context.Context, to NodeID, req Message) (Mess
 }
 
 func (e *faultyEndpoint) Close() error { return e.inner.Close() }
+
+// Stream implements Streamer when the inner endpoint does: the pipelined
+// path is subject to the same directed-link faults as one-shot calls, so
+// tests can drop, duplicate, and lose-the-response-of individual pipelined
+// requests.
+func (e *faultyEndpoint) Stream(to NodeID) (Stream, error) {
+	inner, ok, err := OpenStream(e.inner, to)
+	if !ok {
+		return nil, fmt.Errorf("%T: %w", e.inner, ErrNoStreams)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &faultyStream{mesh: e.mesh, from: e.inner.ID(), to: to, inner: inner}, nil
+}
+
+// ErrNoStreams is returned when opening a stream on a mesh whose inner
+// endpoints only support one-shot calls.
+var ErrNoStreams = errors.New("transport: endpoint does not support streams")
+
+type faultyStream struct {
+	mesh  *FaultyMesh
+	from  NodeID
+	to    NodeID
+	inner Stream
+}
+
+var _ Stream = (*faultyStream)(nil)
+
+func (s *faultyStream) Call(ctx context.Context, req Message) (Message, error) {
+	link := [2]NodeID{s.from, s.to}
+	s.mesh.mu.Lock()
+	dropped := s.mesh.drop[link]
+	duplicate := false
+	if n := s.mesh.dup[link]; n > 0 {
+		duplicate = true
+		s.mesh.dup[link] = n - 1
+	}
+	lostAck := false
+	if n := s.mesh.dropReply[link]; n > 0 {
+		lostAck = true
+		s.mesh.dropReply[link] = n - 1
+	}
+	s.mesh.mu.Unlock()
+	if dropped {
+		return Message{}, fmt.Errorf("%v→%v: %w", s.from, s.to, ErrDropped)
+	}
+	resp, err := s.inner.Call(ctx, req)
+	if duplicate {
+		// The request is delivered twice (the handler runs for both); the
+		// duplicate's response is discarded like a retransmission's would
+		// be — on a real mux connection its correlation ID is already
+		// retired, so it can never match a newer request.
+		_, _ = s.inner.Call(ctx, req)
+	}
+	if lostAck {
+		return Message{}, fmt.Errorf("%v→%v reply: %w", s.from, s.to, ErrDropped)
+	}
+	return resp, err
+}
+
+func (s *faultyStream) Close() error { return s.inner.Close() }

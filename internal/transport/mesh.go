@@ -22,10 +22,45 @@ type Handler func(ctx context.Context, from NodeID, req Message) (Message, error
 type Endpoint interface {
 	// ID returns this endpoint's node ID.
 	ID() NodeID
-	// Call sends a request to another node and waits for its response.
+	// Call sends a request to another node and waits for its response. The
+	// request payload is not retained after Call returns, so callers may
+	// recycle pooled payload buffers.
 	Call(ctx context.Context, to NodeID, req Message) (Message, error)
 	// Close detaches the endpoint.
 	Close() error
+}
+
+// Stream is a pipelined connection to one peer: Call is safe for
+// concurrent use and concurrent calls share the connection with many
+// requests in flight (responses are matched by correlation ID, so they may
+// complete in any order). When the stream's in-flight window is full, Call
+// blocks until a slot frees or ctx expires — backpressure propagates to
+// the submitter. The request payload is not retained after Call returns.
+type Stream interface {
+	Call(ctx context.Context, req Message) (Message, error)
+	Close() error
+}
+
+// Streamer is implemented by endpoints that support pipelined multiplexed
+// streams in addition to one-shot calls.
+type Streamer interface {
+	// Stream opens a pipelined stream to a peer. Streams are not pooled by
+	// the transport: callers cache and reopen them.
+	Stream(to NodeID) (Stream, error)
+}
+
+// OpenStream opens a pipelined stream to a peer when the endpoint supports
+// it; ok is false otherwise (callers fall back to one-shot Call).
+func OpenStream(ep Endpoint, to NodeID) (Stream, bool, error) {
+	s, ok := ep.(Streamer)
+	if !ok {
+		return nil, false, nil
+	}
+	st, err := s.Stream(to)
+	if err != nil {
+		return nil, true, err
+	}
+	return st, true, nil
 }
 
 // Mesh connects endpoints so they can exchange request/response messages.
@@ -112,6 +147,55 @@ func (e *inMemEndpoint) Call(ctx context.Context, to NodeID, req Message) (Messa
 		return Message{}, err
 	}
 	return resp, nil
+}
+
+// Stream implements Streamer: the in-memory "connection" has no socket to
+// multiplex, so pipelining is expressed directly — concurrent Calls run
+// concurrently against the destination handler, bounded by the same
+// in-flight window a mux connection has. This keeps stream-path semantics
+// (windowed backpressure, concurrent dispatch) testable in-process.
+func (e *inMemEndpoint) Stream(to NodeID) (Stream, error) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	return &inMemStream{ep: e, to: to, window: make(chan struct{}, MuxWindow)}, nil
+}
+
+type inMemStream struct {
+	ep     *inMemEndpoint
+	to     NodeID
+	window chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Stream = (*inMemStream)(nil)
+
+func (s *inMemStream) Call(ctx context.Context, req Message) (Message, error) {
+	select {
+	case s.window <- struct{}{}:
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+	defer func() { <-s.window }()
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return Message{}, ErrStreamBroken
+	}
+	return s.ep.Call(ctx, s.to, req)
+}
+
+func (s *inMemStream) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
 }
 
 func (e *inMemEndpoint) Close() error {

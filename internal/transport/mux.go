@@ -1,0 +1,502 @@
+package transport
+
+// Pipelined, multiplexed connections. The one-shot TCP protocol is strictly
+// request/response — one outstanding call per connection — so a remote
+// submit costs a full round trip and the wire idles between frames. A mux
+// connection instead carries many in-flight requests: each call is stamped
+// with a correlation ID, a writer goroutine coalesces queued frames into
+// single buffered flushes (writev-style — one syscall covers every frame
+// queued while the previous flush was in flight), the server dispatches
+// frames to handler goroutines as they arrive, and a reader goroutine
+// matches responses back to callers by correlation ID, in whatever order
+// the handlers finish.
+//
+// Correlation IDs are a per-connection monotonically increasing uint64 —
+// never reused, so a late response (its caller timed out and abandoned the
+// ID) or a duplicated response can only miss the pending table and be
+// discarded; it can never be delivered to a newer request.
+//
+// Backpressure: each stream has a bounded in-flight window (MuxWindow,
+// 1024). When the window is full, Call blocks until a slot frees or the
+// caller's context expires — pressure propagates to the submitter instead
+// of growing an unbounded queue or dropping frames.
+//
+// Wire format. A mux connection opens with a 12-byte preamble:
+//
+//	[4]byte{0xA7, 'M', 'X', '1'}   magic (0xA7 never begins a gob stream)
+//	uint64 BE                      caller's NodeID
+//
+// then carries length-prefixed frames in both directions:
+//
+//	uint32 BE      frame length (bytes that follow; ≤ 64 MiB)
+//	uint64 BE      correlation ID
+//	uvarint+bytes  kind
+//	uvarint+bytes  err (responses; empty on requests and successes)
+//	rest           payload
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+)
+
+// muxMagic opens every multiplexed connection.
+var muxMagic = [4]byte{0xA7, 'M', 'X', '1'}
+
+// MuxWindow is the per-stream in-flight window: at most this many calls may
+// be pending on one mux connection; further Calls block (backpressure).
+const MuxWindow = 1024
+
+// maxMuxFrame bounds a frame body so a corrupt length prefix cannot demand
+// an absurd allocation.
+const maxMuxFrame = 64 << 20
+
+// ErrStreamBroken is returned by calls pending on a mux stream whose
+// connection failed; the stream is dead and must be reopened.
+var ErrStreamBroken = errors.New("transport: mux stream broken")
+
+// writeMuxFrame appends one frame to w using scratch for the header; the
+// payload bytes are written directly (bufio coalesces them into the next
+// flush).
+func writeMuxFrame(w *bufio.Writer, scratch []byte, corrID uint64, kind, errStr string, payload []byte) error {
+	body := 8 + uvarintLen(uint64(len(kind))) + len(kind) +
+		uvarintLen(uint64(len(errStr))) + len(errStr) + len(payload)
+	if body > maxMuxFrame {
+		return fmt.Errorf("transport: mux frame too large (%d bytes)", body)
+	}
+	scratch = binary.BigEndian.AppendUint32(scratch[:0], uint32(body))
+	scratch = binary.BigEndian.AppendUint64(scratch, corrID)
+	scratch = binary.AppendUvarint(scratch, uint64(len(kind)))
+	scratch = append(scratch, kind...)
+	scratch = binary.AppendUvarint(scratch, uint64(len(errStr)))
+	scratch = append(scratch, errStr...)
+	if _, err := w.Write(scratch); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// readMuxFrame reads one frame, reusing *buf for the body. The returned
+// kind/err/payload alias *buf and are only valid until the next call.
+func readMuxFrame(r io.Reader, buf *[]byte) (corrID uint64, kind, errStr string, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, "", "", nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 8 || n > maxMuxFrame {
+		return 0, "", "", nil, fmt.Errorf("transport: bad mux frame length %d", n)
+	}
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	}
+	body := (*buf)[:n]
+	if _, err = io.ReadFull(r, body); err != nil {
+		return 0, "", "", nil, err
+	}
+	corrID = binary.BigEndian.Uint64(body[:8])
+	rest := body[8:]
+	take := func() ([]byte, error) {
+		ln, sz := binary.Uvarint(rest)
+		if sz <= 0 || uint64(len(rest)-sz) < ln {
+			return nil, fmt.Errorf("transport: corrupt mux frame field")
+		}
+		f := rest[sz : sz+int(ln)]
+		rest = rest[sz+int(ln):]
+		return f, nil
+	}
+	kb, err := take()
+	if err != nil {
+		return 0, "", "", nil, err
+	}
+	eb, err := take()
+	if err != nil {
+		return 0, "", "", nil, err
+	}
+	return corrID, string(kb), string(eb), rest, nil
+}
+
+// muxWrite is one queued outbound frame.
+type muxWrite struct {
+	corrID  uint64
+	kind    string
+	errStr  string
+	payload []byte
+	// fsync, when non-nil, is closed once the frame (and everything queued
+	// before it) has been flushed to the socket — the write barrier callers
+	// releasing pooled payload buffers need.
+	flushed chan struct{}
+}
+
+// muxResult is one matched response.
+type muxResult struct {
+	msg Message
+	err error
+}
+
+// muxStream is the client half of a multiplexed connection.
+type muxStream struct {
+	to   NodeID
+	conn net.Conn
+
+	writeCh chan muxWrite
+
+	mu      sync.Mutex
+	pending map[uint64]chan muxResult
+	nextID  uint64
+	broken  error
+
+	window chan struct{}
+	done   chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+var _ Stream = (*muxStream)(nil)
+
+// dialMux opens a mux stream over an established connection, sending the
+// preamble and starting the writer/reader goroutines.
+func dialMux(conn net.Conn, from, to NodeID) (*muxStream, error) {
+	var pre [12]byte
+	copy(pre[:4], muxMagic[:])
+	binary.BigEndian.PutUint64(pre[4:], uint64(int64(from)))
+	if _, err := conn.Write(pre[:]); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("mux preamble to %v: %w", to, err)
+	}
+	s := &muxStream{
+		to:      to,
+		conn:    conn,
+		writeCh: make(chan muxWrite, MuxWindow),
+		pending: make(map[uint64]chan muxResult, 64),
+		window:  make(chan struct{}, MuxWindow),
+		done:    make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.writer()
+	go s.reader()
+	return s, nil
+}
+
+// fail breaks the stream: the connection closes, every pending call gets
+// err, and future calls fail fast.
+func (s *muxStream) fail(err error) {
+	s.once.Do(func() {
+		s.mu.Lock()
+		s.broken = err
+		pend := s.pending
+		s.pending = nil
+		s.mu.Unlock()
+		close(s.done)
+		_ = s.conn.Close()
+		for _, ch := range pend {
+			ch <- muxResult{err: err}
+		}
+	})
+}
+
+// Close implements Stream.
+func (s *muxStream) Close() error {
+	s.fail(ErrStreamBroken)
+	s.wg.Wait()
+	return nil
+}
+
+// writer drains the queue into the buffered socket writer, flushing once
+// per burst: every frame queued while the previous flush was on the wire
+// rides the next syscall.
+func (s *muxStream) writer() {
+	defer s.wg.Done()
+	w := bufio.NewWriterSize(s.conn, 64<<10)
+	scratch := make([]byte, 0, 64)
+	var notify []chan struct{}
+	for {
+		var first muxWrite
+		select {
+		case first = <-s.writeCh:
+		case <-s.done:
+			return
+		}
+		err := writeMuxFrame(w, scratch, first.corrID, first.kind, first.errStr, first.payload)
+		if first.flushed != nil {
+			notify = append(notify, first.flushed)
+		}
+		// Drain the burst before flushing. When the queue looks empty, yield
+		// once and re-check: callers that just woke from the previous flush
+		// are usually about to enqueue, and folding their frames into this
+		// flush is what turns N round-trip syscalls into one.
+		yielded := false
+	drain:
+		for err == nil {
+			select {
+			case next := <-s.writeCh:
+				err = writeMuxFrame(w, scratch, next.corrID, next.kind, next.errStr, next.payload)
+				if next.flushed != nil {
+					notify = append(notify, next.flushed)
+				}
+			default:
+				if !yielded && w.Buffered() < 32<<10 {
+					yielded = true
+					runtime.Gosched()
+					continue
+				}
+				break drain
+			}
+		}
+		if err == nil {
+			err = w.Flush()
+		}
+		for _, ch := range notify {
+			close(ch)
+		}
+		notify = notify[:0]
+		if err != nil {
+			s.fail(fmt.Errorf("mux write to %v: %w", s.to, err))
+			return
+		}
+	}
+}
+
+// reader matches inbound frames to pending calls by correlation ID. A frame
+// whose ID is unknown — its caller timed out, or a faulty network
+// duplicated the response — is discarded: IDs are never reused, so it
+// cannot belong to a newer call.
+func (s *muxStream) reader() {
+	defer s.wg.Done()
+	r := bufio.NewReaderSize(s.conn, 64<<10)
+	var buf []byte
+	for {
+		corrID, kind, errStr, payload, err := readMuxFrame(r, &buf)
+		if err != nil {
+			s.fail(fmt.Errorf("mux read from %v: %w", s.to, err))
+			return
+		}
+		s.mu.Lock()
+		ch, ok := s.pending[corrID]
+		if ok {
+			delete(s.pending, corrID)
+		}
+		s.mu.Unlock()
+		if !ok {
+			continue // late or duplicated response: no caller, drop it
+		}
+		res := muxResult{}
+		if errStr != "" {
+			res.err = &RemoteError{Node: s.to, Msg: errStr}
+		} else {
+			// The read buffer is reused for the next frame; the payload
+			// handed to the caller must own its bytes.
+			p := make([]byte, len(payload))
+			copy(p, payload)
+			res.msg = Message{Kind: kind, Payload: p}
+		}
+		ch <- res
+	}
+}
+
+// Call implements Stream: it is safe for concurrent use, and concurrent
+// calls pipeline on the single connection. The request payload is not
+// retained after Call returns.
+func (s *muxStream) Call(ctx context.Context, req Message) (Message, error) {
+	// Acquire an in-flight slot (backpressure point).
+	select {
+	case s.window <- struct{}{}:
+	case <-ctx.Done():
+		return Message{}, fmt.Errorf("mux call to %v: %w", s.to, ErrCallTimeout)
+	case <-s.done:
+		return Message{}, s.brokenErr()
+	}
+	defer func() { <-s.window }()
+
+	ch := make(chan muxResult, 1)
+	s.mu.Lock()
+	if s.broken != nil {
+		err := s.broken
+		s.mu.Unlock()
+		return Message{}, err
+	}
+	s.nextID++
+	id := s.nextID
+	s.pending[id] = ch
+	s.mu.Unlock()
+
+	abandon := func() {
+		s.mu.Lock()
+		if s.pending != nil {
+			delete(s.pending, id)
+		}
+		s.mu.Unlock()
+	}
+
+	// Callers may release (pool) the payload once Call returns, so a call
+	// abandoned before the writer flushed it must wait out the flush.
+	flushed := make(chan struct{})
+	select {
+	case s.writeCh <- muxWrite{corrID: id, kind: req.Kind, payload: req.Payload, flushed: flushed}:
+	case <-ctx.Done():
+		abandon()
+		return Message{}, fmt.Errorf("mux call to %v: %w", s.to, ErrCallTimeout)
+	case <-s.done:
+		abandon()
+		return Message{}, s.brokenErr()
+	}
+
+	select {
+	case res := <-ch:
+		return res.msg, res.err
+	case <-ctx.Done():
+		abandon()
+		select {
+		case <-flushed:
+		case <-s.done:
+		}
+		return Message{}, fmt.Errorf("mux call to %v: %w", s.to, ErrCallTimeout)
+	case <-s.done:
+		// fail() may have already routed an error to ch.
+		select {
+		case res := <-ch:
+			return res.msg, res.err
+		default:
+		}
+		abandon()
+		return Message{}, s.brokenErr()
+	}
+}
+
+func (s *muxStream) brokenErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return s.broken
+	}
+	return ErrStreamBroken
+}
+
+// serveMux is the server half: conn already consumed the magic; the peer's
+// node ID follows, then a stream of request frames. Each frame dispatches
+// to a handler goroutine (bounded by MuxWindow) and responses are coalesced
+// by a writer goroutine, so slow handlers never stall the read loop and
+// responses flow back in completion order.
+//
+// Handler contract on this path: the request payload is only valid for the
+// duration of the handler call (the read buffer is recycled); in-tree
+// handlers decode synchronously and retain nothing.
+func serveMux(conn net.Conn, h Handler, closing <-chan struct{}) {
+	var idBuf [8]byte
+	if _, err := io.ReadFull(conn, idBuf[:]); err != nil {
+		return
+	}
+	from := NodeID(int64(binary.BigEndian.Uint64(idBuf[:])))
+
+	respCh := make(chan muxWrite, MuxWindow)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		w := bufio.NewWriterSize(conn, 64<<10)
+		scratch := make([]byte, 0, 64)
+		for wr := range respCh {
+			err := writeMuxFrame(w, scratch, wr.corrID, wr.kind, wr.errStr, wr.payload)
+			// Same burst coalescing as muxStream.writer: yield once before
+			// flushing so handlers finishing right now ride this syscall.
+			yielded := false
+		drain:
+			for err == nil {
+				select {
+				case next, ok := <-respCh:
+					if !ok {
+						break drain
+					}
+					err = writeMuxFrame(w, scratch, next.corrID, next.kind, next.errStr, next.payload)
+				default:
+					if !yielded && w.Buffered() < 32<<10 {
+						yielded = true
+						runtime.Gosched()
+						continue
+					}
+					break drain
+				}
+			}
+			if err == nil {
+				err = w.Flush()
+			}
+			if err != nil {
+				_ = conn.Close() // unblock the read loop; remaining responses are moot
+				// Keep draining so handler goroutines sending responses
+				// never block on a dead writer.
+				for range respCh {
+				}
+				return
+			}
+		}
+		_ = w.Flush()
+	}()
+
+	// Handlers get a context cancelled on endpoint shutdown, so long-running
+	// work can observe Close instead of wedging the drain below.
+	hctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-closing:
+			cancel()
+		case <-stop:
+		}
+	}()
+
+	sem := make(chan struct{}, MuxWindow)
+	var handlers sync.WaitGroup
+	r := bufio.NewReaderSize(conn, 64<<10)
+	var buf []byte
+	for {
+		corrID, kind, _, payload, err := readMuxFrame(r, &buf)
+		if err != nil {
+			break
+		}
+		select {
+		case <-closing:
+			err = errors.New("endpoint closing")
+		default:
+		}
+		if err != nil {
+			break
+		}
+		// The read buffer is reused; the handler goroutine owns a copy.
+		p := make([]byte, len(payload))
+		copy(p, payload)
+		req := Message{Kind: kind, Payload: p}
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func(corrID uint64, req Message) {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			resp, herr := h(hctx, from, req)
+			wr := muxWrite{corrID: corrID, kind: resp.Kind, payload: resp.Payload}
+			if herr != nil {
+				wr.errStr = herr.Error()
+				wr.payload = nil
+			}
+			respCh <- wr
+		}(corrID, req)
+	}
+	handlers.Wait()
+	close(respCh)
+	<-writerDone
+}

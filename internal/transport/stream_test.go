@@ -1,0 +1,522 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// mirrorHandler answers every request with its own payload, tagging the kind,
+// so a mismatched correlation would be visible as a wrong payload.
+func mirrorHandler(ctx context.Context, from NodeID, req Message) (Message, error) {
+	return Message{Kind: req.Kind, Payload: req.Payload}, nil
+}
+
+func tcpPair(t *testing.T, h Handler) (client Endpoint, server Endpoint, mesh *TCPMesh) {
+	t.Helper()
+	mesh = NewTCPMesh()
+	srv, err := mesh.Attach(1, h)
+	if err != nil {
+		t.Fatalf("attach server: %v", err)
+	}
+	cli, err := mesh.Attach(2, func(ctx context.Context, from NodeID, req Message) (Message, error) {
+		return Message{}, errors.New("client does not serve")
+	})
+	if err != nil {
+		t.Fatalf("attach client: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = cli.Close()
+		_ = srv.Close()
+	})
+	return cli, srv, mesh
+}
+
+// TestMuxStreamRoundTrip pins the basic pipelined exchange on real TCP:
+// requests submitted concurrently on one stream all come back with their
+// own payloads.
+func TestMuxStreamRoundTrip(t *testing.T) {
+	cli, _, _ := tcpPair(t, mirrorHandler)
+	st, ok, err := OpenStream(cli, 1)
+	if !ok || err != nil {
+		t.Fatalf("OpenStream: ok=%v err=%v", ok, err)
+	}
+	defer st.Close()
+
+	const calls = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			want := []byte(fmt.Sprintf("payload-%d", i))
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			resp, err := st.Call(ctx, Message{Kind: "echo", Payload: want})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(resp.Payload) != string(want) {
+				errs <- fmt.Errorf("call %d: got %q want %q (correlation mismatch)", i, resp.Payload, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestMuxStreamPipelines proves many requests genuinely overlap on one
+// connection: with a handler that parks until N requests are concurrently
+// inside it, N pipelined calls on a single stream all complete — impossible
+// on the one-outstanding-call-per-connection path.
+func TestMuxStreamPipelines(t *testing.T) {
+	const depth = 16
+	var inside atomic.Int32
+	release := make(chan struct{})
+	h := func(ctx context.Context, from NodeID, req Message) (Message, error) {
+		if inside.Add(1) == depth {
+			close(release)
+		}
+		<-release
+		return Message{Kind: req.Kind, Payload: req.Payload}, nil
+	}
+	cli, _, _ := tcpPair(t, h)
+	st, _, err := OpenStream(cli, 1)
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	defer st.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, depth)
+	for i := 0; i < depth; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if _, err := st.Call(ctx, Message{Kind: "park", Payload: []byte{byte(i)}}); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("pipelined call failed — requests did not overlap: %v", err)
+	}
+}
+
+// TestMuxLateResponseNeverMatchesNewerRequest pins the correlation-ID
+// contract: a response that arrives after its caller timed out must be
+// discarded, never delivered to a later request. The handler parks the
+// first request until after a second request has completed.
+func TestMuxLateResponseNeverMatchesNewerRequest(t *testing.T) {
+	firstParked := make(chan struct{})
+	releaseFirst := make(chan struct{})
+	var seen atomic.Int32
+	h := func(ctx context.Context, from NodeID, req Message) (Message, error) {
+		if seen.Add(1) == 1 {
+			close(firstParked)
+			<-releaseFirst // answer late, long after the caller gave up
+		}
+		return Message{Kind: req.Kind, Payload: req.Payload}, nil
+	}
+	cli, _, _ := tcpPair(t, h)
+	st, _, err := OpenStream(cli, 1)
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	defer st.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := st.Call(ctx, Message{Kind: "late", Payload: []byte("stale")}); !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("parked call: got %v, want ErrCallTimeout", err)
+	}
+	<-firstParked
+
+	// The stale response is still pending server-side. Issue a fresh call
+	// and release the stale one while it is in flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(20 * time.Millisecond)
+		close(releaseFirst)
+	}()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	resp, err := st.Call(ctx2, Message{Kind: "fresh", Payload: []byte("fresh")})
+	if err != nil {
+		t.Fatalf("fresh call: %v", err)
+	}
+	if string(resp.Payload) != "fresh" {
+		t.Fatalf("fresh call got stale response %q — late response matched a newer request", resp.Payload)
+	}
+	<-done
+}
+
+// fakeMuxServer speaks the raw mux wire protocol so tests can inject
+// protocol-level misbehavior (duplicated responses, unknown correlation
+// IDs, reordering) that a well-behaved server never produces.
+func fakeMuxServer(t *testing.T, script func(conn net.Conn, r *bufio.Reader)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		var pre [12]byte
+		if _, err := io.ReadFull(r, pre[:]); err != nil {
+			return
+		}
+		script(conn, r)
+	}()
+	return ln.Addr().String()
+}
+
+func readReqFrame(t *testing.T, r *bufio.Reader) (corrID uint64, payload []byte) {
+	t.Helper()
+	var buf []byte
+	corrID, _, _, p, err := readMuxFrame(r, &buf)
+	if err != nil {
+		t.Errorf("fake server read: %v", err)
+		return 0, nil
+	}
+	payload = append([]byte(nil), p...)
+	return corrID, payload
+}
+
+func writeRespFrame(t *testing.T, conn net.Conn, corrID uint64, payload []byte) {
+	t.Helper()
+	w := bufio.NewWriter(conn)
+	if err := writeMuxFrame(w, nil, corrID, "resp", "", payload); err != nil {
+		t.Errorf("fake server write: %v", err)
+		return
+	}
+	if err := w.Flush(); err != nil {
+		t.Errorf("fake server flush: %v", err)
+	}
+}
+
+func dialFake(t *testing.T, addr string) *muxStream {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial fake: %v", err)
+	}
+	s, err := dialMux(conn, 99, 1)
+	if err != nil {
+		t.Fatalf("dialMux: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// TestMuxReorderedResponses pins out-of-order completion: responses sent in
+// reverse order still reach their own callers.
+func TestMuxReorderedResponses(t *testing.T) {
+	addr := fakeMuxServer(t, func(conn net.Conn, r *bufio.Reader) {
+		id1, p1 := readReqFrame(t, r)
+		id2, p2 := readReqFrame(t, r)
+		// Answer in reverse arrival order.
+		writeRespFrame(t, conn, id2, p2)
+		writeRespFrame(t, conn, id1, p1)
+	})
+	s := dialFake(t, addr)
+
+	var wg sync.WaitGroup
+	results := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			resp, err := s.Call(ctx, Message{Kind: "q", Payload: []byte("req-" + strconv.Itoa(i))})
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			results[i] = string(resp.Payload)
+		}(i)
+		time.Sleep(50 * time.Millisecond) // deterministic arrival order
+	}
+	wg.Wait()
+	for i, got := range results {
+		if want := "req-" + strconv.Itoa(i); got != want {
+			t.Errorf("caller %d got %q, want %q — reordered response mis-matched", i, got, want)
+		}
+	}
+}
+
+// TestMuxDuplicatedAndUnknownResponses pins discard behavior: a duplicated
+// response (same correlation ID twice) and a response with a never-issued
+// ID are both dropped, and the stream keeps serving.
+func TestMuxDuplicatedAndUnknownResponses(t *testing.T) {
+	addr := fakeMuxServer(t, func(conn net.Conn, r *bufio.Reader) {
+		id1, p1 := readReqFrame(t, r)
+		writeRespFrame(t, conn, 0xDEAD, []byte("never-issued")) // unknown ID first
+		writeRespFrame(t, conn, id1, p1)
+		writeRespFrame(t, conn, id1, []byte("duplicate")) // retired ID again
+		id2, p2 := readReqFrame(t, r)
+		writeRespFrame(t, conn, id2, p2)
+	})
+	s := dialFake(t, addr)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, err := s.Call(ctx, Message{Kind: "q", Payload: []byte("one")})
+	if err != nil || string(resp.Payload) != "one" {
+		t.Fatalf("first call: %q, %v", resp.Payload, err)
+	}
+	// The duplicate and the unknown-ID frame must not poison the stream or
+	// leak into this fresh call.
+	resp, err = s.Call(ctx, Message{Kind: "q", Payload: []byte("two")})
+	if err != nil || string(resp.Payload) != "two" {
+		t.Fatalf("second call after duplicate response: %q, %v", resp.Payload, err)
+	}
+}
+
+// TestFaultyStreamFaults pins fault injection on the pipelined path:
+// drop (request lost), duplicate (handler runs twice), and lost ack
+// (handler runs, caller sees ErrDropped) — same semantics as one-shot.
+func TestFaultyStreamFaults(t *testing.T) {
+	var handled atomic.Int32
+	inner := NewInMemMesh(NewSim(SimConfig{}))
+	fm := NewFaultyMesh(inner)
+	srv, err := fm.Attach(1, func(ctx context.Context, from NodeID, req Message) (Message, error) {
+		handled.Add(1)
+		return Message{Kind: req.Kind, Payload: req.Payload}, nil
+	})
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	defer srv.Close()
+	cli, err := fm.Attach(2, mirrorHandler)
+	if err != nil {
+		t.Fatalf("attach client: %v", err)
+	}
+	defer cli.Close()
+
+	st, ok, err := OpenStream(cli, 1)
+	if !ok || err != nil {
+		t.Fatalf("OpenStream: ok=%v err=%v", ok, err)
+	}
+	defer st.Close()
+	ctx := context.Background()
+
+	fm.Drop(2, 1)
+	if _, err := st.Call(ctx, Message{Kind: "q"}); !errors.Is(err, ErrDropped) {
+		t.Fatalf("dropped stream call: got %v", err)
+	}
+	if handled.Load() != 0 {
+		t.Fatalf("dropped request reached the handler")
+	}
+	fm.Heal(2, 1)
+
+	fm.Duplicate(2, 1, 1)
+	if _, err := st.Call(ctx, Message{Kind: "q"}); err != nil {
+		t.Fatalf("duplicated stream call: %v", err)
+	}
+	if got := handled.Load(); got != 2 {
+		t.Fatalf("duplicated request ran handler %d times, want 2", got)
+	}
+
+	fm.DropReply(2, 1, 1)
+	if _, err := st.Call(ctx, Message{Kind: "q"}); !errors.Is(err, ErrDropped) {
+		t.Fatalf("lost-ack stream call: got %v", err)
+	}
+	if got := handled.Load(); got != 3 {
+		t.Fatalf("lost-ack request ran handler %d times, want 3", got)
+	}
+}
+
+// TestMuxStreamBrokenConn pins failure propagation: when the connection
+// dies mid-flight, pending and future calls fail fast instead of hanging.
+func TestMuxStreamBrokenConn(t *testing.T) {
+	addr := fakeMuxServer(t, func(conn net.Conn, r *bufio.Reader) {
+		readReqFrame(t, r) // accept the request, then die without answering
+		_ = conn.Close()
+	})
+	s := dialFake(t, addr)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := s.Call(ctx, Message{Kind: "q"}); err == nil {
+		t.Fatalf("pending call survived a dead connection")
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if _, err := s.Call(ctx2, Message{Kind: "q"}); !errors.Is(err, ErrStreamBroken) && err == nil {
+		t.Fatalf("call on broken stream succeeded")
+	}
+}
+
+// TestMuxServerShutdownCancelsHandlers pins graceful shutdown: closing the
+// serving endpoint cancels the context handed to in-flight mux handlers, so
+// long-running handlers can observe shutdown and Close does not wedge.
+func TestMuxServerShutdownCancelsHandlers(t *testing.T) {
+	entered := make(chan struct{})
+	h := func(ctx context.Context, from NodeID, req Message) (Message, error) {
+		close(entered)
+		<-ctx.Done() // park until shutdown cancels us
+		return Message{}, ctx.Err()
+	}
+	cli, srv, _ := tcpPair(t, h)
+	st, _, err := OpenStream(cli, 1)
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	defer st.Close()
+
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_, _ = st.Call(ctx, Message{Kind: "park"})
+	}()
+	<-entered
+
+	closed := make(chan struct{})
+	go func() {
+		_ = srv.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("endpoint Close wedged behind an in-flight mux handler")
+	}
+}
+
+// TestMuxConcurrentClientsStress is the -race stress for correlation-ID
+// multiplexing: N clients × M concurrent pipelined calls each over TCP,
+// every response checked against its request.
+func TestMuxConcurrentClientsStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	mesh := NewTCPMesh()
+	srv, err := mesh.Attach(1, mirrorHandler)
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	defer srv.Close()
+
+	const clients = 4
+	const workers = 8
+	const callsPerWorker = 100
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*workers)
+	for c := 0; c < clients; c++ {
+		ep, err := mesh.Attach(NodeID(10+c), mirrorHandler)
+		if err != nil {
+			t.Fatalf("attach client %d: %v", c, err)
+		}
+		defer ep.Close()
+		st, _, err := OpenStream(ep, 1)
+		if err != nil {
+			t.Fatalf("stream client %d: %v", c, err)
+		}
+		defer st.Close()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(c, w int) {
+				defer wg.Done()
+				for i := 0; i < callsPerWorker; i++ {
+					want := fmt.Sprintf("c%d-w%d-i%d", c, w, i)
+					ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+					resp, err := st.Call(ctx, Message{Kind: "echo", Payload: []byte(want)})
+					cancel()
+					if err != nil {
+						errs <- fmt.Errorf("client %d worker %d call %d: %w", c, w, i, err)
+						return
+					}
+					if string(resp.Payload) != want {
+						errs <- fmt.Errorf("client %d worker %d call %d: got %q want %q (cross-matched)", c, w, i, resp.Payload, want)
+						return
+					}
+				}
+			}(c, w)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestMuxFrameCodec pins the frame layout round trip and its bounds checks.
+func TestMuxFrameCodec(t *testing.T) {
+	var netBuf bufWriter
+	w := bufio.NewWriter(&netBuf)
+	if err := writeMuxFrame(w, nil, 42, "node.submit", "boom", []byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	var scratch []byte
+	corrID, kind, errStr, payload, err := readMuxFrame(bufio.NewReader(&netBuf), &scratch)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if corrID != 42 || kind != "node.submit" || errStr != "boom" || string(payload) != "hello" {
+		t.Fatalf("round trip: %d %q %q %q", corrID, kind, errStr, payload)
+	}
+
+	// A frame with an absurd length prefix must be rejected, not allocated.
+	var huge [12]byte
+	binary.BigEndian.PutUint32(huge[:4], 1<<30)
+	if _, _, _, _, err := readMuxFrame(bufio.NewReader(&readerOf{huge[:]}), &scratch); err == nil {
+		t.Fatalf("oversized frame accepted")
+	}
+}
+
+type bufWriter struct {
+	b []byte
+	r int
+}
+
+func (w *bufWriter) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+func (w *bufWriter) Read(p []byte) (int, error) {
+	if w.r >= len(w.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, w.b[w.r:])
+	w.r += n
+	return n, nil
+}
+
+type readerOf struct{ b []byte }
+
+func (r *readerOf) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -22,10 +24,14 @@ func isTimeout(err error) bool {
 // gob-encoded frames. It supports multi-process deployments: each process
 // attaches its node and dials peers by address.
 //
-// Wire protocol: each connection carries a stream of gob-encoded wireReq
-// frames from client to server and wireResp frames back, strictly
+// Wire protocol: a one-shot connection carries a stream of gob-encoded
+// wireReq frames from client to server and wireResp frames back, strictly
 // request/response (one outstanding call per connection; the client pools
-// connections).
+// connections). A connection that instead opens with the mux magic carries
+// the pipelined multiplexed protocol (see mux.go): many in-flight requests
+// per connection, responses matched by correlation ID. The server peeks the
+// first bytes to tell the two apart, so both protocols share one listener
+// port.
 type TCPMesh struct {
 	mu     sync.RWMutex
 	addrs  map[NodeID]string
@@ -99,6 +105,7 @@ func (m *TCPMesh) AttachListener(id NodeID, h Handler, ln net.Listener) (Endpoin
 		ln:      ln,
 		conns:   make(map[NodeID][]*clientConn),
 		served:  make(map[net.Conn]bool),
+		streams: make(map[*muxStream]bool),
 		done:    make(chan struct{}),
 	}
 	m.locals[id] = ep
@@ -130,10 +137,11 @@ type tcpEndpoint struct {
 	handler Handler
 	ln      net.Listener
 
-	mu     sync.Mutex
-	conns  map[NodeID][]*clientConn
-	served map[net.Conn]bool
-	closed bool
+	mu      sync.Mutex
+	conns   map[NodeID][]*clientConn
+	served  map[net.Conn]bool
+	streams map[*muxStream]bool
+	closed  bool
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -180,7 +188,19 @@ func (e *tcpEndpoint) serveConn(conn net.Conn) {
 		delete(e.served, conn)
 		e.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	// Peek the opening bytes: a mux connection announces itself with a
+	// magic gob can never emit, everything else is the one-shot protocol.
+	br := bufio.NewReader(conn)
+	head, err := br.Peek(len(muxMagic))
+	if err != nil {
+		return
+	}
+	if bytes.Equal(head, muxMagic[:]) {
+		_, _ = br.Discard(len(muxMagic))
+		serveMux(&peekedConn{Conn: conn, r: br}, e.handler, e.done)
+		return
+	}
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
 	for {
 		var req wireReq
@@ -199,6 +219,67 @@ func (e *tcpEndpoint) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// peekedConn is a net.Conn whose reads go through the bufio.Reader that
+// peeked the protocol magic (so no peeked bytes are lost).
+type peekedConn struct {
+	net.Conn
+	r *bufio.Reader
+}
+
+func (c *peekedConn) Read(p []byte) (int, error) { return c.r.Read(p) }
+
+// Stream implements Streamer: it dials a dedicated mux connection to the
+// peer. The stream lives until Close (its own or the endpoint's); callers
+// cache streams and reopen on failure.
+func (e *tcpEndpoint) Stream(to NodeID) (Stream, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.mu.Unlock()
+	addr, ok := e.mesh.Addr(to)
+	if !ok {
+		return nil, fmt.Errorf("%v: %w", to, ErrNodeUnknown)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial mux %v: %w", to, err)
+	}
+	s, err := dialMux(conn, e.id, to)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		_ = s.Close()
+		return nil, ErrClosed
+	}
+	e.streams[s] = true
+	e.mu.Unlock()
+	return &tcpStream{ep: e, mux: s}, nil
+}
+
+// tcpStream wraps a muxStream to untrack it from the endpoint on Close.
+type tcpStream struct {
+	ep  *tcpEndpoint
+	mux *muxStream
+}
+
+var _ Stream = (*tcpStream)(nil)
+
+func (s *tcpStream) Call(ctx context.Context, req Message) (Message, error) {
+	return s.mux.Call(ctx, req)
+}
+
+func (s *tcpStream) Close() error {
+	s.ep.mu.Lock()
+	delete(s.ep.streams, s.mux)
+	s.ep.mu.Unlock()
+	return s.mux.Close()
 }
 
 func (e *tcpEndpoint) Call(ctx context.Context, to NodeID, req Message) (Message, error) {
@@ -298,7 +379,15 @@ func (e *tcpEndpoint) Close() error {
 	for conn := range e.served {
 		_ = conn.Close() // unblock serveConn decoders
 	}
+	streams := make([]*muxStream, 0, len(e.streams))
+	for s := range e.streams {
+		streams = append(streams, s)
+	}
+	e.streams = make(map[*muxStream]bool)
 	e.mu.Unlock()
+	for _, s := range streams {
+		_ = s.Close() // fail pending mux calls fast
+	}
 
 	close(e.done)
 	err := e.ln.Close()
