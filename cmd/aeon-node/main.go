@@ -15,6 +15,19 @@
 //	aeon-node -id 2 -peers "1=127.0.0.1:7101,2=127.0.0.1:7102" &
 //	aeon-node -id 1 -peers "1=127.0.0.1:7101,2=127.0.0.1:7102" -drive
 //
+// With the sharded, replicated store plane, dedicated store-server
+// processes replace the store-serving node: store replica k appears in
+// -peers as "s<k>=host:port", partition p is served by the pair
+// s(2p+1)/s(2p+2) (primary first), and -store-parts tells the nodes how
+// many partitions the plane has. A 1-partition plane on loopback:
+//
+//	aeon-node -serve-store 1 -peers "$P" &
+//	aeon-node -serve-store 2 -peers "$P" &
+//	aeon-node -id 2 -peers "$P" -store-parts 1 &
+//	aeon-node -id 1 -peers "$P" -store-parts 1 -drive
+//
+// where P="1=127.0.0.1:7101,2=127.0.0.1:7102,s1=127.0.0.1:7201,s2=127.0.0.1:7202".
+//
 // -drive replays a deterministic bank workload across the deployment,
 // compares every result with a single-process oracle run, migrates the last
 // node's bank group onto server 1 over the mesh (verifying the transferred
@@ -53,25 +66,33 @@ func main() {
 
 func run() error {
 	var (
-		id       = flag.Int("id", 1, "this node's ID (also the server it embodies)")
-		listen   = flag.String("listen", "", "listen address (defaults to this node's -peers entry)")
-		peers    = flag.String("peers", "1=127.0.0.1:7101", "comma-separated id=host:port peer list (including this node)")
-		workload = flag.String("workload", "bank", "workload to host (bank)")
-		accounts = flag.Int("accounts", 4, "accounts per bank (bank workload)")
-		balance  = flag.Int("balance", 1000, "initial balance per account")
-		storeID  = flag.Int("store", 1, "node serving the authoritative cloud store")
-		drive    = flag.Bool("drive", false, "drive the smoke workload against the deployment, then shut peers down")
-		repl     = flag.Bool("replicate", true, "sequence runtime topology mutations through the replicated mutation log (dynamic topologies)")
+		id         = flag.Int("id", 1, "this node's ID (also the server it embodies)")
+		listen     = flag.String("listen", "", "listen address (defaults to this process's -peers entry)")
+		peers      = flag.String("peers", "1=127.0.0.1:7101", "comma-separated id=host:port peer list (including this process; store servers as s<k>=host:port)")
+		workload   = flag.String("workload", "bank", "workload to host (bank)")
+		accounts   = flag.Int("accounts", 4, "accounts per bank (bank workload)")
+		balance    = flag.Int("balance", 1000, "initial balance per account")
+		storeID    = flag.Int("store", 1, "node serving the authoritative cloud store (ignored with -store-parts)")
+		storeParts = flag.Int("store-parts", 0, "partitions of the sharded store plane; partition p is served by peers s<2p+1> (primary) and s<2p+2> (follower); 0 = single store node (-store)")
+		serveStore = flag.Int("serve-store", 0, "run as dedicated store server k (mesh address s<k>) instead of an AEON node")
+		storeBack  = flag.String("store-backend", "memory", "store server backend: memory, or disk:<dir> (only with -serve-store)")
+		drive      = flag.Bool("drive", false, "drive the smoke workload against the deployment, then shut peers down")
+		repl       = flag.Bool("replicate", true, "sequence runtime topology mutations through the replicated mutation log (dynamic topologies)")
 	)
 	flag.Parse()
 
 	if *workload != "bank" {
 		return fmt.Errorf("unknown workload %q (have: bank)", *workload)
 	}
-	addrs, err := parsePeers(*peers)
+	addrs, nodeCount, storeCount, err := parsePeers(*peers)
 	if err != nil {
 		return err
 	}
+
+	if *serveStore > 0 {
+		return runStoreServer(addrs, *serveStore, *listen, *storeBack)
+	}
+
 	self := transport.NodeID(*id)
 	if _, ok := addrs[self]; !ok && *listen == "" {
 		return fmt.Errorf("node %d not in -peers and no -listen given", *id)
@@ -79,11 +100,16 @@ func run() error {
 	if *listen != "" {
 		addrs[self] = *listen
 	}
+	if *storeParts > 0 && storeCount < 2**storeParts {
+		return fmt.Errorf("-store-parts %d needs %d store servers (s1..s%d) in -peers, have %d",
+			*storeParts, 2**storeParts, 2**storeParts, storeCount)
+	}
 
 	// Deterministic replica: every process builds the same cluster and bank
-	// topology, then embodies only its own server.
+	// topology, then embodies only its own server. Store servers host no
+	// AEON servers, so they don't count toward the cluster.
 	cl := cluster.New(transport.NewSim(transport.SimConfig{}))
-	for i := 0; i < len(addrs); i++ {
+	for i := 0; i < nodeCount; i++ {
 		cl.AddServer(cluster.M3Large)
 	}
 	s := node.BankSchema()
@@ -108,23 +134,44 @@ func run() error {
 	}
 	var peerIDs []transport.NodeID
 	for pid := range addrs {
-		peerIDs = append(peerIDs, pid)
+		if pid < node.StoreIDBase {
+			peerIDs = append(peerIDs, pid)
+		}
 	}
-	n, err := node.Start(mesh, node.Config{
+	cfg := node.Config{
 		ID:         self,
 		Runtime:    rt,
 		LocalStore: cloudstore.New(),
-		StoreNode:  transport.NodeID(*storeID),
 		Manager:    emanager.DefaultConfig(),
 		Replicate:  *repl,
 		Peers:      peerIDs,
-	})
+	}
+	if *storeParts > 0 {
+		// Same derivation on every process: partition p's replica pair is
+		// s(2p+1), s(2p+2) — primary first, failover in list order.
+		for p := 0; p < *storeParts; p++ {
+			cfg.StoreReplicas = append(cfg.StoreReplicas, node.StorePartition{
+				Replicas: []transport.NodeID{
+					node.StoreIDBase + transport.NodeID(2*p+1),
+					node.StoreIDBase + transport.NodeID(2*p+2),
+				},
+			})
+		}
+	} else {
+		cfg.StoreNode = transport.NodeID(*storeID)
+	}
+	n, err := node.Start(mesh, cfg)
 	if err != nil {
 		return err
 	}
 	defer n.Close()
-	fmt.Printf("aeon-node %d listening on %s (%d-node deployment, store on node %d)\n",
-		*id, addrs[self], len(addrs), *storeID)
+	if *storeParts > 0 {
+		fmt.Printf("aeon-node %d listening on %s (%d-node deployment, %d-partition store plane)\n",
+			*id, addrs[self], nodeCount, *storeParts)
+	} else {
+		fmt.Printf("aeon-node %d listening on %s (%d-node deployment, store on node %d)\n",
+			*id, addrs[self], nodeCount, *storeID)
+	}
 	if p := n.Plane(); p != nil {
 		if err := p.LastError(); err != nil {
 			// Normal when the store node boots after this one (the tailer
@@ -148,9 +195,50 @@ func run() error {
 	return nil
 }
 
-// parsePeers parses "1=host:port,2=host:port" and checks IDs are 1..N.
-func parsePeers(spec string) (map[transport.NodeID]string, error) {
-	addrs := make(map[transport.NodeID]string)
+// runStoreServer runs this process as dedicated store server k: a mesh
+// attachment at s<k> serving the cloud-store wire protocol from the given
+// backend, until a peer sends shutdown or the process is signalled.
+func runStoreServer(addrs map[transport.NodeID]string, k int, listen, backendSpec string) error {
+	self := node.StoreIDBase + transport.NodeID(k)
+	if _, ok := addrs[self]; !ok && listen == "" {
+		return fmt.Errorf("store server s%d not in -peers and no -listen given", k)
+	}
+	if listen != "" {
+		addrs[self] = listen
+	}
+	be, err := cloudstore.Open(backendSpec)
+	if err != nil {
+		return fmt.Errorf("-store-backend %q: %w", backendSpec, err)
+	}
+	defer be.Close()
+
+	mesh := transport.NewTCPMesh()
+	for pid, addr := range addrs {
+		mesh.Register(pid, addr)
+	}
+	srv, err := node.ServeStore(mesh, self, be)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("aeon-node store server s%d listening on %s (backend %s)\n", k, addrs[self], backendSpec)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-srv.Done():
+		fmt.Printf("aeon-node store server s%d: shutdown requested by peer\n", k)
+	case <-sig:
+		fmt.Printf("aeon-node store server s%d: signal received\n", k)
+	}
+	return nil
+}
+
+// parsePeers parses "1=host:port,2=host:port,s1=host:port". Plain entries
+// are AEON nodes and must be contiguous 1..N; "s<k>" entries are store
+// servers (mesh address StoreIDBase+k) and must be contiguous s1..sM.
+func parsePeers(spec string) (addrs map[transport.NodeID]string, nodeCount, storeCount int, err error) {
+	addrs = make(map[transport.NodeID]string)
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -158,20 +246,34 @@ func parsePeers(spec string) (map[transport.NodeID]string, error) {
 		}
 		kv := strings.SplitN(part, "=", 2)
 		if len(kv) != 2 {
-			return nil, fmt.Errorf("bad peer entry %q (want id=host:port)", part)
+			return nil, 0, 0, fmt.Errorf("bad peer entry %q (want id=host:port)", part)
 		}
-		pid, err := strconv.Atoi(kv[0])
+		key, base := kv[0], transport.NodeID(0)
+		if strings.HasPrefix(key, "s") {
+			key, base = key[1:], node.StoreIDBase
+		}
+		pid, err := strconv.Atoi(key)
 		if err != nil || pid <= 0 {
-			return nil, fmt.Errorf("bad peer id %q", kv[0])
+			return nil, 0, 0, fmt.Errorf("bad peer id %q", kv[0])
 		}
-		addrs[transport.NodeID(pid)] = kv[1]
+		addrs[base+transport.NodeID(pid)] = kv[1]
+		if base == 0 {
+			nodeCount++
+		} else {
+			storeCount++
+		}
 	}
-	for i := 1; i <= len(addrs); i++ {
+	for i := 1; i <= nodeCount; i++ {
 		if _, ok := addrs[transport.NodeID(i)]; !ok {
-			return nil, fmt.Errorf("peer IDs must be contiguous 1..%d (missing %d)", len(addrs), i)
+			return nil, 0, 0, fmt.Errorf("peer IDs must be contiguous 1..%d (missing %d)", nodeCount, i)
 		}
 	}
-	return addrs, nil
+	for i := 1; i <= storeCount; i++ {
+		if _, ok := addrs[node.StoreIDBase+transport.NodeID(i)]; !ok {
+			return nil, 0, 0, fmt.Errorf("store server IDs must be contiguous s1..s%d (missing s%d)", storeCount, i)
+		}
+	}
+	return addrs, nodeCount, storeCount, nil
 }
 
 // runDrive is the smoke driver: wait for the peers, replay the bank script
@@ -181,17 +283,22 @@ func parsePeers(spec string) (map[transport.NodeID]string, error) {
 // sequenced through the replicated mutation log), drive pipelined traffic
 // from an external ingress client, and shut everything down.
 func runDrive(n *node.Node, mesh transport.Mesh, top *node.BankTopology, addrs map[transport.NodeID]string, accounts, balance int, replicate bool) error {
-	var peerIDs []transport.NodeID
+	var peerIDs, storeIDs []transport.NodeID
 	for pid := range addrs {
-		if pid != n.ID() {
+		switch {
+		case pid >= node.StoreIDBase:
+			storeIDs = append(storeIDs, pid)
+		case pid != n.ID():
 			peerIDs = append(peerIDs, pid)
 		}
 	}
 	sort.Slice(peerIDs, func(i, j int) bool { return peerIDs[i] < peerIDs[j] })
+	sort.Slice(storeIDs, func(i, j int) bool { return storeIDs[i] < storeIDs[j] })
 
-	// Peers may still be binding their listeners.
+	// Peers (and store servers — they answer the same pings) may still be
+	// binding their listeners.
 	deadline := time.Now().Add(15 * time.Second)
-	for _, pid := range peerIDs {
+	for _, pid := range append(append([]transport.NodeID(nil), peerIDs...), storeIDs...) {
 		for {
 			if err := n.Ping(pid); err == nil {
 				break
@@ -201,9 +308,11 @@ func runDrive(n *node.Node, mesh transport.Mesh, top *node.BankTopology, addrs m
 			time.Sleep(100 * time.Millisecond)
 		}
 	}
-	fmt.Printf("drive: %d peers reachable\n", len(peerIDs))
+	fmt.Printf("drive: %d peers reachable (%d store servers)\n", len(peerIDs)+len(storeIDs), len(storeIDs))
 	shutdownPeers := func() {
-		for _, pid := range peerIDs {
+		// Nodes first, store servers last: a shutting-down node may still
+		// flush through the store plane.
+		for _, pid := range append(append([]transport.NodeID(nil), peerIDs...), storeIDs...) {
 			if err := n.Shutdown(pid); err != nil {
 				fmt.Fprintf(os.Stderr, "drive: shutdown %v: %v\n", pid, err)
 			}
@@ -214,7 +323,7 @@ func runDrive(n *node.Node, mesh transport.Mesh, top *node.BankTopology, addrs m
 	// so every other bank's ops cross the mesh. Results must be identical
 	// to a single-process run.
 	got := node.RunBankScript(n.Submit, top)
-	want, wantDynamic, err := node.BankDynamicOracle(len(addrs), accounts, balance)
+	want, wantDynamic, err := node.BankDynamicOracle(len(top.Banks), accounts, balance)
 	if err != nil {
 		shutdownPeers()
 		return err

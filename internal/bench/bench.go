@@ -137,6 +137,7 @@ var experiments = map[string]func(Options) ([]*Table, error){
 		t, err := ReplicationExp(o)
 		return wrap(t, err)
 	},
+	"store": func(o Options) ([]*Table, error) { t, err := StoreExp(o); return wrap(t, err) },
 }
 
 func wrap(t *Table, err error) ([]*Table, error) {

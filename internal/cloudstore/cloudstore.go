@@ -27,6 +27,10 @@ var (
 	ErrVersionMismatch = errors.New("cloudstore: version mismatch")
 	// ErrUnavailable is returned while the store is failed.
 	ErrUnavailable = errors.New("cloudstore: unavailable")
+	// ErrFenced is returned by replica operations carrying a fence epoch
+	// older than the partition's accepted epoch: the caller is acting for a
+	// deposed primary and must refresh its view of the replica set.
+	ErrFenced = errors.New("cloudstore: fenced by a newer epoch")
 )
 
 // API is the operation surface cloud-store clients depend on. The in-memory
@@ -64,18 +68,28 @@ type entry struct {
 
 // Store is an in-memory versioned KV store.
 type Store struct {
-	latency time.Duration
+	latency       time.Duration
+	serialLatency time.Duration
 
-	mu   sync.Mutex
-	data map[string]entry
-	next uint64
+	mu      sync.Mutex
+	data    map[string]entry
+	next    uint64
+	fences  map[int]uint64    // partition → accepted fence epoch (replica role)
+	applied map[string]uint64 // per-key high-water of replicated applies
+
+	// persist, when set, is called under mu after every successful mutation
+	// with the journal records describing it (the disk backend's hook).
+	persist func([]jrec) error
 
 	down   atomic.Bool
 	reads  atomic.Uint64
 	writes atomic.Uint64
 }
 
-var _ API = (*Store)(nil)
+var (
+	_ API        = (*Store)(nil)
+	_ ReplicaAPI = (*Store)(nil)
+)
 
 // Option configures a Store.
 type Option func(*Store)
@@ -86,9 +100,23 @@ func WithLatency(d time.Duration) Option {
 	return func(s *Store) { s.latency = d }
 }
 
+// WithSerialLatency charges the given latency *while holding the store lock*,
+// modeling a store node with a bounded serial service rate (one op at a time
+// at 1/d ops per second) rather than an infinitely parallel service. The
+// store bench uses it to make the single-store throughput ceiling — the thing
+// partitioning removes — observable on a small host.
+func WithSerialLatency(d time.Duration) Option {
+	return func(s *Store) { s.serialLatency = d }
+}
+
 // New returns an empty store.
 func New(opts ...Option) *Store {
-	s := &Store{data: make(map[string]entry), next: 1}
+	s := &Store{
+		data:    make(map[string]entry),
+		next:    1,
+		fences:  make(map[int]uint64),
+		applied: make(map[string]uint64),
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -108,6 +136,22 @@ func (s *Store) charge() error {
 	return nil
 }
 
+// serviceLocked charges the serial service latency. Callers hold mu.
+func (s *Store) serviceLocked() {
+	if s.serialLatency > 0 {
+		time.Sleep(s.serialLatency)
+	}
+}
+
+// commitLocked journals the mutation records when a persist hook is attached.
+// Callers hold mu, so journal order equals apply order.
+func (s *Store) commitLocked(recs []jrec) error {
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist(recs)
+}
+
 // Get returns the value and version stored at key.
 func (s *Store) Get(key string) ([]byte, uint64, error) {
 	if err := s.charge(); err != nil {
@@ -116,6 +160,7 @@ func (s *Store) Get(key string) ([]byte, uint64, error) {
 	s.reads.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.serviceLocked()
 	e, ok := s.data[key]
 	if !ok {
 		return nil, 0, fmt.Errorf("%q: %w", key, ErrNotFound)
@@ -133,11 +178,15 @@ func (s *Store) Put(key string, value []byte) (uint64, error) {
 	s.writes.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.serviceLocked()
 	v := s.next
 	s.next++
 	stored := make([]byte, len(value))
 	copy(stored, value)
 	s.data[key] = entry{value: stored, version: v}
+	if err := s.commitLocked([]jrec{{Op: jSet, Key: key, Val: stored, Ver: v}}); err != nil {
+		return 0, err
+	}
 	return v, nil
 }
 
@@ -162,7 +211,9 @@ func (s *Store) PutBatch(entries map[string][]byte) (uint64, error) {
 	sort.Strings(keys)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.serviceLocked()
 	var last uint64
+	recs := make([]jrec, 0, len(keys))
 	for _, k := range keys {
 		v := s.next
 		s.next++
@@ -170,7 +221,11 @@ func (s *Store) PutBatch(entries map[string][]byte) (uint64, error) {
 		stored := make([]byte, len(value))
 		copy(stored, value)
 		s.data[k] = entry{value: stored, version: v}
+		recs = append(recs, jrec{Op: jSet, Key: k, Val: stored, Ver: v})
 		last = v
+	}
+	if err := s.commitLocked(recs); err != nil {
+		return 0, err
 	}
 	return last, nil
 }
@@ -196,12 +251,14 @@ func (s *Store) CreateBatch(entries map[string][]byte) (uint64, error) {
 	sort.Strings(keys)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.serviceLocked()
 	for _, k := range keys {
 		if e, ok := s.data[k]; ok {
 			return 0, fmt.Errorf("%q exists at v%d: %w", k, e.version, ErrVersionMismatch)
 		}
 	}
 	var last uint64
+	recs := make([]jrec, 0, len(keys))
 	for _, k := range keys {
 		v := s.next
 		s.next++
@@ -209,7 +266,11 @@ func (s *Store) CreateBatch(entries map[string][]byte) (uint64, error) {
 		stored := make([]byte, len(value))
 		copy(stored, value)
 		s.data[k] = entry{value: stored, version: v}
+		recs = append(recs, jrec{Op: jSet, Key: k, Val: stored, Ver: v})
 		last = v
+	}
+	if err := s.commitLocked(recs); err != nil {
+		return 0, err
 	}
 	return last, nil
 }
@@ -223,11 +284,18 @@ func (s *Store) CAS(key string, expect uint64, value []byte) (uint64, error) {
 	s.writes.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.serviceLocked()
 	e, ok := s.data[key]
 	switch {
 	case expect == 0 && ok:
 		return 0, fmt.Errorf("%q exists at v%d: %w", key, e.version, ErrVersionMismatch)
-	case expect != 0 && (!ok || e.version != expect):
+	case expect != 0 && !ok:
+		// Distinct from a live-version conflict: the key does not exist at
+		// all. Still ErrVersionMismatch-wrapped so Retry treats both the
+		// same way, but logs and failover diagnostics can tell a pruned key
+		// from a racing writer.
+		return 0, fmt.Errorf("%q: missing, want v%d: %w", key, expect, ErrVersionMismatch)
+	case expect != 0 && e.version != expect:
 		return 0, fmt.Errorf("%q: have v%d want v%d: %w", key, e.version, expect, ErrVersionMismatch)
 	}
 	v := s.next
@@ -235,6 +303,9 @@ func (s *Store) CAS(key string, expect uint64, value []byte) (uint64, error) {
 	stored := make([]byte, len(value))
 	copy(stored, value)
 	s.data[key] = entry{value: stored, version: v}
+	if err := s.commitLocked([]jrec{{Op: jSet, Key: key, Val: stored, Ver: v}}); err != nil {
+		return 0, err
+	}
 	return v, nil
 }
 
@@ -247,11 +318,14 @@ func (s *Store) Delete(key string) error {
 	s.writes.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.serviceLocked()
 	if _, ok := s.data[key]; !ok {
 		return fmt.Errorf("%q: %w", key, ErrNotFound)
 	}
+	v := s.next
+	s.next++
 	delete(s.data, key)
-	return nil
+	return s.commitLocked([]jrec{{Op: jDel, Key: key, Ver: v}})
 }
 
 // DeleteBatch removes every key in one round trip: one charged write, with
@@ -268,10 +342,17 @@ func (s *Store) DeleteBatch(keys []string) error {
 	s.writes.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, k := range keys {
+	s.serviceLocked()
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	recs := make([]jrec, 0, len(sorted))
+	for _, k := range sorted {
+		v := s.next
+		s.next++
 		delete(s.data, k)
+		recs = append(recs, jrec{Op: jDel, Key: k, Ver: v})
 	}
-	return nil
+	return s.commitLocked(recs)
 }
 
 // List returns the keys with the given prefix in sorted order.
@@ -282,6 +363,7 @@ func (s *Store) List(prefix string) ([]string, error) {
 	s.reads.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.serviceLocked()
 	var out []string
 	for k := range s.data {
 		if strings.HasPrefix(k, prefix) {
@@ -291,6 +373,149 @@ func (s *Store) List(prefix string) ([]string, error) {
 	sort.Strings(out)
 	return out, nil
 }
+
+// DeleteV is Delete returning the tombstone version assigned to the removal,
+// so a replicating client can forward the delete to followers with ordering
+// information. Deleting a missing key is still an error.
+func (s *Store) DeleteV(key string) (uint64, error) {
+	if err := s.charge(); err != nil {
+		return 0, err
+	}
+	s.writes.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serviceLocked()
+	if _, ok := s.data[key]; !ok {
+		return 0, fmt.Errorf("%q: %w", key, ErrNotFound)
+	}
+	v := s.next
+	s.next++
+	delete(s.data, key)
+	if err := s.commitLocked([]jrec{{Op: jDel, Key: key, Ver: v}}); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// DeleteBatchV is DeleteBatch returning the highest tombstone version
+// assigned. Every key — present or missing — consumes one version in sorted
+// key order, so the caller can reconstruct each key's tombstone version from
+// the returned high-water mark exactly as PutBatch callers do.
+func (s *Store) DeleteBatchV(keys []string) (uint64, error) {
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	if err := s.charge(); err != nil {
+		return 0, err
+	}
+	s.writes.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serviceLocked()
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	var last uint64
+	recs := make([]jrec, 0, len(sorted))
+	for _, k := range sorted {
+		v := s.next
+		s.next++
+		delete(s.data, k)
+		recs = append(recs, jrec{Op: jDel, Key: k, Ver: v})
+		last = v
+	}
+	if err := s.commitLocked(recs); err != nil {
+		return 0, err
+	}
+	return last, nil
+}
+
+// Apply installs a replicated commit on a follower. The commit carries the
+// fence epoch of the client's view of partition part: an epoch older than the
+// highest this replica has accepted is refused with ErrFenced — that is the
+// fence that stops a deposed primary's writes from being acknowledged. Within
+// an accepted epoch, sets and deletes apply only if their primary-assigned
+// version is newer than the key's applied high-water mark, so replayed or
+// reordered commits converge to the primary's order.
+func (s *Store) Apply(part int, epoch uint64, c Commit) error {
+	if err := s.charge(); err != nil {
+		return err
+	}
+	s.writes.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serviceLocked()
+	if cur := s.fences[part]; epoch < cur {
+		return fmt.Errorf("partition %d: apply epoch %d < fence %d: %w", part, epoch, cur, ErrFenced)
+	} else if epoch > cur {
+		s.fences[part] = epoch
+	}
+	recs := make([]jrec, 0, len(c.Sets)+len(c.Dels))
+	for _, kv := range c.Sets {
+		if kv.Ver <= s.applied[kv.Key] {
+			continue
+		}
+		s.applied[kv.Key] = kv.Ver
+		stored := make([]byte, len(kv.Val))
+		copy(stored, kv.Val)
+		s.data[kv.Key] = entry{value: stored, version: kv.Ver}
+		recs = append(recs, jrec{Op: jSet, Key: kv.Key, Val: stored, Ver: kv.Ver})
+		if kv.Ver >= s.next {
+			s.next = kv.Ver + 1
+		}
+	}
+	for _, kd := range c.Dels {
+		if kd.Ver <= s.applied[kd.Key] {
+			continue
+		}
+		s.applied[kd.Key] = kd.Ver
+		delete(s.data, kd.Key)
+		recs = append(recs, jrec{Op: jDel, Key: kd.Key, Ver: kd.Ver})
+		if kd.Ver >= s.next {
+			s.next = kd.Ver + 1
+		}
+	}
+	return s.commitLocked(recs)
+}
+
+// Promote advances partition part's fence epoch to epoch, claiming this
+// replica as the partition's primary for that epoch. A claim older than the
+// current fence is refused with ErrFenced (someone promoted past us); an
+// equal claim is idempotent. Returns the fence in force after the call.
+func (s *Store) Promote(part int, epoch uint64) (uint64, error) {
+	if err := s.charge(); err != nil {
+		return 0, err
+	}
+	s.writes.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serviceLocked()
+	cur := s.fences[part]
+	if epoch < cur {
+		return cur, fmt.Errorf("partition %d: promote epoch %d < fence %d: %w", part, epoch, cur, ErrFenced)
+	}
+	if epoch > cur {
+		s.fences[part] = epoch
+		if err := s.commitLocked([]jrec{{Op: jFence, Key: fmt.Sprintf("%d", part), Ver: epoch}}); err != nil {
+			return 0, err
+		}
+	}
+	return s.fences[part], nil
+}
+
+// FenceEpoch reports the highest fence epoch this replica has accepted for
+// partition part (zero if it has never seen one).
+func (s *Store) FenceEpoch(part int) (uint64, error) {
+	if err := s.charge(); err != nil {
+		return 0, err
+	}
+	s.reads.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fences[part], nil
+}
+
+// Close releases backend resources. The in-memory store holds none.
+func (s *Store) Close() error { return nil }
 
 // Fail makes the store return ErrUnavailable until Recover is called.
 func (s *Store) Fail() { s.down.Store(true) }

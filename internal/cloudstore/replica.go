@@ -1,0 +1,347 @@
+package cloudstore
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// ReplicaAPI is the surface a store replica exposes: the plain client API
+// plus the replication and fencing operations a replicated client needs.
+// Store implements it in-memory; node.RemoteStore implements it over the
+// mesh so replicas can live in dedicated store-server processes.
+type ReplicaAPI interface {
+	API
+	// DeleteV is Delete returning the tombstone version, so deletes can be
+	// forwarded to followers with ordering information.
+	DeleteV(key string) (uint64, error)
+	// DeleteBatchV is DeleteBatch returning the highest tombstone version;
+	// every key (present or missing) consumes one version in sorted order.
+	DeleteBatchV(keys []string) (uint64, error)
+	// Apply installs a replicated commit under the given fence epoch.
+	Apply(part int, epoch uint64, c Commit) error
+	// Promote raises the partition's fence epoch, claiming primaryship.
+	Promote(part int, epoch uint64) (uint64, error)
+	// FenceEpoch reports the highest fence epoch accepted for the partition.
+	FenceEpoch(part int) (uint64, error)
+}
+
+// KV is one replicated set: the value and the version the primary assigned.
+type KV struct {
+	Key string
+	Val []byte
+	Ver uint64
+}
+
+// KD is one replicated delete: the tombstone version the primary assigned.
+type KD struct {
+	Key string
+	Ver uint64
+}
+
+// Commit is the unit of replication a primary write forwards to followers.
+// Versions are primary-assigned, so followers converge to primary order by
+// applying each key's highest version (see Store.Apply).
+type Commit struct {
+	Sets []KV
+	Dels []KD
+}
+
+// maxFailovers bounds how many view changes one logical operation will chase
+// before giving up and surfacing the underlying error. With a primary+
+// follower pair, anything past two means the partition has no live replica.
+const maxFailovers = 4
+
+// Replicated is a replicated-partition client: it executes reads and writes
+// against the partition's current primary and forwards every write as a
+// fenced Commit to the remaining replicas before acknowledging it.
+//
+// View convention: fence epochs start at 1 and the primary for epoch e is
+// replicas[(e-1) % len(replicas)]. Every client derives the same primary
+// from the same epoch, so the fence epoch alone names the view. Failover
+// promotes the next replica by claiming epoch e+1 on it (a CAS-style fence:
+// Promote refuses to move backwards); a client still acting for a deposed
+// primary has its Apply refused with ErrFenced, refreshes its view from the
+// replicas' fence epochs, and retries — the stale primary's writes are never
+// acknowledged, which is what prevents split-brain.
+//
+// After a failover the partition runs degraded: an unreachable follower is
+// skipped rather than resynced (resync/re-join is future work; the fence
+// keeps a returning stale replica from serving writes it missed).
+type Replicated struct {
+	part     int
+	replicas []ReplicaAPI
+
+	mu      sync.Mutex
+	epoch   uint64
+	primary int
+}
+
+var _ API = (*Replicated)(nil)
+
+// NewReplicated returns a client for one partition served by the given
+// replicas. All clients of a fresh partition start at epoch 1 with
+// replicas[0] as primary; clients joining after a failover discover the
+// real epoch on their first fenced write.
+func NewReplicated(part int, replicas ...ReplicaAPI) *Replicated {
+	if len(replicas) == 0 {
+		panic("cloudstore: NewReplicated needs at least one replica")
+	}
+	return &Replicated{part: part, replicas: replicas, epoch: 1, primary: 0}
+}
+
+// View reports the client's current fence epoch and primary index (tests and
+// the bench harness use it to observe failovers).
+func (r *Replicated) View() (epoch uint64, primary int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch, r.primary
+}
+
+func (r *Replicated) adopt(epoch uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if epoch > r.epoch {
+		r.epoch = epoch
+		r.primary = int((epoch - 1) % uint64(len(r.replicas)))
+	}
+}
+
+// isSemantic reports whether err is a store-semantic outcome (key state) as
+// opposed to a replica-health signal; semantic errors surface to the caller
+// unchanged instead of triggering failover.
+func isSemantic(err error) bool {
+	return errors.Is(err, ErrNotFound) || errors.Is(err, ErrVersionMismatch)
+}
+
+// refresh re-derives the view from the replicas' accepted fence epochs after
+// an ErrFenced: whoever fenced us recorded a higher epoch on at least one
+// reachable replica.
+func (r *Replicated) refresh() {
+	max := uint64(0)
+	for _, rep := range r.replicas {
+		if e, err := rep.FenceEpoch(r.part); err == nil && e > max {
+			max = e
+		}
+	}
+	r.adopt(max)
+}
+
+// failoverFrom fences a new epoch past fromEpoch onto the next reachable
+// replica. Promote refusing with ErrFenced means someone else already moved
+// the view forward — adopt theirs.
+func (r *Replicated) failoverFrom(fromEpoch uint64) error {
+	n := uint64(len(r.replicas))
+	for i := uint64(1); i <= n; i++ {
+		e := fromEpoch + i
+		idx := int((e - 1) % n)
+		got, err := r.replicas[idx].Promote(r.part, e)
+		switch {
+		case err == nil:
+			r.adopt(e)
+			return nil
+		case errors.Is(err, ErrFenced):
+			r.adopt(got)
+			return nil
+		}
+		// Unreachable — try the replica the next epoch maps to.
+	}
+	return ErrUnavailable
+}
+
+// do runs op against the current primary, chasing fence changes and failing
+// over past dead primaries, up to maxFailovers view changes.
+func (r *Replicated) do(op func(p ReplicaAPI, primaryIdx int, epoch uint64) error) error {
+	var lastErr error
+	for attempt := 0; attempt <= maxFailovers; attempt++ {
+		r.mu.Lock()
+		pi, e := r.primary, r.epoch
+		r.mu.Unlock()
+		err := op(r.replicas[pi], pi, e)
+		switch {
+		case err == nil:
+			return nil
+		case isSemantic(err):
+			return err
+		case errors.Is(err, ErrFenced):
+			// Our view is stale: someone fenced a newer epoch. Re-derive it
+			// and retry at the primary that epoch names.
+			r.refresh()
+			lastErr = err
+		default:
+			// Primary unreachable (ErrUnavailable or a transport error):
+			// fence the next epoch onto a surviving replica.
+			if ferr := r.failoverFrom(e); ferr != nil {
+				return err
+			}
+			lastErr = err
+		}
+	}
+	return lastErr
+}
+
+// commit forwards a write to every non-primary replica under the epoch it
+// was performed at. An ErrFenced from any follower aborts the ack — the
+// write happened on a deposed primary. An unreachable follower is skipped:
+// the partition is degraded but the write is durable on the primary.
+func (r *Replicated) commit(epoch uint64, primaryIdx int, c Commit) error {
+	for i, rep := range r.replicas {
+		if i == primaryIdx {
+			continue
+		}
+		if err := rep.Apply(r.part, epoch, c); err != nil && errors.Is(err, ErrFenced) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get reads from the current primary.
+func (r *Replicated) Get(key string) (value []byte, version uint64, err error) {
+	gerr := r.do(func(p ReplicaAPI, _ int, _ uint64) error {
+		value, version, err = p.Get(key)
+		return err
+	})
+	if gerr != nil {
+		return nil, 0, gerr
+	}
+	return value, version, nil
+}
+
+// List reads from the current primary.
+func (r *Replicated) List(prefix string) (keys []string, err error) {
+	lerr := r.do(func(p ReplicaAPI, _ int, _ uint64) error {
+		keys, err = p.List(prefix)
+		return err
+	})
+	if lerr != nil {
+		return nil, lerr
+	}
+	return keys, nil
+}
+
+// Put writes through the primary and replicates before acknowledging.
+func (r *Replicated) Put(key string, value []byte) (uint64, error) {
+	var ver uint64
+	err := r.do(func(p ReplicaAPI, pi int, epoch uint64) error {
+		v, err := p.Put(key, value)
+		if err != nil {
+			return err
+		}
+		ver = v
+		return r.commit(epoch, pi, Commit{Sets: []KV{{Key: key, Val: value, Ver: v}}})
+	})
+	if err != nil {
+		return 0, err
+	}
+	return ver, nil
+}
+
+// batchSets reconstructs the per-key versions of a batch write: the store
+// assigns contiguous versions in sorted key order under its lock, so the
+// returned high-water version determines every key's version.
+func batchSets(entries map[string][]byte, last uint64) []KV {
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	n := uint64(len(keys))
+	sets := make([]KV, len(keys))
+	for i, k := range keys {
+		sets[i] = KV{Key: k, Val: entries[k], Ver: last - n + 1 + uint64(i)}
+	}
+	return sets
+}
+
+// PutBatch writes through the primary and replicates before acknowledging.
+func (r *Replicated) PutBatch(entries map[string][]byte) (uint64, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	var last uint64
+	err := r.do(func(p ReplicaAPI, pi int, epoch uint64) error {
+		v, err := p.PutBatch(entries)
+		if err != nil {
+			return err
+		}
+		last = v
+		return r.commit(epoch, pi, Commit{Sets: batchSets(entries, v)})
+	})
+	if err != nil {
+		return 0, err
+	}
+	return last, nil
+}
+
+// CreateBatch creates through the primary and replicates before
+// acknowledging; an existing key surfaces as ErrVersionMismatch unchanged.
+func (r *Replicated) CreateBatch(entries map[string][]byte) (uint64, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	var last uint64
+	err := r.do(func(p ReplicaAPI, pi int, epoch uint64) error {
+		v, err := p.CreateBatch(entries)
+		if err != nil {
+			return err
+		}
+		last = v
+		return r.commit(epoch, pi, Commit{Sets: batchSets(entries, v)})
+	})
+	if err != nil {
+		return 0, err
+	}
+	return last, nil
+}
+
+// CAS writes through the primary and replicates before acknowledging. The
+// CAS itself stays strictly per-key on the primary, so CAS-sequenced
+// protocols (the replication log's commit point) keep their semantics.
+func (r *Replicated) CAS(key string, expect uint64, value []byte) (uint64, error) {
+	var ver uint64
+	err := r.do(func(p ReplicaAPI, pi int, epoch uint64) error {
+		v, err := p.CAS(key, expect, value)
+		if err != nil {
+			return err
+		}
+		ver = v
+		return r.commit(epoch, pi, Commit{Sets: []KV{{Key: key, Val: value, Ver: v}}})
+	})
+	if err != nil {
+		return 0, err
+	}
+	return ver, nil
+}
+
+// Delete deletes through the primary and replicates the tombstone.
+func (r *Replicated) Delete(key string) error {
+	return r.do(func(p ReplicaAPI, pi int, epoch uint64) error {
+		v, err := p.DeleteV(key)
+		if err != nil {
+			return err
+		}
+		return r.commit(epoch, pi, Commit{Dels: []KD{{Key: key, Ver: v}}})
+	})
+}
+
+// DeleteBatch deletes through the primary and replicates the tombstones.
+func (r *Replicated) DeleteBatch(keys []string) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	return r.do(func(p ReplicaAPI, pi int, epoch uint64) error {
+		last, err := p.DeleteBatchV(keys)
+		if err != nil {
+			return err
+		}
+		sorted := append([]string(nil), keys...)
+		sort.Strings(sorted)
+		n := uint64(len(sorted))
+		dels := make([]KD, len(sorted))
+		for i, k := range sorted {
+			dels[i] = KD{Key: k, Ver: last - n + 1 + uint64(i)}
+		}
+		return r.commit(epoch, pi, Commit{Dels: dels})
+	})
+}

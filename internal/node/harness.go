@@ -25,7 +25,18 @@ type Topology struct {
 	// Profile is the server instance profile (default m3.large).
 	Profile cluster.Profile
 	// StoreNode serves the authoritative cloud store (default node 1).
+	// Ignored when StoreParts > 0.
 	StoreNode transport.NodeID
+	// StoreParts, when > 0, deploys the sharded, replicated store plane
+	// instead of a store-serving node: each of the StoreParts partitions is
+	// served by a primary+follower pair of dedicated StoreServer processes
+	// (partition p's primary attaches at StoreIDBase+2p+1, its follower at
+	// StoreIDBase+2p+2), and every node routes through a Partitioned client.
+	StoreParts int
+	// StoreBackend opens each store server's backend ("memory" when empty;
+	// "disk:<dir>" gets "/p<partition>-r<replica>" appended so replicas
+	// never share a journal).
+	StoreBackend string
 	// NetCfg is the simulated intra-node network (default: zero-latency
 	// NullNetwork semantics via zero SimConfig — mesh calls carry the real
 	// cost in TCP deployments).
@@ -55,8 +66,39 @@ type Deployment struct {
 	// Top is the replicated bank topology (identical on every node).
 	Top *BankTopology
 	// Stores[i] is node i+1's local in-memory store; only the store
-	// node's is authoritative.
+	// node's is authoritative (all unauthoritative with StoreParts).
 	Stores []*cloudstore.Store
+	// StoreServers are the dedicated store-replica processes, in partition
+	// order: [p0 primary, p0 follower, p1 primary, ...]. Empty without
+	// Topology.StoreParts.
+	StoreServers []*StoreServer
+	// StoreBackends are the backends behind StoreServers, same order. The
+	// deployment owns them (closed by Close); they outlive a killed server
+	// so chaos tests can inspect or re-serve them.
+	StoreBackends []cloudstore.Backend
+}
+
+// StoreServerFor returns the deployed store server at the given mesh
+// address (nil if none or already removed).
+func (d *Deployment) StoreServerFor(id transport.NodeID) *StoreServer {
+	for _, s := range d.StoreServers {
+		if s != nil && s.ID() == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// storePartitions derives the StorePartition list the topology implies.
+func (top Topology) storePartitions() []StorePartition {
+	parts := make([]StorePartition, top.StoreParts)
+	for p := 0; p < top.StoreParts; p++ {
+		parts[p] = StorePartition{Replicas: []transport.NodeID{
+			StoreIDBase + transport.NodeID(2*p+1),
+			StoreIDBase + transport.NodeID(2*p+2),
+		}}
+	}
+	return parts
 }
 
 // withDefaults fills the Topology defaults shared by Deploy and Restart —
@@ -88,6 +130,33 @@ func Deploy(mesh transport.Mesh, top Topology) (*Deployment, error) {
 	}
 	top = top.withDefaults()
 	d := &Deployment{}
+	// Store servers come up before any node: nodes with Replicate catch up
+	// from the store during Start, so the plane must already be serving.
+	if top.StoreParts > 0 {
+		for p := 0; p < top.StoreParts; p++ {
+			for r := 0; r < 2; r++ {
+				spec := top.StoreBackend
+				if spec == "" {
+					spec = "memory"
+				} else if arg, ok := diskSpec(spec); ok {
+					spec = fmt.Sprintf("disk:%s/p%d-r%d", arg, p, r)
+				}
+				be, err := cloudstore.Open(spec)
+				if err != nil {
+					d.Close()
+					return nil, fmt.Errorf("store backend %q: %w", spec, err)
+				}
+				srv, err := ServeStore(mesh, StoreIDBase+transport.NodeID(2*p+r+1), be)
+				if err != nil {
+					be.Close()
+					d.Close()
+					return nil, err
+				}
+				d.StoreServers = append(d.StoreServers, srv)
+				d.StoreBackends = append(d.StoreBackends, be)
+			}
+		}
+	}
 	for i := 1; i <= top.Nodes; i++ {
 		n, bank, store, err := buildNode(mesh, top, transport.NodeID(i))
 		if err != nil {
@@ -135,7 +204,11 @@ func buildNode(mesh transport.Mesh, top Topology, id transport.NodeID) (*Node, *
 	cfg.ID = id
 	cfg.Runtime = rt
 	cfg.LocalStore = store
-	cfg.StoreNode = top.StoreNode
+	if top.StoreParts > 0 {
+		cfg.StoreReplicas = top.storePartitions()
+	} else {
+		cfg.StoreNode = top.StoreNode
+	}
 	cfg.Manager = top.Manager
 	if top.Replicate {
 		cfg.Replicate = true
@@ -159,7 +232,7 @@ func buildNode(mesh transport.Mesh, top Topology, id transport.NodeID) (*Node, *
 // topology it was not alive to apply.
 func (d *Deployment) Restart(mesh transport.Mesh, top Topology, id transport.NodeID) (*Node, error) {
 	top = top.withDefaults()
-	if id == top.StoreNode {
+	if top.StoreParts == 0 && id == top.StoreNode {
 		return nil, fmt.Errorf("node %v: restarting the store node would lose the log", id)
 	}
 	n, _, store, err := buildNode(mesh, top, id)
@@ -207,7 +280,8 @@ func (d *Deployment) WaitReady(timeout time.Duration) error {
 	return nil
 }
 
-// Close detaches every node and drains its runtime.
+// Close detaches every node and drains its runtime, then tears down the
+// store plane (servers detached, backends closed).
 func (d *Deployment) Close() {
 	for _, n := range d.Nodes {
 		if n == nil {
@@ -216,4 +290,23 @@ func (d *Deployment) Close() {
 		_ = n.Close()
 		n.Runtime().Close()
 	}
+	for _, s := range d.StoreServers {
+		if s != nil {
+			_ = s.Close()
+		}
+	}
+	for _, be := range d.StoreBackends {
+		if be != nil {
+			_ = be.Close()
+		}
+	}
+}
+
+// diskSpec splits a "disk:<dir>" backend spec, reporting whether it is one.
+func diskSpec(spec string) (dir string, ok bool) {
+	const p = "disk:"
+	if len(spec) > len(p) && spec[:len(p)] == p {
+		return spec[len(p):], true
+	}
+	return "", false
 }

@@ -71,8 +71,17 @@ type Config struct {
 	LocalStore *cloudstore.Store
 	// StoreNode is the node serving the authoritative cloud store. Zero
 	// means this node uses its LocalStore directly (single-node or test
-	// deployments).
+	// deployments). Ignored when StoreReplicas is set.
 	StoreNode transport.NodeID
+	// StoreReplicas, when set, replaces the single-store deployment with the
+	// sharded, replicated store plane: partition i of the keyspace is served
+	// by StoreReplicas[i]'s replica set (primary first), each replica a mesh
+	// address — usually a dedicated store-server process (ServeStore), but a
+	// node's own ID works too and routes to its LocalStore. The node's store
+	// handle becomes a Partitioned client over per-partition Replicated
+	// clients with CAS-fenced failover. Every node of a deployment must be
+	// configured with the same partition list, in the same order.
+	StoreReplicas []StorePartition
 	// Manager configures the node's elasticity manager; its migration
 	// engine is wired to transfer state over the mesh automatically.
 	Manager emanager.Config
@@ -112,12 +121,25 @@ type Config struct {
 	Peers []transport.NodeID
 }
 
+// StorePartition names the replica set serving one keyspace partition of
+// the store plane (primary first; failover promotes in list order).
+type StorePartition struct {
+	Replicas []transport.NodeID
+}
+
 // Node is one process's attachment to the AEON deployment.
 type Node struct {
-	cfg   Config
-	id    transport.NodeID
-	rt    *core.Runtime
-	local map[cluster.ServerID]bool
+	cfg         Config
+	id          transport.NodeID
+	rt          *core.Runtime
+	local       map[cluster.ServerID]bool
+	servesStore bool
+
+	// baseCtx parents every RemoteStore call so node shutdown cancels
+	// in-flight store ops instead of letting failover retries stack dead
+	// calls behind CallTimeout.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 
 	ep    transport.Endpoint
 	mgr   *emanager.Manager
@@ -178,16 +200,43 @@ func Start(mesh transport.Mesh, cfg Config) (*Node, error) {
 	for _, s := range servers {
 		n.local[s] = true
 	}
+	n.baseCtx, n.baseCancel = context.WithCancel(context.Background())
 
 	// Wire the node fully before it can serve a single frame: a peer whose
 	// ping raced ahead must never reach an unconfigured manager, store, or
 	// runtime. Only the endpoint itself is pending when Attach runs, so the
 	// handler gates on `ready` until it is recorded.
-	if cfg.StoreNode == 0 || cfg.StoreNode == cfg.ID {
+	if len(cfg.StoreReplicas) > 0 {
+		// Sharded, replicated store plane: one Replicated client per
+		// partition (failing over across its replica set), routed by a
+		// Partitioned client. A replica naming this node serves from
+		// LocalStore without a mesh hop.
+		parts := make([]cloudstore.API, 0, len(cfg.StoreReplicas))
+		for i, sp := range cfg.StoreReplicas {
+			if len(sp.Replicas) == 0 {
+				return nil, fmt.Errorf("node %v: store partition %d has no replicas", cfg.ID, i)
+			}
+			replicas := make([]cloudstore.ReplicaAPI, 0, len(sp.Replicas))
+			for _, rep := range sp.Replicas {
+				if rep == cfg.ID {
+					if cfg.LocalStore == nil {
+						return nil, fmt.Errorf("node %v: named as store replica but has no LocalStore", cfg.ID)
+					}
+					replicas = append(replicas, cfg.LocalStore)
+					n.servesStore = true
+					continue
+				}
+				replicas = append(replicas, &RemoteStore{node: n, to: rep})
+			}
+			parts = append(parts, cloudstore.NewReplicated(i, replicas...))
+		}
+		n.store = cloudstore.NewPartitioned(parts...)
+	} else if cfg.StoreNode == 0 || cfg.StoreNode == cfg.ID {
 		if cfg.LocalStore == nil {
 			return nil, fmt.Errorf("node %v: store node needs a LocalStore", cfg.ID)
 		}
 		n.store = cfg.LocalStore
+		n.servesStore = true
 	} else {
 		n.store = &RemoteStore{node: n, to: cfg.StoreNode}
 	}
@@ -269,6 +318,7 @@ func (n *Node) Done() <-chan struct{} { return n.shutdownCh }
 func (n *Node) Close() error {
 	var err error
 	n.closeOnce.Do(func() {
+		n.baseCancel()
 		n.mgr.Stop()
 		if n.plane != nil {
 			n.plane.Close()
@@ -872,37 +922,10 @@ func (n *Node) handleTransfer(req transferReq) error {
 // handleStore serves one cloud-store operation from the authoritative local
 // store. Non-store nodes refuse typed, so a misconfigured peer fails fast.
 func (n *Node) handleStore(req storeReq) storeResp {
-	if n.cfg.StoreNode != 0 && n.cfg.StoreNode != n.id {
+	st := n.cfg.LocalStore
+	if !n.servesStore || st == nil {
 		msg, kind := errFields(fmt.Errorf("node %v: %w", n.id, ErrNotStoreNode))
 		return storeResp{Err: msg, ErrKind: kind}
 	}
-	st := n.cfg.LocalStore
-	if st == nil {
-		msg, kind := errFields(fmt.Errorf("node %v has no local store: %w", n.id, ErrNotStoreNode))
-		return storeResp{Err: msg, ErrKind: kind}
-	}
-	var resp storeResp
-	var err error
-	switch req.Op {
-	case storeGet:
-		resp.Value, resp.Version, err = st.Get(req.Key)
-	case storePut:
-		resp.Version, err = st.Put(req.Key, req.Value)
-	case storePutBatch:
-		resp.Version, err = st.PutBatch(req.Entries)
-	case storeCreateBatch:
-		resp.Version, err = st.CreateBatch(req.Entries)
-	case storeCAS:
-		resp.Version, err = st.CAS(req.Key, req.Expect, req.Value)
-	case storeDelete:
-		err = st.Delete(req.Key)
-	case storeDelBatch:
-		err = st.DeleteBatch(req.Keys)
-	case storeList:
-		resp.Keys, err = st.List(req.Key)
-	default:
-		err = fmt.Errorf("node %v: unknown store op %q", n.id, req.Op)
-	}
-	resp.Err, resp.ErrKind = errFields(err)
-	return resp
+	return execStoreOp(st, n.id, req)
 }

@@ -3,23 +3,64 @@ package node
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"aeon/internal/cloudstore"
 	"aeon/internal/transport"
 )
 
-// RemoteStore is a cloudstore.API client over the transport mesh: every
-// operation is one request/response exchange with the store node, so all
-// processes of a deployment journal migrations, mappings, and checkpoints
-// into one authoritative store — the paper's cloud-storage role (§ 5.1),
-// with a node (or a dedicated external process running the same frame
-// handler) standing in for ZooKeeper/S3.
+// RemoteStore is a cloudstore.ReplicaAPI client over the transport mesh:
+// every operation is one request/response exchange with a store replica, so
+// all processes of a deployment journal migrations, mappings, and
+// checkpoints into one authoritative store plane — the paper's cloud-storage
+// role (§ 5.1), with store-server processes (or a store-serving node)
+// standing in for ZooKeeper/S3.
+//
+// Every call runs under a context derived from the owner's lifecycle (the
+// node's base context, canceled on Close): when a partition client abandons
+// a replica mid-failover, its in-flight calls are canceled instead of
+// stacking up behind dead peers until CallTimeout.
 type RemoteStore struct {
-	node *Node
-	to   transport.NodeID
+	node *Node // set when owned by a node: endpoint/timeout/ctx resolve lazily
+
+	// Standalone wiring (partition clients owned by the harness or driver).
+	ep      transport.Endpoint
+	to      transport.NodeID
+	timeout time.Duration
+	base    context.Context
 }
 
-var _ cloudstore.API = (*RemoteStore)(nil)
+var _ cloudstore.ReplicaAPI = (*RemoteStore)(nil)
+
+// NewRemoteStore returns a mesh client for the store replica at `to`,
+// bounding each call by timeout and canceling in-flight calls when base is
+// canceled. A nil base means context.Background().
+func NewRemoteStore(ep transport.Endpoint, to transport.NodeID, timeout time.Duration, base context.Context) *RemoteStore {
+	if base == nil {
+		base = context.Background()
+	}
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &RemoteStore{ep: ep, to: to, timeout: timeout, base: base}
+}
+
+// callCtx derives the per-call context: the owning node's base context when
+// node-owned (so node shutdown cancels in-flight store ops), the configured
+// base otherwise.
+func (r *RemoteStore) callCtx() (context.Context, context.CancelFunc) {
+	if r.node != nil {
+		return context.WithTimeout(r.node.baseCtx, r.node.cfg.CallTimeout)
+	}
+	return context.WithTimeout(r.base, r.timeout)
+}
+
+func (r *RemoteStore) endpoint() transport.Endpoint {
+	if r.node != nil {
+		return r.node.ep
+	}
+	return r.ep
+}
 
 // call performs one store exchange. Store frames stay on the gob codec
 // (control path), but encode into a pooled buffer: endpoints do not retain
@@ -29,9 +70,9 @@ func (r *RemoteStore) call(req storeReq) (storeResp, error) {
 	if err != nil {
 		return storeResp{}, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), r.node.cfg.CallTimeout)
+	ctx, cancel := r.callCtx()
 	defer cancel()
-	raw, err := r.node.ep.Call(ctx, r.to, transport.Message{Kind: KindStore, Payload: payload})
+	raw, err := r.endpoint().Call(ctx, r.to, transport.Message{Kind: KindStore, Payload: payload})
 	releaseFrameBuf(buf)
 	if err != nil {
 		return storeResp{}, fmt.Errorf("store %s via %v: %w", req.Op, r.to, err)
@@ -41,7 +82,9 @@ func (r *RemoteStore) call(req storeReq) (storeResp, error) {
 		return storeResp{}, err
 	}
 	if resp.Err != "" {
-		return storeResp{}, WireError(resp.ErrKind, resp.Err)
+		// Return the decoded response alongside the typed error: Promote's
+		// fenced refusal carries the accepted epoch in Version.
+		return resp, WireError(resp.ErrKind, resp.Err)
 	}
 	return resp, nil
 }
@@ -123,4 +166,94 @@ func (r *RemoteStore) List(prefix string) ([]string, error) {
 		return nil, err
 	}
 	return resp.Keys, nil
+}
+
+// DeleteV implements cloudstore.ReplicaAPI.
+func (r *RemoteStore) DeleteV(key string) (uint64, error) {
+	resp, err := r.call(storeReq{Op: storeDeleteV, Key: key})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// DeleteBatchV implements cloudstore.ReplicaAPI.
+func (r *RemoteStore) DeleteBatchV(keys []string) (uint64, error) {
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	resp, err := r.call(storeReq{Op: storeDelBatchV, Keys: keys})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// Apply implements cloudstore.ReplicaAPI: forward a fenced commit to a
+// follower replica.
+func (r *RemoteStore) Apply(part int, epoch uint64, c cloudstore.Commit) error {
+	_, err := r.call(storeReq{Op: storeApply, Part: part, Epoch: epoch, Commit: c})
+	return err
+}
+
+// Promote implements cloudstore.ReplicaAPI: claim the partition's primary
+// role at epoch on the remote replica.
+func (r *RemoteStore) Promote(part int, epoch uint64) (uint64, error) {
+	resp, err := r.call(storeReq{Op: storePromote, Part: part, Epoch: epoch})
+	if err != nil {
+		// The accepted fence rides Version even on refusal, so a fenced
+		// caller can adopt the newer epoch without a second round trip.
+		return resp.Version, err
+	}
+	return resp.Version, nil
+}
+
+// FenceEpoch implements cloudstore.ReplicaAPI.
+func (r *RemoteStore) FenceEpoch(part int) (uint64, error) {
+	resp, err := r.call(storeReq{Op: storeEpoch, Part: part})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// execStoreOp executes one store wire request against a replica surface. It
+// is the single translation point between storeReq frames and
+// cloudstore.ReplicaAPI, shared by store-serving nodes and dedicated store
+// servers so both speak exactly the same protocol.
+func execStoreOp(st cloudstore.ReplicaAPI, owner transport.NodeID, req storeReq) storeResp {
+	var resp storeResp
+	var err error
+	switch req.Op {
+	case storeGet:
+		resp.Value, resp.Version, err = st.Get(req.Key)
+	case storePut:
+		resp.Version, err = st.Put(req.Key, req.Value)
+	case storePutBatch:
+		resp.Version, err = st.PutBatch(req.Entries)
+	case storeCreateBatch:
+		resp.Version, err = st.CreateBatch(req.Entries)
+	case storeCAS:
+		resp.Version, err = st.CAS(req.Key, req.Expect, req.Value)
+	case storeDelete:
+		err = st.Delete(req.Key)
+	case storeDelBatch:
+		err = st.DeleteBatch(req.Keys)
+	case storeList:
+		resp.Keys, err = st.List(req.Key)
+	case storeDeleteV:
+		resp.Version, err = st.DeleteV(req.Key)
+	case storeDelBatchV:
+		resp.Version, err = st.DeleteBatchV(req.Keys)
+	case storeApply:
+		err = st.Apply(req.Part, req.Epoch, req.Commit)
+	case storePromote:
+		resp.Version, err = st.Promote(req.Part, req.Epoch)
+	case storeEpoch:
+		resp.Version, err = st.FenceEpoch(req.Part)
+	default:
+		err = fmt.Errorf("node %v: unknown store op %q", owner, req.Op)
+	}
+	resp.Err, resp.ErrKind = errFields(err)
+	return resp
 }

@@ -1,0 +1,396 @@
+package node
+
+// Store-plane tests: wire-level sentinel fidelity for every store op, the
+// RemoteStore lifecycle context, the sharded/replicated deployment against
+// the single-process oracle, and the store-failover chaos smoke (kill a
+// partition's primary store server mid-traffic; the fleet must converge
+// with no split brain).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"aeon/internal/cloudstore"
+	"aeon/internal/transport"
+)
+
+// storeWireRig is a StoreServer and a RemoteStore client on one in-memory
+// mesh: every op crosses the full encode→handle→execStoreOp→errFields→
+// WireError path.
+func storeWireRig(t *testing.T) (*cloudstore.Store, *RemoteStore) {
+	t.Helper()
+	mesh := transport.NewInMemMesh(transport.NewSim(transport.SimConfig{}))
+	st := cloudstore.New()
+	srv, err := ServeStore(mesh, StoreIDBase+1, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ep, err := mesh.Attach(999, func(context.Context, transport.NodeID, transport.Message) (transport.Message, error) {
+		return transport.Message{}, errors.New("client endpoint serves nothing")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ep.Close() })
+	return st, NewRemoteStore(ep, StoreIDBase+1, 5*time.Second, nil)
+}
+
+// TestStoreWireSentinelRoundTrip pins that every cloudstore sentinel
+// survives the RemoteStore→handler→WireError translation for every store
+// op: ErrUnavailable for all of them (a downed replica must look downed, or
+// failover never triggers), and the op-specific semantic sentinels
+// (ErrNotFound, ErrVersionMismatch, ErrFenced) where the op can produce
+// them.
+func TestStoreWireSentinelRoundTrip(t *testing.T) {
+	// Every op, for the all-ops ErrUnavailable sweep.
+	allOps := []struct {
+		name string
+		op   func(r *RemoteStore) error
+	}{
+		{"Get", func(r *RemoteStore) error { _, _, err := r.Get("k"); return err }},
+		{"Put", func(r *RemoteStore) error { _, err := r.Put("k", nil); return err }},
+		{"PutBatch", func(r *RemoteStore) error { _, err := r.PutBatch(map[string][]byte{"k": nil}); return err }},
+		{"CreateBatch", func(r *RemoteStore) error { _, err := r.CreateBatch(map[string][]byte{"k": nil}); return err }},
+		{"CAS", func(r *RemoteStore) error { _, err := r.CAS("k", 0, nil); return err }},
+		{"Delete", func(r *RemoteStore) error { return r.Delete("k") }},
+		{"DeleteBatch", func(r *RemoteStore) error { return r.DeleteBatch([]string{"k"}) }},
+		{"List", func(r *RemoteStore) error { _, err := r.List(""); return err }},
+		{"DeleteV", func(r *RemoteStore) error { _, err := r.DeleteV("k"); return err }},
+		{"DeleteBatchV", func(r *RemoteStore) error { _, err := r.DeleteBatchV([]string{"k"}); return err }},
+		{"Apply", func(r *RemoteStore) error { return r.Apply(0, 1, cloudstore.Commit{}) }},
+		{"Promote", func(r *RemoteStore) error { _, err := r.Promote(0, 1); return err }},
+		{"FenceEpoch", func(r *RemoteStore) error { _, err := r.FenceEpoch(0); return err }},
+	}
+	for _, tc := range allOps {
+		t.Run("Unavailable/"+tc.name, func(t *testing.T) {
+			st, r := storeWireRig(t)
+			st.Fail()
+			if err := tc.op(r); !errors.Is(err, cloudstore.ErrUnavailable) {
+				t.Fatalf("err = %v; want ErrUnavailable", err)
+			}
+		})
+	}
+
+	// Op-specific semantic sentinels.
+	semantic := []struct {
+		name  string
+		setup func(st *cloudstore.Store)
+		op    func(r *RemoteStore) error
+		want  error
+	}{
+		{"Get/NotFound", nil,
+			func(r *RemoteStore) error { _, _, err := r.Get("ghost"); return err }, cloudstore.ErrNotFound},
+		{"Delete/NotFound", nil,
+			func(r *RemoteStore) error { return r.Delete("ghost") }, cloudstore.ErrNotFound},
+		{"DeleteV/NotFound", nil,
+			func(r *RemoteStore) error { _, err := r.DeleteV("ghost"); return err }, cloudstore.ErrNotFound},
+		{"CAS/VersionMismatchConflict",
+			func(st *cloudstore.Store) { _, _ = st.Put("k", []byte("v")) },
+			func(r *RemoteStore) error { _, err := r.CAS("k", 99, nil); return err }, cloudstore.ErrVersionMismatch},
+		{"CAS/VersionMismatchMissing", nil,
+			func(r *RemoteStore) error { _, err := r.CAS("ghost", 3, nil); return err }, cloudstore.ErrVersionMismatch},
+		{"CreateBatch/VersionMismatchExists",
+			func(st *cloudstore.Store) { _, _ = st.Put("k", []byte("v")) },
+			func(r *RemoteStore) error {
+				_, err := r.CreateBatch(map[string][]byte{"k": nil, "fresh": nil})
+				return err
+			}, cloudstore.ErrVersionMismatch},
+		{"Apply/Fenced",
+			func(st *cloudstore.Store) { _, _ = st.Promote(0, 5) },
+			func(r *RemoteStore) error { return r.Apply(0, 2, cloudstore.Commit{}) }, cloudstore.ErrFenced},
+		{"Promote/Fenced",
+			func(st *cloudstore.Store) { _, _ = st.Promote(0, 5) },
+			func(r *RemoteStore) error { _, err := r.Promote(0, 2); return err }, cloudstore.ErrFenced},
+	}
+	for _, tc := range semantic {
+		t.Run(tc.name, func(t *testing.T) {
+			st, r := storeWireRig(t)
+			if tc.setup != nil {
+				tc.setup(st)
+			}
+			if err := tc.op(r); !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v; want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRemoteStorePromoteCarriesFenceOnRefusal pins the failover contract
+// over the wire: a fenced Promote must still deliver the accepted epoch so
+// the client adopts the newer view without a second round trip.
+func TestRemoteStorePromoteCarriesFenceOnRefusal(t *testing.T) {
+	st, r := storeWireRig(t)
+	if _, err := st.Promote(3, 9); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := r.Promote(3, 4)
+	if !errors.Is(err, cloudstore.ErrFenced) {
+		t.Fatalf("err = %v; want ErrFenced", err)
+	}
+	if cur != 9 {
+		t.Fatalf("refused promote reported fence %d; want 9", cur)
+	}
+}
+
+// TestRemoteStoreHonorsBaseContext pins the satellite fix for
+// RemoteStore.call using context.Background() unconditionally: calls now
+// derive from the owner's lifecycle context, so an abandoned client's ops
+// cancel immediately instead of stacking dead calls behind the timeout.
+func TestRemoteStoreHonorsBaseContext(t *testing.T) {
+	mesh := transport.NewInMemMesh(transport.NewSim(transport.SimConfig{}))
+	st := cloudstore.New()
+	srv, err := ServeStore(mesh, StoreIDBase+1, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ep, err := mesh.Attach(999, func(context.Context, transport.NodeID, transport.Message) (transport.Message, error) {
+		return transport.Message{}, errors.New("client endpoint serves nothing")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	base, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRemoteStore(ep, StoreIDBase+1, time.Hour, base)
+	start := time.Now()
+	_, werr := r.Put("k", nil)
+	if werr == nil {
+		t.Fatal("call under a canceled lifecycle must fail")
+	}
+	if !errors.Is(werr, context.Canceled) {
+		t.Fatalf("err = %v; want context.Canceled", werr)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("canceled call took %v; must not wait out the timeout", elapsed)
+	}
+}
+
+// deployStorePlane builds an n-node replicated deployment whose cloud store
+// is the sharded, replicated store plane (parts × primary+follower store
+// servers) over the given mesh.
+func deployStorePlane(t *testing.T, mesh transport.Mesh, nodes, parts int) *Deployment {
+	t.Helper()
+	d, err := Deploy(mesh, Topology{Nodes: nodes, Replicate: true, StoreParts: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	if err := d.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestStorePlaneDeploymentMatchesOracle runs the full static + dynamic
+// workload — including runtime context creation sequenced through the
+// replication log, whose CAS commit point now lives on one partition of the
+// store plane — and diffs every outcome against the single-process oracle.
+func TestStorePlaneDeploymentMatchesOracle(t *testing.T) {
+	mesh := transport.NewInMemMesh(transport.NewSim(transport.SimConfig{}))
+	d := deployStorePlane(t, mesh, 3, 2)
+
+	n1 := d.Nodes[0]
+	static := RunBankScript(n1.Submit, d.Top)
+	dynamic := RunBankDynamicScript(n1.Submit, d.Top)
+	wantStatic, wantDynamic, err := BankDynamicOracle(3, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffScripts(t, "static", static, wantStatic)
+	diffScripts(t, "dynamic", dynamic, wantDynamic)
+
+	// The plane really is sharded: both partitions' primaries hold keys.
+	for p := 0; p < 2; p++ {
+		keys, err := d.StoreBackends[2*p].List("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(keys) == 0 {
+			t.Fatalf("partition %d primary holds no keys; keyspace not sharded", p)
+		}
+	}
+}
+
+// replogPartition reports which of n partitions owns the replication log's
+// record keys (the CAS-sequenced commit point — the hottest store state).
+func replogPartition(n int) int {
+	probe := cloudstore.NewPartitioned(make([]cloudstore.API, n)...)
+	return probe.PartitionOf("replog/rec/00000000000000000001")
+}
+
+// TestStoreFailoverChaos is the store-loss chaos smoke: under a fault-
+// injecting mesh, kill the store primary of the partition serving the
+// replication log mid-traffic. Writes must resume through the promoted
+// follower (CAS-fenced failover), runtime context creation must keep
+// sequencing through the log, and the full outcome stream must still match
+// the single-process oracle — no split brain, no lost acks.
+func TestStoreFailoverChaos(t *testing.T) {
+	net := transport.NewSim(transport.SimConfig{})
+	fm := transport.NewFaultyMesh(transport.NewInMemMesh(net))
+	d := deployStorePlane(t, fm, 3, 2)
+	n1 := d.Nodes[0]
+
+	// Phase 1: static traffic with the full plane up.
+	static := RunBankScript(n1.Submit, d.Top)
+
+	// Mid-traffic fault: first sever node 1 from the other partition's
+	// primary (transport fault, not a crash) so its client must fail over
+	// on a dropped call…
+	p := replogPartition(2)
+	other := 1 - p
+	otherPrimary := StoreIDBase + transport.NodeID(2*other+1)
+	fm.Drop(1, otherPrimary)
+	// …then kill the replog partition's primary outright: its endpoint
+	// detaches, every in-flight and future call fails fast, and the
+	// follower must be promoted by whichever client trips first.
+	if srv := d.StoreServerFor(StoreIDBase + transport.NodeID(2*p+1)); srv != nil {
+		_ = srv.Close()
+	} else {
+		t.Fatalf("no store server for partition %d primary", p)
+	}
+
+	// Phase 2: dynamic traffic through the degraded plane — context
+	// creation CASes records into the replication log via the promoted
+	// follower.
+	dynamic := RunBankDynamicScript(n1.Submit, d.Top)
+
+	wantStatic, wantDynamic, err := BankDynamicOracle(3, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffScripts(t, "static", static, wantStatic)
+	diffScripts(t, "dynamic", dynamic, wantDynamic)
+
+	// The replog partition failed over: its follower's fence epoch moved
+	// past the boot epoch, and the follower holds the post-kill records.
+	fol := d.StoreBackends[2*p+1]
+	epoch, err := fol.FenceEpoch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch < 2 {
+		t.Fatalf("replog partition fence epoch = %d; follower was never promoted", epoch)
+	}
+	keys, err := fol.List("replog/rec/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) == 0 {
+		t.Fatal("promoted follower holds no replication log records")
+	}
+
+	// No split brain: the dead primary's store must not have acknowledged
+	// writes the promoted follower never saw. Every record on the dead
+	// primary past the follower's set would be an acked-but-lost write;
+	// the fence makes that impossible, so the follower's log is a superset.
+	dead := d.StoreBackends[2*p]
+	deadKeys, err := dead.List("replog/rec/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	folSet := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		folSet[k] = true
+	}
+	for _, k := range deadKeys {
+		if !folSet[k] {
+			t.Fatalf("dead primary holds %s which the promoted follower never saw — a split-brain ack window", k)
+		}
+	}
+
+	// The stale-primary fence holds across the mesh: a client still acting
+	// for the boot view has its fenced apply refused by the promoted
+	// follower.
+	err = fol.Apply(p, 1, cloudstore.Commit{Sets: []cloudstore.KV{{Key: "rogue", Val: nil, Ver: 1 << 40}}})
+	if !errors.Is(err, cloudstore.ErrFenced) {
+		t.Fatalf("stale-epoch apply err = %v; want ErrFenced", err)
+	}
+
+	// Heal the dropped link; traffic keeps flowing on the converged view.
+	fm.Heal(1, otherPrimary)
+	if _, err := n1.Submit(d.Top.Accounts[0][0], "deposit", 1); err != nil {
+		t.Fatalf("post-chaos submit: %v", err)
+	}
+}
+
+// TestStorePlaneTCP runs the sharded plane over real TCP loopback sockets:
+// store servers and nodes in one process but separate sockets, the same
+// wiring cmd/aeon-node uses.
+func TestStorePlaneTCP(t *testing.T) {
+	mesh := transport.NewTCPMesh()
+	d := deployStorePlane(t, mesh, 2, 2)
+	n1 := d.Nodes[0]
+	static := RunBankScript(n1.Submit, d.Top)
+	wantStatic, _, err := BankDynamicOracle(2, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffScripts(t, "static", static, wantStatic)
+}
+
+// TestStorePlaneDiskBackend runs the replicated workload over disk-backed
+// store servers, then reopens one journal and checks the state survived.
+func TestStorePlaneDiskBackend(t *testing.T) {
+	mesh := transport.NewInMemMesh(transport.NewSim(transport.SimConfig{}))
+	dir := t.TempDir()
+	d, err := Deploy(mesh, Topology{Nodes: 2, Replicate: true, StoreParts: 2, StoreBackend: "disk:" + dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WaitReady(10 * time.Second); err != nil {
+		d.Close()
+		t.Fatal(err)
+	}
+	// The dynamic script writes through the store plane (replication-log
+	// records, mapping entries); the static one alone would leave the
+	// journals empty.
+	static := RunBankScript(d.Nodes[0].Submit, d.Top)
+	dynamic := RunBankDynamicScript(d.Nodes[0].Submit, d.Top)
+	wantStatic, wantDynamic, oerr := BankDynamicOracle(2, 4, 1000)
+	if oerr != nil {
+		d.Close()
+		t.Fatal(oerr)
+	}
+	diffScripts(t, "static", static, wantStatic)
+	diffScripts(t, "dynamic", dynamic, wantDynamic)
+	wantKeys := make([]int, 2)
+	for p := 0; p < 2; p++ {
+		keys, err := d.StoreBackends[2*p].List("")
+		if err != nil {
+			d.Close()
+			t.Fatal(err)
+		}
+		wantKeys[p] = len(keys)
+	}
+	d.Close()
+
+	// Reopen each partition primary's journal: the replayed state must
+	// match what the live backend held, and the plane as a whole must have
+	// persisted something.
+	total := 0
+	for p := 0; p < 2; p++ {
+		re, err := cloudstore.OpenDisk(fmt.Sprintf("%s/p%d-r0", dir, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys, err := re.List("")
+		re.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(keys) != wantKeys[p] {
+			t.Fatalf("partition %d journal replay found %d keys; want %d", p, len(keys), wantKeys[p])
+		}
+		total += len(keys)
+	}
+	if total == 0 {
+		t.Fatal("no partition journal holds any keys; the workload never hit the disk backend")
+	}
+}

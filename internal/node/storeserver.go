@@ -1,0 +1,86 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"aeon/internal/cloudstore"
+	"aeon/internal/transport"
+)
+
+// StoreIDBase is the mesh address band for dedicated store-server
+// processes: store replica k attaches as StoreIDBase + k. Far above both
+// node IDs (small integers) and the ingress client band, so a store server
+// is never mistaken for an AEON server and can be killed — for chaos tests
+// and real failover — without taking any application contexts with it.
+const StoreIDBase transport.NodeID = 1 << 20
+
+// StoreServer is a dedicated store-replica process attachment: it serves
+// the cloud-store wire protocol (KindStore, via the same execStoreOp as
+// store-serving nodes) from a pluggable backend, answers pings, and honors
+// shutdown frames. It embodies no AEON servers — losing one loses a store
+// replica and nothing else, which is exactly the blast radius the sharded
+// store plane is designed around.
+type StoreServer struct {
+	id transport.NodeID
+	be cloudstore.Backend
+	ep transport.Endpoint
+
+	shutdownOnce sync.Once
+	shutdownCh   chan struct{}
+	closeOnce    sync.Once
+}
+
+// ServeStore attaches a store server at the given mesh address, serving
+// backend. The caller owns the backend: Close detaches from the mesh but
+// does not close it (a chaos kill must be able to drop the endpoint while
+// the backend's state survives for inspection or restart).
+func ServeStore(mesh transport.Mesh, id transport.NodeID, backend cloudstore.Backend) (*StoreServer, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("store server %v: backend is required", id)
+	}
+	s := &StoreServer{id: id, be: backend, shutdownCh: make(chan struct{})}
+	ep, err := mesh.Attach(id, s.handle)
+	if err != nil {
+		return nil, fmt.Errorf("store server %v: attach: %w", id, err)
+	}
+	s.ep = ep
+	return s, nil
+}
+
+// ID returns the store server's mesh address.
+func (s *StoreServer) ID() transport.NodeID { return s.id }
+
+// Backend returns the backend this server serves.
+func (s *StoreServer) Backend() cloudstore.Backend { return s.be }
+
+// Done is closed when a peer requests shutdown (KindShutdown).
+func (s *StoreServer) Done() <-chan struct{} { return s.shutdownCh }
+
+// Close detaches the server from the mesh. The backend stays open.
+func (s *StoreServer) Close() error {
+	var err error
+	s.closeOnce.Do(func() { err = s.ep.Close() })
+	return err
+}
+
+func (s *StoreServer) handle(_ context.Context, _ transport.NodeID, req transport.Message) (transport.Message, error) {
+	switch req.Kind {
+	case KindPing:
+		payload, err := encodeFrame(pingResp{Node: s.id})
+		return transport.Message{Kind: KindPing, Payload: payload}, err
+	case KindStore:
+		var sr storeReq
+		if err := decodeFrame(req.Payload, &sr); err != nil {
+			return transport.Message{}, err
+		}
+		payload, err := encodeFrame(execStoreOp(s.be, s.id, sr))
+		return transport.Message{Kind: KindStore, Payload: payload}, err
+	case KindShutdown:
+		s.shutdownOnce.Do(func() { close(s.shutdownCh) })
+		return transport.Message{Kind: KindShutdown}, nil
+	default:
+		return transport.Message{}, fmt.Errorf("store server %v: unknown frame kind %q", s.id, req.Kind)
+	}
+}

@@ -66,6 +66,7 @@ const (
 	errKindNotFound        = "store-not-found"
 	errKindVersionMismatch = "store-version-mismatch"
 	errKindUnavailable     = "store-unavailable"
+	errKindFenced          = "store-fenced"
 	errKindReplicaLag      = "replica-lagging"
 )
 
@@ -118,9 +119,18 @@ const (
 	storeDelete      = "delete"
 	storeDelBatch    = "deletebatch"
 	storeList        = "list"
+	// Replica-plane selectors (cloudstore.ReplicaAPI over the mesh): deletes
+	// reporting tombstone versions, fenced commit application, and fence
+	// promotion/inspection for partition failover.
+	storeDeleteV   = "deletev"
+	storeDelBatchV = "deletebatchv"
+	storeApply     = "apply"
+	storePromote   = "promote"
+	storeEpoch     = "epoch"
 )
 
-// storeReq is one cloud-store operation.
+// storeReq is one cloud-store operation. Part/Epoch/Commit ride only the
+// replica-plane ops (apply, promote, epoch).
 type storeReq struct {
 	Op      string
 	Key     string
@@ -128,6 +138,9 @@ type storeReq struct {
 	Value   []byte
 	Entries map[string][]byte
 	Expect  uint64
+	Part    int
+	Epoch   uint64
+	Commit  cloudstore.Commit
 }
 
 // storeResp is the result of a store operation.
@@ -286,6 +299,8 @@ func errKindOf(err error) string {
 		return errKindVersionMismatch
 	case errors.Is(err, cloudstore.ErrUnavailable):
 		return errKindUnavailable
+	case errors.Is(err, cloudstore.ErrFenced):
+		return errKindFenced
 	case errors.Is(err, replication.ErrReplicaLagging):
 		return errKindReplicaLag
 	default:
@@ -321,6 +336,8 @@ func WireError(kind, msg string) error {
 		sentinel = cloudstore.ErrVersionMismatch
 	case errKindUnavailable:
 		sentinel = cloudstore.ErrUnavailable
+	case errKindFenced:
+		sentinel = cloudstore.ErrFenced
 	case errKindReplicaLag:
 		sentinel = replication.ErrReplicaLagging
 	default:
