@@ -17,16 +17,18 @@
 //
 // With the sharded, replicated store plane, dedicated store-server
 // processes replace the store-serving node: store replica k appears in
-// -peers as "s<k>=host:port", partition p is served by the pair
-// s(2p+1)/s(2p+2) (primary first), and -store-parts tells the nodes how
-// many partitions the plane has. A 1-partition plane on loopback:
+// -peers as "s<k>=host:port", partition p is served by the StoreRF-replica
+// set s(3p+1)..s(3p+3) (boot primary first; writes are acknowledged only
+// once a majority of the set holds them), and -store-parts tells the nodes
+// how many partitions the plane has. A 1-partition plane on loopback:
 //
 //	aeon-node -serve-store 1 -peers "$P" &
 //	aeon-node -serve-store 2 -peers "$P" &
+//	aeon-node -serve-store 3 -peers "$P" &
 //	aeon-node -id 2 -peers "$P" -store-parts 1 &
 //	aeon-node -id 1 -peers "$P" -store-parts 1 -drive
 //
-// where P="1=127.0.0.1:7101,2=127.0.0.1:7102,s1=127.0.0.1:7201,s2=127.0.0.1:7202".
+// where P="1=127.0.0.1:7101,2=127.0.0.1:7102,s1=127.0.0.1:7201,s2=127.0.0.1:7202,s3=127.0.0.1:7203".
 //
 // -drive replays a deterministic bank workload across the deployment,
 // compares every result with a single-process oracle run, migrates the last
@@ -73,7 +75,7 @@ func run() error {
 		accounts   = flag.Int("accounts", 4, "accounts per bank (bank workload)")
 		balance    = flag.Int("balance", 1000, "initial balance per account")
 		storeID    = flag.Int("store", 1, "node serving the authoritative cloud store (ignored with -store-parts)")
-		storeParts = flag.Int("store-parts", 0, "partitions of the sharded store plane; partition p is served by peers s<2p+1> (primary) and s<2p+2> (follower); 0 = single store node (-store)")
+		storeParts = flag.Int("store-parts", 0, "partitions of the sharded store plane; partition p is served by the replica set s<3p+1>..s<3p+3> (boot primary first); 0 = single store node (-store)")
 		serveStore = flag.Int("serve-store", 0, "run as dedicated store server k (mesh address s<k>) instead of an AEON node")
 		storeBack  = flag.String("store-backend", "memory", "store server backend: memory, or disk:<dir> (only with -serve-store)")
 		drive      = flag.Bool("drive", false, "drive the smoke workload against the deployment, then shut peers down")
@@ -100,9 +102,9 @@ func run() error {
 	if *listen != "" {
 		addrs[self] = *listen
 	}
-	if *storeParts > 0 && storeCount < 2**storeParts {
+	if *storeParts > 0 && storeCount < node.StoreRF**storeParts {
 		return fmt.Errorf("-store-parts %d needs %d store servers (s1..s%d) in -peers, have %d",
-			*storeParts, 2**storeParts, 2**storeParts, storeCount)
+			*storeParts, node.StoreRF**storeParts, node.StoreRF**storeParts, storeCount)
 	}
 
 	// Deterministic replica: every process builds the same cluster and bank
@@ -147,15 +149,14 @@ func run() error {
 		Peers:      peerIDs,
 	}
 	if *storeParts > 0 {
-		// Same derivation on every process: partition p's replica pair is
-		// s(2p+1), s(2p+2) — primary first, failover in list order.
+		// Same derivation on every process: partition p's replica set is
+		// s(3p+1)..s(3p+3) — boot primary first, failover in epoch order.
 		for p := 0; p < *storeParts; p++ {
-			cfg.StoreReplicas = append(cfg.StoreReplicas, node.StorePartition{
-				Replicas: []transport.NodeID{
-					node.StoreIDBase + transport.NodeID(2*p+1),
-					node.StoreIDBase + transport.NodeID(2*p+2),
-				},
-			})
+			ids := make([]transport.NodeID, node.StoreRF)
+			for r := 0; r < node.StoreRF; r++ {
+				ids[r] = node.StoreIDBase + transport.NodeID(node.StoreRF*p+r+1)
+			}
+			cfg.StoreReplicas = append(cfg.StoreReplicas, node.StorePartition{Replicas: ids})
 		}
 	} else {
 		cfg.StoreNode = transport.NodeID(*storeID)

@@ -2,11 +2,12 @@ package bench
 
 // The `store` experiment measures what the sharded, replicated store plane
 // buys: aggregate store write throughput at 1 vs 2 partitions (each
-// partition a primary+follower pair of store servers with a bounded serial
-// service rate — the ceiling partitioning removes), and the failover
+// partition a node.StoreRF-replica set of store servers with a bounded
+// serial service rate — the ceiling partitioning removes), and the failover
 // blackout window when a partition's primary is killed mid-traffic (time
 // from the kill to the first write acknowledged through the promoted
-// follower). Recorded as BENCH_7.json.
+// follower with a majority of the set holding it). Recorded as
+// BENCH_7.json.
 
 import (
 	"context"
@@ -40,7 +41,7 @@ func StoreExp(o Options) (*Table, error) {
 		Columns: []string{"partitions", "replicas", "store ops/s", "vs 1 part", "failover blackout"},
 		Notes: []string{
 			fmt.Sprintf("each replica models a store node with a %v serial service time (~%.0f ops/s ceiling per partition primary)", storeServiceTime, float64(time.Second)/float64(storeServiceTime)),
-			"every write = primary op + fenced commit apply on the follower; acks require the fence to hold",
+			fmt.Sprintf("every write = primary op + fenced commit applies; acks need a majority of the %d-replica set durable", node.StoreRF),
 			fmt.Sprintf("%d client workers over prefix-group-sharded keys, %v per point, in-memory mesh", clients, dur),
 			"blackout: kill a partition's primary store server mid-traffic; time until the first write acks through the CAS-fence-promoted follower",
 			"expected shape: ops/s scales with partition count (the SPOF store was the ceiling); blackout is one failed call + one fence promotion",
@@ -70,13 +71,13 @@ func StoreExp(o Options) (*Table, error) {
 			blackout = fmtMS(w)
 		}
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", parts), "2/part", fmtK(ops), scale, blackout,
+			fmt.Sprintf("%d", parts), fmt.Sprintf("%d/part", node.StoreRF), fmtK(ops), scale, blackout,
 		})
 	}
 	return t, nil
 }
 
-// storePlane builds a parts-partition store plane (primary+follower store
+// storePlane builds a parts-partition store plane (node.StoreRF store
 // servers per partition) on a fresh in-memory mesh and returns a client
 // endpoint plus a constructor for per-worker partitioned clients.
 type storePlane struct {
@@ -90,9 +91,9 @@ func newStorePlane(parts int) (*storePlane, error) {
 	mesh := transport.NewInMemMesh(transport.NewSim(transport.SimConfig{}))
 	sp := &storePlane{mesh: mesh, parts: parts}
 	for p := 0; p < parts; p++ {
-		for r := 0; r < 2; r++ {
+		for r := 0; r < node.StoreRF; r++ {
 			st := cloudstore.New(cloudstore.WithSerialLatency(storeServiceTime))
-			srv, err := node.ServeStore(mesh, node.StoreIDBase+transport.NodeID(2*p+r+1), st)
+			srv, err := node.ServeStore(mesh, node.StoreIDBase+transport.NodeID(node.StoreRF*p+r+1), st)
 			if err != nil {
 				sp.Close()
 				return nil, err
@@ -116,9 +117,11 @@ func newStorePlane(parts int) (*storePlane, error) {
 func (sp *storePlane) client(base context.Context) *cloudstore.Partitioned {
 	apis := make([]cloudstore.API, sp.parts)
 	for p := 0; p < sp.parts; p++ {
-		prim := node.NewRemoteStore(sp.ep, node.StoreIDBase+transport.NodeID(2*p+1), 5*time.Second, base)
-		fol := node.NewRemoteStore(sp.ep, node.StoreIDBase+transport.NodeID(2*p+2), 5*time.Second, base)
-		apis[p] = cloudstore.NewReplicated(p, prim, fol)
+		reps := make([]cloudstore.ReplicaAPI, node.StoreRF)
+		for r := 0; r < node.StoreRF; r++ {
+			reps[r] = node.NewRemoteStore(sp.ep, node.StoreIDBase+transport.NodeID(node.StoreRF*p+r+1), 5*time.Second, base)
+		}
+		apis[p] = cloudstore.NewReplicated(p, reps...)
 	}
 	return cloudstore.NewPartitioned(apis...)
 }
@@ -222,7 +225,7 @@ func storeFailoverBlackout(clients int) (time.Duration, error) {
 		return 0, err
 	}
 	kill := time.Now()
-	_ = sp.servers[2*part].Close()
+	_ = sp.servers[node.StoreRF*part].Close()
 	for {
 		if _, err := probe.Put(probeKey, []byte("post")); err == nil {
 			return time.Since(kill), nil

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -152,6 +153,146 @@ func (s *Store) commitLocked(recs []jrec) error {
 	return s.persist(recs)
 }
 
+// fenceGateLocked is the partition fence check shared by every fenced
+// operation: an epoch below the accepted fence is refused with ErrFenced.
+// When advance is set (writes, Apply) a newer epoch raises the fence and the
+// advance is returned as a journal record so it persists exactly like a
+// promoted one — a restarted replica must refuse deposed epochs no matter
+// how it learned the current one. Reads pass advance=false: they never
+// mutate the fence. Callers hold mu.
+func (s *Store) fenceGateLocked(part int, epoch uint64, advance bool) ([]jrec, error) {
+	cur := s.fences[part]
+	if epoch < cur {
+		return nil, fmt.Errorf("partition %d: epoch %d < fence %d: %w", part, epoch, cur, ErrFenced)
+	}
+	if advance && epoch > cur {
+		s.fences[part] = epoch
+		return []jrec{{Op: jFence, Key: strconv.Itoa(part), Ver: epoch}}, nil
+	}
+	return nil, nil
+}
+
+// --- operation cores -------------------------------------------------------
+// Each core assumes mu is held and the serial service latency has been
+// charged; it mutates state and returns the journal records describing the
+// mutation. The unfenced API ops and the fenced replica ops are both thin
+// wrappers over these.
+
+func (s *Store) getLocked(key string) ([]byte, uint64, error) {
+	e, ok := s.data[key]
+	if !ok {
+		return nil, 0, fmt.Errorf("%q: %w", key, ErrNotFound)
+	}
+	out := make([]byte, len(e.value))
+	copy(out, e.value)
+	return out, e.version, nil
+}
+
+func (s *Store) listLocked(prefix string) []string {
+	var out []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Store) setLocked(key string, value []byte) jrec {
+	v := s.next
+	s.next++
+	stored := make([]byte, len(value))
+	copy(stored, value)
+	s.data[key] = entry{value: stored, version: v}
+	return jrec{Op: jSet, Key: key, Val: stored, Ver: v}
+}
+
+func sortedKeys(entries map[string][]byte) []string {
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// putBatchLocked assigns each key its own fresh version in sorted key order
+// so batches are deterministic; returns the highest version assigned.
+func (s *Store) putBatchLocked(entries map[string][]byte) (uint64, []jrec) {
+	keys := sortedKeys(entries)
+	recs := make([]jrec, 0, len(keys))
+	var last uint64
+	for _, k := range keys {
+		rec := s.setLocked(k, entries[k])
+		recs = append(recs, rec)
+		last = rec.Ver
+	}
+	return last, recs
+}
+
+func (s *Store) createBatchLocked(entries map[string][]byte) (uint64, []jrec, error) {
+	for _, k := range sortedKeys(entries) {
+		if e, ok := s.data[k]; ok {
+			return 0, nil, fmt.Errorf("%q exists at v%d: %w", k, e.version, ErrVersionMismatch)
+		}
+	}
+	last, recs := s.putBatchLocked(entries)
+	return last, recs, nil
+}
+
+func (s *Store) casLocked(key string, expect uint64, value []byte) (uint64, []jrec, error) {
+	e, ok := s.data[key]
+	switch {
+	case expect == 0 && ok:
+		return 0, nil, fmt.Errorf("%q exists at v%d: %w", key, e.version, ErrVersionMismatch)
+	case expect != 0 && !ok:
+		// Distinct from a live-version conflict: the key does not exist at
+		// all. Still ErrVersionMismatch-wrapped so Retry treats both the
+		// same way, but logs and failover diagnostics can tell a pruned key
+		// from a racing writer.
+		return 0, nil, fmt.Errorf("%q: missing, want v%d: %w", key, expect, ErrVersionMismatch)
+	case expect != 0 && e.version != expect:
+		return 0, nil, fmt.Errorf("%q: have v%d want v%d: %w", key, e.version, expect, ErrVersionMismatch)
+	}
+	rec := s.setLocked(key, value)
+	return rec.Ver, []jrec{rec}, nil
+}
+
+// deleteLocked removes key, returning the tombstone version assigned to the
+// removal. Deleting a missing key is an error so callers notice protocol
+// bugs.
+func (s *Store) deleteLocked(key string) (uint64, []jrec, error) {
+	if _, ok := s.data[key]; !ok {
+		return 0, nil, fmt.Errorf("%q: %w", key, ErrNotFound)
+	}
+	v := s.next
+	s.next++
+	delete(s.data, key)
+	return v, []jrec{{Op: jDel, Key: key, Ver: v}}, nil
+}
+
+// deleteBatchLocked removes every key; missing keys are ignored (batch
+// pruning is best-effort by design) but still consume one version each in
+// sorted key order, so a replicating caller can reconstruct every key's
+// tombstone version from the returned high-water mark.
+func (s *Store) deleteBatchLocked(keys []string) (uint64, []jrec) {
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	recs := make([]jrec, 0, len(sorted))
+	var last uint64
+	for _, k := range sorted {
+		v := s.next
+		s.next++
+		delete(s.data, k)
+		recs = append(recs, jrec{Op: jDel, Key: k, Ver: v})
+		last = v
+	}
+	return last, recs
+}
+
+// --- unfenced API ----------------------------------------------------------
+
 // Get returns the value and version stored at key.
 func (s *Store) Get(key string) ([]byte, uint64, error) {
 	if err := s.charge(); err != nil {
@@ -161,13 +302,7 @@ func (s *Store) Get(key string) ([]byte, uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.serviceLocked()
-	e, ok := s.data[key]
-	if !ok {
-		return nil, 0, fmt.Errorf("%q: %w", key, ErrNotFound)
-	}
-	out := make([]byte, len(e.value))
-	copy(out, e.value)
-	return out, e.version, nil
+	return s.getLocked(key)
 }
 
 // Put unconditionally stores value at key and returns the new version.
@@ -179,15 +314,11 @@ func (s *Store) Put(key string, value []byte) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.serviceLocked()
-	v := s.next
-	s.next++
-	stored := make([]byte, len(value))
-	copy(stored, value)
-	s.data[key] = entry{value: stored, version: v}
-	if err := s.commitLocked([]jrec{{Op: jSet, Key: key, Val: stored, Ver: v}}); err != nil {
+	rec := s.setLocked(key, value)
+	if err := s.commitLocked([]jrec{rec}); err != nil {
 		return 0, err
 	}
-	return v, nil
+	return rec.Ver, nil
 }
 
 // PutBatch stores every entry in one round trip: the per-operation latency
@@ -204,26 +335,10 @@ func (s *Store) PutBatch(entries map[string][]byte) (uint64, error) {
 	}
 	// One batched RPC, not len(entries) operations.
 	s.writes.Add(1)
-	keys := make([]string, 0, len(entries))
-	for k := range entries {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.serviceLocked()
-	var last uint64
-	recs := make([]jrec, 0, len(keys))
-	for _, k := range keys {
-		v := s.next
-		s.next++
-		value := entries[k]
-		stored := make([]byte, len(value))
-		copy(stored, value)
-		s.data[k] = entry{value: stored, version: v}
-		recs = append(recs, jrec{Op: jSet, Key: k, Val: stored, Ver: v})
-		last = v
-	}
+	last, recs := s.putBatchLocked(entries)
 	if err := s.commitLocked(recs); err != nil {
 		return 0, err
 	}
@@ -244,30 +359,12 @@ func (s *Store) CreateBatch(entries map[string][]byte) (uint64, error) {
 	}
 	// One batched RPC, like PutBatch.
 	s.writes.Add(1)
-	keys := make([]string, 0, len(entries))
-	for k := range entries {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.serviceLocked()
-	for _, k := range keys {
-		if e, ok := s.data[k]; ok {
-			return 0, fmt.Errorf("%q exists at v%d: %w", k, e.version, ErrVersionMismatch)
-		}
-	}
-	var last uint64
-	recs := make([]jrec, 0, len(keys))
-	for _, k := range keys {
-		v := s.next
-		s.next++
-		value := entries[k]
-		stored := make([]byte, len(value))
-		copy(stored, value)
-		s.data[k] = entry{value: stored, version: v}
-		recs = append(recs, jrec{Op: jSet, Key: k, Val: stored, Ver: v})
-		last = v
+	last, recs, err := s.createBatchLocked(entries)
+	if err != nil {
+		return 0, err
 	}
 	if err := s.commitLocked(recs); err != nil {
 		return 0, err
@@ -285,25 +382,11 @@ func (s *Store) CAS(key string, expect uint64, value []byte) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.serviceLocked()
-	e, ok := s.data[key]
-	switch {
-	case expect == 0 && ok:
-		return 0, fmt.Errorf("%q exists at v%d: %w", key, e.version, ErrVersionMismatch)
-	case expect != 0 && !ok:
-		// Distinct from a live-version conflict: the key does not exist at
-		// all. Still ErrVersionMismatch-wrapped so Retry treats both the
-		// same way, but logs and failover diagnostics can tell a pruned key
-		// from a racing writer.
-		return 0, fmt.Errorf("%q: missing, want v%d: %w", key, expect, ErrVersionMismatch)
-	case expect != 0 && e.version != expect:
-		return 0, fmt.Errorf("%q: have v%d want v%d: %w", key, e.version, expect, ErrVersionMismatch)
+	v, recs, err := s.casLocked(key, expect, value)
+	if err != nil {
+		return 0, err
 	}
-	v := s.next
-	s.next++
-	stored := make([]byte, len(value))
-	copy(stored, value)
-	s.data[key] = entry{value: stored, version: v}
-	if err := s.commitLocked([]jrec{{Op: jSet, Key: key, Val: stored, Ver: v}}); err != nil {
+	if err := s.commitLocked(recs); err != nil {
 		return 0, err
 	}
 	return v, nil
@@ -319,13 +402,11 @@ func (s *Store) Delete(key string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.serviceLocked()
-	if _, ok := s.data[key]; !ok {
-		return fmt.Errorf("%q: %w", key, ErrNotFound)
+	_, recs, err := s.deleteLocked(key)
+	if err != nil {
+		return err
 	}
-	v := s.next
-	s.next++
-	delete(s.data, key)
-	return s.commitLocked([]jrec{{Op: jDel, Key: key, Ver: v}})
+	return s.commitLocked(recs)
 }
 
 // DeleteBatch removes every key in one round trip: one charged write, with
@@ -343,15 +424,7 @@ func (s *Store) DeleteBatch(keys []string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.serviceLocked()
-	sorted := append([]string(nil), keys...)
-	sort.Strings(sorted)
-	recs := make([]jrec, 0, len(sorted))
-	for _, k := range sorted {
-		v := s.next
-		s.next++
-		delete(s.data, k)
-		recs = append(recs, jrec{Op: jDel, Key: k, Ver: v})
-	}
+	_, recs := s.deleteBatchLocked(keys)
 	return s.commitLocked(recs)
 }
 
@@ -364,20 +437,49 @@ func (s *Store) List(prefix string) ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.serviceLocked()
-	var out []string
-	for k := range s.data {
-		if strings.HasPrefix(k, prefix) {
-			out = append(out, k)
-		}
-	}
-	sort.Strings(out)
-	return out, nil
+	return s.listLocked(prefix), nil
 }
 
-// DeleteV is Delete returning the tombstone version assigned to the removal,
-// so a replicating client can forward the delete to followers with ordering
-// information. Deleting a missing key is still an error.
-func (s *Store) DeleteV(key string) (uint64, error) {
+// --- fenced replica ops ----------------------------------------------------
+// The replicated client's surface: every op carries the partition and the
+// fence epoch of the caller's view, and the fence gate runs under the same
+// lock acquisition as the operation itself — there is no window where a
+// newer fence can land between the check and the mutation.
+
+// GetF is Get under the partition fence: a replica that has accepted a
+// newer epoch refuses the read with ErrFenced instead of serving a view
+// that may be missing writes acknowledged through a newer primary.
+func (s *Store) GetF(part int, epoch uint64, key string) ([]byte, uint64, error) {
+	if err := s.charge(); err != nil {
+		return nil, 0, err
+	}
+	s.reads.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serviceLocked()
+	if _, err := s.fenceGateLocked(part, epoch, false); err != nil {
+		return nil, 0, err
+	}
+	return s.getLocked(key)
+}
+
+// ListF is List under the partition fence.
+func (s *Store) ListF(part int, epoch uint64, prefix string) ([]string, error) {
+	if err := s.charge(); err != nil {
+		return nil, err
+	}
+	s.reads.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serviceLocked()
+	if _, err := s.fenceGateLocked(part, epoch, false); err != nil {
+		return nil, err
+	}
+	return s.listLocked(prefix), nil
+}
+
+// PutF is Put under the partition fence.
+func (s *Store) PutF(part int, epoch uint64, key string, value []byte) (uint64, error) {
 	if err := s.charge(); err != nil {
 		return 0, err
 	}
@@ -385,23 +487,120 @@ func (s *Store) DeleteV(key string) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.serviceLocked()
-	if _, ok := s.data[key]; !ok {
-		return 0, fmt.Errorf("%q: %w", key, ErrNotFound)
+	frecs, err := s.fenceGateLocked(part, epoch, true)
+	if err != nil {
+		return 0, err
 	}
-	v := s.next
-	s.next++
-	delete(s.data, key)
-	if err := s.commitLocked([]jrec{{Op: jDel, Key: key, Ver: v}}); err != nil {
+	rec := s.setLocked(key, value)
+	if err := s.commitLocked(append(frecs, rec)); err != nil {
+		return 0, err
+	}
+	return rec.Ver, nil
+}
+
+// PutBatchF is PutBatch under the partition fence.
+func (s *Store) PutBatchF(part int, epoch uint64, entries map[string][]byte) (uint64, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	if err := s.charge(); err != nil {
+		return 0, err
+	}
+	s.writes.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serviceLocked()
+	frecs, err := s.fenceGateLocked(part, epoch, true)
+	if err != nil {
+		return 0, err
+	}
+	last, recs := s.putBatchLocked(entries)
+	if err := s.commitLocked(append(frecs, recs...)); err != nil {
+		return 0, err
+	}
+	return last, nil
+}
+
+// CreateBatchF is CreateBatch under the partition fence.
+func (s *Store) CreateBatchF(part int, epoch uint64, entries map[string][]byte) (uint64, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	if err := s.charge(); err != nil {
+		return 0, err
+	}
+	s.writes.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serviceLocked()
+	frecs, err := s.fenceGateLocked(part, epoch, true)
+	if err != nil {
+		return 0, err
+	}
+	last, recs, err := s.createBatchLocked(entries)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.commitLocked(append(frecs, recs...)); err != nil {
+		return 0, err
+	}
+	return last, nil
+}
+
+// CASF is CAS under the partition fence.
+func (s *Store) CASF(part int, epoch uint64, key string, expect uint64, value []byte) (uint64, error) {
+	if err := s.charge(); err != nil {
+		return 0, err
+	}
+	s.writes.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serviceLocked()
+	frecs, err := s.fenceGateLocked(part, epoch, true)
+	if err != nil {
+		return 0, err
+	}
+	v, recs, err := s.casLocked(key, expect, value)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.commitLocked(append(frecs, recs...)); err != nil {
 		return 0, err
 	}
 	return v, nil
 }
 
-// DeleteBatchV is DeleteBatch returning the highest tombstone version
-// assigned. Every key — present or missing — consumes one version in sorted
-// key order, so the caller can reconstruct each key's tombstone version from
-// the returned high-water mark exactly as PutBatch callers do.
-func (s *Store) DeleteBatchV(keys []string) (uint64, error) {
+// DeleteF is Delete under the partition fence, returning the tombstone
+// version assigned to the removal so a replicating client can forward the
+// delete to followers with ordering information.
+func (s *Store) DeleteF(part int, epoch uint64, key string) (uint64, error) {
+	if err := s.charge(); err != nil {
+		return 0, err
+	}
+	s.writes.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serviceLocked()
+	frecs, err := s.fenceGateLocked(part, epoch, true)
+	if err != nil {
+		return 0, err
+	}
+	v, recs, err := s.deleteLocked(key)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.commitLocked(append(frecs, recs...)); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// DeleteBatchF is DeleteBatch under the partition fence, returning the
+// highest tombstone version assigned. Every key — present or missing —
+// consumes one version in sorted key order, so the caller can reconstruct
+// each key's tombstone version from the returned high-water mark exactly as
+// PutBatch callers do.
+func (s *Store) DeleteBatchF(part int, epoch uint64, keys []string) (uint64, error) {
 	if len(keys) == 0 {
 		return 0, nil
 	}
@@ -412,18 +611,12 @@ func (s *Store) DeleteBatchV(keys []string) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.serviceLocked()
-	sorted := append([]string(nil), keys...)
-	sort.Strings(sorted)
-	var last uint64
-	recs := make([]jrec, 0, len(sorted))
-	for _, k := range sorted {
-		v := s.next
-		s.next++
-		delete(s.data, k)
-		recs = append(recs, jrec{Op: jDel, Key: k, Ver: v})
-		last = v
+	frecs, err := s.fenceGateLocked(part, epoch, true)
+	if err != nil {
+		return 0, err
 	}
-	if err := s.commitLocked(recs); err != nil {
+	last, recs := s.deleteBatchLocked(keys)
+	if err := s.commitLocked(append(frecs, recs...)); err != nil {
 		return 0, err
 	}
 	return last, nil
@@ -432,10 +625,13 @@ func (s *Store) DeleteBatchV(keys []string) (uint64, error) {
 // Apply installs a replicated commit on a follower. The commit carries the
 // fence epoch of the client's view of partition part: an epoch older than the
 // highest this replica has accepted is refused with ErrFenced — that is the
-// fence that stops a deposed primary's writes from being acknowledged. Within
-// an accepted epoch, sets and deletes apply only if their primary-assigned
-// version is newer than the key's applied high-water mark, so replayed or
-// reordered commits converge to the primary's order.
+// fence that stops a deposed primary's writes from being acknowledged. A
+// newer epoch raises the fence and is journaled like a promoted one, so a
+// restarted replica keeps refusing deposed epochs it learned about only
+// through replication. Within an accepted epoch, sets and deletes apply only
+// if their primary-assigned version is newer than the key's applied
+// high-water mark, so replayed or reordered commits converge to the
+// primary's order.
 func (s *Store) Apply(part int, epoch uint64, c Commit) error {
 	if err := s.charge(); err != nil {
 		return err
@@ -444,12 +640,10 @@ func (s *Store) Apply(part int, epoch uint64, c Commit) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.serviceLocked()
-	if cur := s.fences[part]; epoch < cur {
-		return fmt.Errorf("partition %d: apply epoch %d < fence %d: %w", part, epoch, cur, ErrFenced)
-	} else if epoch > cur {
-		s.fences[part] = epoch
+	recs, err := s.fenceGateLocked(part, epoch, true)
+	if err != nil {
+		return err
 	}
-	recs := make([]jrec, 0, len(c.Sets)+len(c.Dels))
 	for _, kv := range c.Sets {
 		if kv.Ver <= s.applied[kv.Key] {
 			continue
@@ -477,10 +671,13 @@ func (s *Store) Apply(part int, epoch uint64, c Commit) error {
 	return s.commitLocked(recs)
 }
 
-// Promote advances partition part's fence epoch to epoch, claiming this
-// replica as the partition's primary for that epoch. A claim older than the
-// current fence is refused with ErrFenced (someone promoted past us); an
-// equal claim is idempotent. Returns the fence in force after the call.
+// Promote advances partition part's fence epoch to epoch. It is a pure fence
+// advance: primaryship is derived from the epoch by the replica-list
+// convention (see Replicated), so promoting an epoch onto a replica does not
+// make that replica the primary — failover spreads the same epoch across the
+// set until a majority holds it. A claim older than the current fence is
+// refused with ErrFenced (someone promoted past us); an equal claim is
+// idempotent. Returns the fence in force after the call.
 func (s *Store) Promote(part int, epoch uint64) (uint64, error) {
 	if err := s.charge(); err != nil {
 		return 0, err
@@ -495,7 +692,7 @@ func (s *Store) Promote(part int, epoch uint64) (uint64, error) {
 	}
 	if epoch > cur {
 		s.fences[part] = epoch
-		if err := s.commitLocked([]jrec{{Op: jFence, Key: fmt.Sprintf("%d", part), Ver: epoch}}); err != nil {
+		if err := s.commitLocked([]jrec{{Op: jFence, Key: strconv.Itoa(part), Ver: epoch}}); err != nil {
 			return 0, err
 		}
 	}

@@ -94,7 +94,9 @@ func OpenDisk(dir string) (*DiskStore, error) {
 			f.Close()
 			return nil, fmt.Errorf("cloudstore: journal %s line %d: unknown op %q", path, line, rec.Op)
 		}
-		if rec.Ver > maxVer {
+		// Only set/del records carry key versions; a fence record's Ver is an
+		// epoch, which must not inflate the replayed version sequence.
+		if rec.Op != jFence && rec.Ver > maxVer {
 			maxVer = rec.Ver
 		}
 	}

@@ -113,9 +113,14 @@ func (p *Partitioned) PutBatch(entries map[string][]byte) (uint64, error) {
 // partition order. If a later sub-batch collides (some key exists), the
 // already-created sub-batches are rolled back best-effort before returning
 // ErrVersionMismatch, preserving the read-recompute-retry discipline: a
-// retrying caller re-reads and recreates the full generation. A concurrent
-// creator's committed keys cannot be deleted by our rollback — rollback only
-// deletes keys our own create just made.
+// retrying caller re-reads and recreates the full generation. The rollback
+// deletes by key, not by version, so it races concurrent writers: a Put/CAS
+// that overwrote one of our just-created keys before the rollback runs has
+// its committed value deleted along with ours. Callers that create keys
+// other writers may immediately overwrite must not rely on cross-partition
+// CreateBatch atomicity (prefix-group routing keeps the store's own callers
+// on single-partition batches, where the store rolls back atomically under
+// its lock instead).
 func (p *Partitioned) CreateBatch(entries map[string][]byte) (uint64, error) {
 	if len(entries) == 0 {
 		return 0, nil

@@ -2,25 +2,42 @@ package cloudstore
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 )
 
 // ReplicaAPI is the surface a store replica exposes: the plain client API
-// plus the replication and fencing operations a replicated client needs.
-// Store implements it in-memory; node.RemoteStore implements it over the
-// mesh so replicas can live in dedicated store-server processes.
+// plus the fenced per-operation surface and the replication/fencing
+// operations a replicated client needs. Store implements it in-memory;
+// node.RemoteStore implements it over the mesh so replicas can live in
+// dedicated store-server processes.
 type ReplicaAPI interface {
 	API
-	// DeleteV is Delete returning the tombstone version, so deletes can be
-	// forwarded to followers with ordering information.
-	DeleteV(key string) (uint64, error)
-	// DeleteBatchV is DeleteBatch returning the highest tombstone version;
-	// every key (present or missing) consumes one version in sorted order.
-	DeleteBatchV(keys []string) (uint64, error)
+	// Fenced ops: every operation of a replicated deployment carries the
+	// partition and the fence epoch of the caller's view. A replica that
+	// has accepted a newer epoch refuses with ErrFenced, so writes *and
+	// reads* addressed to a deposed primary fail instead of silently
+	// executing against (or serving) a stale view. Fenced writes raise the
+	// replica's accepted epoch — durably, on journaling backends — when
+	// they carry a newer one; fenced reads never mutate the fence.
+	GetF(part int, epoch uint64, key string) ([]byte, uint64, error)
+	ListF(part int, epoch uint64, prefix string) ([]string, error)
+	PutF(part int, epoch uint64, key string, value []byte) (uint64, error)
+	PutBatchF(part int, epoch uint64, entries map[string][]byte) (uint64, error)
+	CreateBatchF(part int, epoch uint64, entries map[string][]byte) (uint64, error)
+	CASF(part int, epoch uint64, key string, expect uint64, value []byte) (uint64, error)
+	// DeleteF and DeleteBatchF return the tombstone version(s) assigned to
+	// the removal(s) so deletes can be forwarded to followers with ordering
+	// information; every key of a batch (present or missing) consumes one
+	// version in sorted order.
+	DeleteF(part int, epoch uint64, key string) (uint64, error)
+	DeleteBatchF(part int, epoch uint64, keys []string) (uint64, error)
 	// Apply installs a replicated commit under the given fence epoch.
 	Apply(part int, epoch uint64, c Commit) error
-	// Promote raises the partition's fence epoch, claiming primaryship.
+	// Promote raises the partition's fence epoch. It is a fence advance,
+	// not a role claim: primaryship is derived from the epoch, and failover
+	// spreads the same epoch across the set until a majority holds it.
 	Promote(part int, epoch uint64) (uint64, error)
 	// FenceEpoch reports the highest fence epoch accepted for the partition.
 	FenceEpoch(part int) (uint64, error)
@@ -48,26 +65,40 @@ type Commit struct {
 }
 
 // maxFailovers bounds how many view changes one logical operation will chase
-// before giving up and surfacing the underlying error. With a primary+
-// follower pair, anything past two means the partition has no live replica.
+// before giving up and surfacing the underlying error. Anything past two
+// epoch bumps means the partition has no majority of live replicas.
 const maxFailovers = 4
 
-// Replicated is a replicated-partition client: it executes reads and writes
-// against the partition's current primary and forwards every write as a
-// fenced Commit to the remaining replicas before acknowledging it.
+// Replicated is a replicated-partition client: it executes operations
+// against the partition's current primary and acknowledges a write only
+// once it is durable on a majority of the replica set.
 //
 // View convention: fence epochs start at 1 and the primary for epoch e is
 // replicas[(e-1) % len(replicas)]. Every client derives the same primary
-// from the same epoch, so the fence epoch alone names the view. Failover
-// promotes the next replica by claiming epoch e+1 on it (a CAS-style fence:
-// Promote refuses to move backwards); a client still acting for a deposed
-// primary has its Apply refused with ErrFenced, refreshes its view from the
-// replicas' fence epochs, and retries — the stale primary's writes are never
-// acknowledged, which is what prevents split-brain.
+// from the same epoch, so the fence epoch alone names the view. Every
+// operation — reads included — carries its epoch to the replica it
+// addresses, and a replica that has accepted a newer fence refuses it with
+// ErrFenced; the client then re-derives its view from the replicas' fence
+// epochs and retries at the primary that epoch names.
 //
-// After a failover the partition runs degraded: an unreachable follower is
-// skipped rather than resynced (resync/re-join is future work; the fence
-// keeps a returning stale replica from serving writes it missed).
+// Quorum discipline: a write is acknowledged only when the primary executed
+// it AND at least ⌊n/2⌋ followers accepted the fenced Apply — a majority of
+// the set, the primary included. Failover (Promote) likewise only takes
+// effect once a majority of replicas hold the new fence. Any two majorities
+// intersect, so a client still acting for a deposed primary meets the newer
+// fence on at least one replica of its write path and its write is never
+// acknowledged — that intersection, not the fence check of any single
+// follower, is what prevents split-brain. The flip side is honest
+// unavailability: a client partitioned onto a minority of the set (e.g. one
+// that can reach only a stale primary) gets ErrUnavailable instead of a
+// degraded ack. A 2-replica set therefore cannot fail over — deployments
+// that need to survive a replica loss run 3 replicas per partition.
+//
+// Known limits (resync/anti-entropy is future work): a replica that missed
+// commits while unreachable is not re-synced when it returns — the fence
+// only keeps it from serving a deposed view — and a promoted primary serves
+// the commits *it* saw, which for writes acknowledged by the other majority
+// member may lag until those keys are written again.
 type Replicated struct {
 	part     int
 	replicas []ReplicaAPI
@@ -82,7 +113,7 @@ var _ API = (*Replicated)(nil)
 // NewReplicated returns a client for one partition served by the given
 // replicas. All clients of a fresh partition start at epoch 1 with
 // replicas[0] as primary; clients joining after a failover discover the
-// real epoch on their first fenced write.
+// real epoch on their first fenced operation.
 func NewReplicated(part int, replicas ...ReplicaAPI) *Replicated {
 	if len(replicas) == 0 {
 		panic("cloudstore: NewReplicated needs at least one replica")
@@ -97,6 +128,11 @@ func (r *Replicated) View() (epoch uint64, primary int) {
 	defer r.mu.Unlock()
 	return r.epoch, r.primary
 }
+
+// quorum is the majority size of the replica set; followerQuorum is how many
+// follower acks a write needs on top of the primary's own copy to reach it.
+func (r *Replicated) quorum() int         { return len(r.replicas)/2 + 1 }
+func (r *Replicated) followerQuorum() int { return len(r.replicas) / 2 }
 
 func (r *Replicated) adopt(epoch uint64) {
 	r.mu.Lock()
@@ -127,8 +163,13 @@ func (r *Replicated) refresh() {
 	r.adopt(max)
 }
 
-// failoverFrom fences a new epoch past fromEpoch onto the next reachable
-// replica. Promote refusing with ErrFenced means someone else already moved
+// failoverFrom fences a new epoch past fromEpoch onto the replica set: the
+// epoch's designated primary must accept the Promote, and the fence must
+// then reach a majority of the set before the new view serves. Requiring a
+// majority of fence-holders is what makes the fence meaningful — a write
+// acked under an older epoch needed a majority too, so the two sets
+// intersect and a stale writer is refused by at least one replica on its
+// path. Promote refusing with ErrFenced means someone else already moved
 // the view forward — adopt theirs.
 func (r *Replicated) failoverFrom(fromEpoch uint64) error {
 	n := uint64(len(r.replicas))
@@ -137,14 +178,34 @@ func (r *Replicated) failoverFrom(fromEpoch uint64) error {
 		idx := int((e - 1) % n)
 		got, err := r.replicas[idx].Promote(r.part, e)
 		switch {
-		case err == nil:
-			r.adopt(e)
-			return nil
 		case errors.Is(err, ErrFenced):
 			r.adopt(got)
 			return nil
+		case err != nil:
+			continue // unreachable — try the replica the next epoch maps to
 		}
-		// Unreachable — try the replica the next epoch maps to.
+		// Spread the fence to the rest of the set; the promotion is
+		// effective once a majority (the new primary included) holds it.
+		holders := 1
+		for j, rep := range r.replicas {
+			if j == idx {
+				continue
+			}
+			g, perr := rep.Promote(r.part, e)
+			switch {
+			case perr == nil:
+				holders++
+			case errors.Is(perr, ErrFenced):
+				r.adopt(g)
+				return nil
+			}
+		}
+		if holders < r.quorum() {
+			return fmt.Errorf("partition %d: fence %d held by %d/%d replicas, need %d: %w",
+				r.part, e, holders, len(r.replicas), r.quorum(), ErrUnavailable)
+		}
+		r.adopt(e)
+		return nil
 	}
 	return ErrUnavailable
 }
@@ -169,8 +230,11 @@ func (r *Replicated) do(op func(p ReplicaAPI, primaryIdx int, epoch uint64) erro
 			r.refresh()
 			lastErr = err
 		default:
-			// Primary unreachable (ErrUnavailable or a transport error):
-			// fence the next epoch onto a surviving replica.
+			// Primary unreachable, or the write could not reach a majority
+			// (ErrUnavailable or a transport error): fence the next epoch
+			// onto the surviving replicas. If no majority is reachable the
+			// failover refuses too and the error surfaces — never a
+			// degraded ack.
 			if ferr := r.failoverFrom(e); ferr != nil {
 				return err
 			}
@@ -181,25 +245,44 @@ func (r *Replicated) do(op func(p ReplicaAPI, primaryIdx int, epoch uint64) erro
 }
 
 // commit forwards a write to every non-primary replica under the epoch it
-// was performed at. An ErrFenced from any follower aborts the ack — the
-// write happened on a deposed primary. An unreachable follower is skipped:
-// the partition is degraded but the write is durable on the primary.
+// was performed at and gates the ack on a majority. An ErrFenced from any
+// follower aborts the ack outright — the write happened on a deposed
+// primary. Short of ⌊n/2⌋ follower acks the write is not acknowledged
+// either: a client that can reach the primary but not enough of the rest of
+// the set (a partial partition — exactly the window where another client
+// may be failing over) surfaces ErrUnavailable instead of acking a write
+// the next view may never see.
 func (r *Replicated) commit(epoch uint64, primaryIdx int, c Commit) error {
+	acks := 0
+	var lastErr error
 	for i, rep := range r.replicas {
 		if i == primaryIdx {
 			continue
 		}
-		if err := rep.Apply(r.part, epoch, c); err != nil && errors.Is(err, ErrFenced) {
+		switch err := rep.Apply(r.part, epoch, c); {
+		case err == nil:
+			acks++
+		case errors.Is(err, ErrFenced):
 			return err
+		default:
+			lastErr = err
 		}
+	}
+	if acks < r.followerQuorum() {
+		return fmt.Errorf("partition %d: write at epoch %d reached %d/%d followers, need %d for a majority (last: %v): %w",
+			r.part, epoch, acks, len(r.replicas)-1, r.followerQuorum(), lastErr, ErrUnavailable)
 	}
 	return nil
 }
 
-// Get reads from the current primary.
+// Get reads from the current primary under the view's fence: a deposed
+// primary that learned the newer epoch refuses the read instead of serving
+// a stale view. (A deposed primary that never learned it — unreachable from
+// every newer-view client — can still serve reads of its old view; closing
+// that needs read quorums or leases and is documented as a limit above.)
 func (r *Replicated) Get(key string) (value []byte, version uint64, err error) {
-	gerr := r.do(func(p ReplicaAPI, _ int, _ uint64) error {
-		value, version, err = p.Get(key)
+	gerr := r.do(func(p ReplicaAPI, _ int, epoch uint64) error {
+		value, version, err = p.GetF(r.part, epoch, key)
 		return err
 	})
 	if gerr != nil {
@@ -208,10 +291,10 @@ func (r *Replicated) Get(key string) (value []byte, version uint64, err error) {
 	return value, version, nil
 }
 
-// List reads from the current primary.
+// List reads from the current primary under the view's fence.
 func (r *Replicated) List(prefix string) (keys []string, err error) {
-	lerr := r.do(func(p ReplicaAPI, _ int, _ uint64) error {
-		keys, err = p.List(prefix)
+	lerr := r.do(func(p ReplicaAPI, _ int, epoch uint64) error {
+		keys, err = p.ListF(r.part, epoch, prefix)
 		return err
 	})
 	if lerr != nil {
@@ -220,11 +303,12 @@ func (r *Replicated) List(prefix string) (keys []string, err error) {
 	return keys, nil
 }
 
-// Put writes through the primary and replicates before acknowledging.
+// Put writes through the primary and replicates to a majority before
+// acknowledging.
 func (r *Replicated) Put(key string, value []byte) (uint64, error) {
 	var ver uint64
 	err := r.do(func(p ReplicaAPI, pi int, epoch uint64) error {
-		v, err := p.Put(key, value)
+		v, err := p.PutF(r.part, epoch, key, value)
 		if err != nil {
 			return err
 		}
@@ -254,14 +338,15 @@ func batchSets(entries map[string][]byte, last uint64) []KV {
 	return sets
 }
 
-// PutBatch writes through the primary and replicates before acknowledging.
+// PutBatch writes through the primary and replicates to a majority before
+// acknowledging.
 func (r *Replicated) PutBatch(entries map[string][]byte) (uint64, error) {
 	if len(entries) == 0 {
 		return 0, nil
 	}
 	var last uint64
 	err := r.do(func(p ReplicaAPI, pi int, epoch uint64) error {
-		v, err := p.PutBatch(entries)
+		v, err := p.PutBatchF(r.part, epoch, entries)
 		if err != nil {
 			return err
 		}
@@ -274,15 +359,16 @@ func (r *Replicated) PutBatch(entries map[string][]byte) (uint64, error) {
 	return last, nil
 }
 
-// CreateBatch creates through the primary and replicates before
-// acknowledging; an existing key surfaces as ErrVersionMismatch unchanged.
+// CreateBatch creates through the primary and replicates to a majority
+// before acknowledging; an existing key surfaces as ErrVersionMismatch
+// unchanged.
 func (r *Replicated) CreateBatch(entries map[string][]byte) (uint64, error) {
 	if len(entries) == 0 {
 		return 0, nil
 	}
 	var last uint64
 	err := r.do(func(p ReplicaAPI, pi int, epoch uint64) error {
-		v, err := p.CreateBatch(entries)
+		v, err := p.CreateBatchF(r.part, epoch, entries)
 		if err != nil {
 			return err
 		}
@@ -295,13 +381,14 @@ func (r *Replicated) CreateBatch(entries map[string][]byte) (uint64, error) {
 	return last, nil
 }
 
-// CAS writes through the primary and replicates before acknowledging. The
-// CAS itself stays strictly per-key on the primary, so CAS-sequenced
-// protocols (the replication log's commit point) keep their semantics.
+// CAS writes through the primary and replicates to a majority before
+// acknowledging. The CAS itself stays strictly per-key on the primary, so
+// CAS-sequenced protocols (the replication log's commit point) keep their
+// semantics.
 func (r *Replicated) CAS(key string, expect uint64, value []byte) (uint64, error) {
 	var ver uint64
 	err := r.do(func(p ReplicaAPI, pi int, epoch uint64) error {
-		v, err := p.CAS(key, expect, value)
+		v, err := p.CASF(r.part, epoch, key, expect, value)
 		if err != nil {
 			return err
 		}
@@ -314,10 +401,11 @@ func (r *Replicated) CAS(key string, expect uint64, value []byte) (uint64, error
 	return ver, nil
 }
 
-// Delete deletes through the primary and replicates the tombstone.
+// Delete deletes through the primary and replicates the tombstone to a
+// majority before acknowledging.
 func (r *Replicated) Delete(key string) error {
 	return r.do(func(p ReplicaAPI, pi int, epoch uint64) error {
-		v, err := p.DeleteV(key)
+		v, err := p.DeleteF(r.part, epoch, key)
 		if err != nil {
 			return err
 		}
@@ -325,13 +413,14 @@ func (r *Replicated) Delete(key string) error {
 	})
 }
 
-// DeleteBatch deletes through the primary and replicates the tombstones.
+// DeleteBatch deletes through the primary and replicates the tombstones to a
+// majority before acknowledging.
 func (r *Replicated) DeleteBatch(keys []string) error {
 	if len(keys) == 0 {
 		return nil
 	}
 	return r.do(func(p ReplicaAPI, pi int, epoch uint64) error {
-		last, err := p.DeleteBatchV(keys)
+		last, err := p.DeleteBatchF(r.part, epoch, keys)
 		if err != nil {
 			return err
 		}

@@ -102,8 +102,8 @@ func TestReplicatedSemanticErrorsPassThrough(t *testing.T) {
 }
 
 func TestReplicatedFailover(t *testing.T) {
-	prim, fol := New(), New()
-	r := NewReplicated(0, prim, fol)
+	prim, fol, fol2 := New(), New(), New()
+	r := NewReplicated(0, prim, fol, fol2)
 
 	if _, err := r.Put("wal/x", []byte("before")); err != nil {
 		t.Fatal(err)
@@ -121,10 +121,72 @@ func TestReplicatedFailover(t *testing.T) {
 	if err != nil || string(got) != "after" || ver != v {
 		t.Fatalf("promoted follower has %q v%d (err=%v); want after v%d", got, ver, err, v)
 	}
+	// The post-failover write reached a majority: the surviving follower
+	// holds it too.
+	got3, _, err := fol2.Get("wal/x")
+	if err != nil || string(got3) != "after" {
+		t.Fatalf("surviving follower has %q (err=%v); want after", got3, err)
+	}
 	// Reads route to the promoted follower too.
 	got2, _, err := r.Get("wal/x")
 	if err != nil || string(got2) != "after" {
 		t.Fatalf("read after failover: %q, %v", got2, err)
+	}
+}
+
+// Regression pin for the acked-but-divergent-write hole: a write applied on
+// the primary but on no follower must NOT be acknowledged — with every
+// follower unreachable there is no majority, so the client gets
+// ErrUnavailable instead of an ack that a failover could silently lose.
+func TestReplicatedNoAckWithoutFollowerQuorum(t *testing.T) {
+	prim, f1, f2 := New(), New(), New()
+	r := NewReplicated(0, prim, f1, f2)
+
+	// One follower down: primary + surviving follower is still a majority
+	// of three, so writes keep flowing.
+	f2.Fail()
+	if _, err := r.Put("q/a", []byte("v")); err != nil {
+		t.Fatalf("write with 2/3 replicas up: %v", err)
+	}
+	if got, _, err := f1.Get("q/a"); err != nil || string(got) != "v" {
+		t.Fatalf("surviving follower has %q (err=%v); want v", got, err)
+	}
+
+	// Both followers down: the primary alone is a minority. The write must
+	// fail typed, and failover must also refuse (no majority can hold the
+	// new fence either).
+	f1.Fail()
+	if _, err := r.Put("q/b", []byte("v")); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("minority write err = %v; want ErrUnavailable", err)
+	}
+}
+
+// Fenced reads: a read carrying a deposed epoch is refused (the replica has
+// accepted a newer fence), a read at the accepted epoch is served, and a
+// read at a newer epoch is served without advancing the fence — only writes
+// and promotions move it.
+func TestFencedReadsRefuseStaleEpoch(t *testing.T) {
+	s := New()
+	if _, err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Promote(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.GetF(0, 2, "k"); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale GetF err = %v; want ErrFenced", err)
+	}
+	if _, err := s.ListF(0, 2, ""); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale ListF err = %v; want ErrFenced", err)
+	}
+	if got, _, err := s.GetF(0, 3, "k"); err != nil || string(got) != "v" {
+		t.Fatalf("current-epoch GetF = %q, %v", got, err)
+	}
+	if _, _, err := s.GetF(0, 9, "k"); err != nil {
+		t.Fatalf("newer-epoch GetF err = %v; reads must not require the fence to have propagated", err)
+	}
+	if e, _ := s.FenceEpoch(0); e != 3 {
+		t.Fatalf("fence = %d after newer-epoch read; reads must not advance it", e)
 	}
 }
 
@@ -238,12 +300,12 @@ func TestReplicatedAllReplicasDown(t *testing.T) {
 }
 
 func TestReplicatedConcurrentClientsConvergeThroughFailover(t *testing.T) {
-	prim, fol := New(), New()
+	prim, fol, fol2 := New(), New(), New()
 	const clients, rounds = 4, 25
 	var wg sync.WaitGroup
 	errs := make(chan error, clients)
 	for c := 0; c < clients; c++ {
-		r := NewReplicated(0, prim, fol)
+		r := NewReplicated(0, prim, fol, fol2)
 		wg.Add(1)
 		go func(c int, r *Replicated) {
 			defer wg.Done()
@@ -448,6 +510,68 @@ func TestDiskBackendReplaysJournal(t *testing.T) {
 	}
 	if v, _ := re.Put("map/new", nil); v <= 40 {
 		t.Fatalf("restart allocated v%d under journal high-water 40", v)
+	}
+}
+
+// Regression pin: an Apply that outruns the replica's fence must journal the
+// learned epoch — a restarted replica that forgot it would accept writes
+// from a deposed primary.
+func TestDiskBackendPersistsApplyLearnedFence(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Promote ever ran here: the fence is learned from the commit stream.
+	if err := d.Apply(2, 9, Commit{Sets: []KV{{Key: "a", Val: []byte("x"), Ver: 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if e, _ := re.FenceEpoch(2); e != 9 {
+		t.Fatalf("fence after restart = %d; want the Apply-learned 9", e)
+	}
+	if err := re.Apply(2, 8, Commit{}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale apply after restart err = %v; want ErrFenced", err)
+	}
+}
+
+// Regression pin: fence records carry an epoch, not a key version — replay
+// must not fold them into the version high-water mark or a large epoch would
+// inflate every version allocated after restart.
+func TestDiskBackendFenceEpochDoesNotInflateVersions(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Put("k", []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Promote(0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	v2, err := re.Put("k2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != v+1 {
+		t.Fatalf("post-restart version = %d; want %d (epoch 1000 leaked into the version counter)", v2, v+1)
 	}
 }
 

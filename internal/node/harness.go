@@ -29,9 +29,9 @@ type Topology struct {
 	StoreNode transport.NodeID
 	// StoreParts, when > 0, deploys the sharded, replicated store plane
 	// instead of a store-serving node: each of the StoreParts partitions is
-	// served by a primary+follower pair of dedicated StoreServer processes
-	// (partition p's primary attaches at StoreIDBase+2p+1, its follower at
-	// StoreIDBase+2p+2), and every node routes through a Partitioned client.
+	// served by StoreRF dedicated StoreServer processes (partition p's
+	// replica r attaches at StoreIDBase+StoreRF*p+r+1; replica 0 is the
+	// boot primary), and every node routes through a Partitioned client.
 	StoreParts int
 	// StoreBackend opens each store server's backend ("memory" when empty;
 	// "disk:<dir>" gets "/p<partition>-r<replica>" appended so replicas
@@ -69,7 +69,8 @@ type Deployment struct {
 	// node's is authoritative (all unauthoritative with StoreParts).
 	Stores []*cloudstore.Store
 	// StoreServers are the dedicated store-replica processes, in partition
-	// order: [p0 primary, p0 follower, p1 primary, ...]. Empty without
+	// order: [p0 replica 0 (boot primary), p0 replica 1, p0 replica 2,
+	// p1 replica 0, ...] — StoreRF per partition. Empty without
 	// Topology.StoreParts.
 	StoreServers []*StoreServer
 	// StoreBackends are the backends behind StoreServers, same order. The
@@ -93,10 +94,11 @@ func (d *Deployment) StoreServerFor(id transport.NodeID) *StoreServer {
 func (top Topology) storePartitions() []StorePartition {
 	parts := make([]StorePartition, top.StoreParts)
 	for p := 0; p < top.StoreParts; p++ {
-		parts[p] = StorePartition{Replicas: []transport.NodeID{
-			StoreIDBase + transport.NodeID(2*p+1),
-			StoreIDBase + transport.NodeID(2*p+2),
-		}}
+		ids := make([]transport.NodeID, StoreRF)
+		for r := 0; r < StoreRF; r++ {
+			ids[r] = StoreIDBase + transport.NodeID(StoreRF*p+r+1)
+		}
+		parts[p] = StorePartition{Replicas: ids}
 	}
 	return parts
 }
@@ -134,7 +136,7 @@ func Deploy(mesh transport.Mesh, top Topology) (*Deployment, error) {
 	// from the store during Start, so the plane must already be serving.
 	if top.StoreParts > 0 {
 		for p := 0; p < top.StoreParts; p++ {
-			for r := 0; r < 2; r++ {
+			for r := 0; r < StoreRF; r++ {
 				spec := top.StoreBackend
 				if spec == "" {
 					spec = "memory"
@@ -146,7 +148,7 @@ func Deploy(mesh transport.Mesh, top Topology) (*Deployment, error) {
 					d.Close()
 					return nil, fmt.Errorf("store backend %q: %w", spec, err)
 				}
-				srv, err := ServeStore(mesh, StoreIDBase+transport.NodeID(2*p+r+1), be)
+				srv, err := ServeStore(mesh, StoreIDBase+transport.NodeID(StoreRF*p+r+1), be)
 				if err != nil {
 					be.Close()
 					d.Close()

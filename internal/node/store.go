@@ -168,21 +168,85 @@ func (r *RemoteStore) List(prefix string) ([]string, error) {
 	return resp.Keys, nil
 }
 
-// DeleteV implements cloudstore.ReplicaAPI.
-func (r *RemoteStore) DeleteV(key string) (uint64, error) {
-	resp, err := r.call(storeReq{Op: storeDeleteV, Key: key})
+// GetF implements cloudstore.ReplicaAPI: Get under the partition fence.
+func (r *RemoteStore) GetF(part int, epoch uint64, key string) ([]byte, uint64, error) {
+	resp, err := r.call(storeReq{Op: storeGetF, Part: part, Epoch: epoch, Key: key})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Value, resp.Version, nil
+}
+
+// ListF implements cloudstore.ReplicaAPI: List under the partition fence.
+func (r *RemoteStore) ListF(part int, epoch uint64, prefix string) ([]string, error) {
+	resp, err := r.call(storeReq{Op: storeListF, Part: part, Epoch: epoch, Key: prefix})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Keys, nil
+}
+
+// PutF implements cloudstore.ReplicaAPI: Put under the partition fence.
+func (r *RemoteStore) PutF(part int, epoch uint64, key string, value []byte) (uint64, error) {
+	resp, err := r.call(storeReq{Op: storePutF, Part: part, Epoch: epoch, Key: key, Value: value})
 	if err != nil {
 		return 0, err
 	}
 	return resp.Version, nil
 }
 
-// DeleteBatchV implements cloudstore.ReplicaAPI.
-func (r *RemoteStore) DeleteBatchV(keys []string) (uint64, error) {
+// PutBatchF implements cloudstore.ReplicaAPI: PutBatch under the partition
+// fence.
+func (r *RemoteStore) PutBatchF(part int, epoch uint64, entries map[string][]byte) (uint64, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	resp, err := r.call(storeReq{Op: storePutBatchF, Part: part, Epoch: epoch, Entries: entries})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// CreateBatchF implements cloudstore.ReplicaAPI: CreateBatch under the
+// partition fence.
+func (r *RemoteStore) CreateBatchF(part int, epoch uint64, entries map[string][]byte) (uint64, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	resp, err := r.call(storeReq{Op: storeCreateBatchF, Part: part, Epoch: epoch, Entries: entries})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// CASF implements cloudstore.ReplicaAPI: CAS under the partition fence.
+func (r *RemoteStore) CASF(part int, epoch uint64, key string, expect uint64, value []byte) (uint64, error) {
+	resp, err := r.call(storeReq{Op: storeCASF, Part: part, Epoch: epoch, Key: key, Expect: expect, Value: value})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// DeleteF implements cloudstore.ReplicaAPI: fenced delete returning the
+// tombstone version.
+func (r *RemoteStore) DeleteF(part int, epoch uint64, key string) (uint64, error) {
+	resp, err := r.call(storeReq{Op: storeDeleteF, Part: part, Epoch: epoch, Key: key})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// DeleteBatchF implements cloudstore.ReplicaAPI: fenced batch delete
+// returning the highest tombstone version.
+func (r *RemoteStore) DeleteBatchF(part int, epoch uint64, keys []string) (uint64, error) {
 	if len(keys) == 0 {
 		return 0, nil
 	}
-	resp, err := r.call(storeReq{Op: storeDelBatchV, Keys: keys})
+	resp, err := r.call(storeReq{Op: storeDelBatchF, Part: part, Epoch: epoch, Keys: keys})
 	if err != nil {
 		return 0, err
 	}
@@ -241,10 +305,22 @@ func execStoreOp(st cloudstore.ReplicaAPI, owner transport.NodeID, req storeReq)
 		err = st.DeleteBatch(req.Keys)
 	case storeList:
 		resp.Keys, err = st.List(req.Key)
-	case storeDeleteV:
-		resp.Version, err = st.DeleteV(req.Key)
-	case storeDelBatchV:
-		resp.Version, err = st.DeleteBatchV(req.Keys)
+	case storeGetF:
+		resp.Value, resp.Version, err = st.GetF(req.Part, req.Epoch, req.Key)
+	case storeListF:
+		resp.Keys, err = st.ListF(req.Part, req.Epoch, req.Key)
+	case storePutF:
+		resp.Version, err = st.PutF(req.Part, req.Epoch, req.Key, req.Value)
+	case storePutBatchF:
+		resp.Version, err = st.PutBatchF(req.Part, req.Epoch, req.Entries)
+	case storeCreateBatchF:
+		resp.Version, err = st.CreateBatchF(req.Part, req.Epoch, req.Entries)
+	case storeCASF:
+		resp.Version, err = st.CASF(req.Part, req.Epoch, req.Key, req.Expect, req.Value)
+	case storeDeleteF:
+		resp.Version, err = st.DeleteF(req.Part, req.Epoch, req.Key)
+	case storeDelBatchF:
+		resp.Version, err = st.DeleteBatchF(req.Part, req.Epoch, req.Keys)
 	case storeApply:
 		err = st.Apply(req.Part, req.Epoch, req.Commit)
 	case storePromote:

@@ -59,8 +59,14 @@ func TestStoreWireSentinelRoundTrip(t *testing.T) {
 		{"Delete", func(r *RemoteStore) error { return r.Delete("k") }},
 		{"DeleteBatch", func(r *RemoteStore) error { return r.DeleteBatch([]string{"k"}) }},
 		{"List", func(r *RemoteStore) error { _, err := r.List(""); return err }},
-		{"DeleteV", func(r *RemoteStore) error { _, err := r.DeleteV("k"); return err }},
-		{"DeleteBatchV", func(r *RemoteStore) error { _, err := r.DeleteBatchV([]string{"k"}); return err }},
+		{"GetF", func(r *RemoteStore) error { _, _, err := r.GetF(0, 1, "k"); return err }},
+		{"ListF", func(r *RemoteStore) error { _, err := r.ListF(0, 1, ""); return err }},
+		{"PutF", func(r *RemoteStore) error { _, err := r.PutF(0, 1, "k", nil); return err }},
+		{"PutBatchF", func(r *RemoteStore) error { _, err := r.PutBatchF(0, 1, map[string][]byte{"k": nil}); return err }},
+		{"CreateBatchF", func(r *RemoteStore) error { _, err := r.CreateBatchF(0, 1, map[string][]byte{"k": nil}); return err }},
+		{"CASF", func(r *RemoteStore) error { _, err := r.CASF(0, 1, "k", 0, nil); return err }},
+		{"DeleteF", func(r *RemoteStore) error { _, err := r.DeleteF(0, 1, "k"); return err }},
+		{"DeleteBatchF", func(r *RemoteStore) error { _, err := r.DeleteBatchF(0, 1, []string{"k"}); return err }},
 		{"Apply", func(r *RemoteStore) error { return r.Apply(0, 1, cloudstore.Commit{}) }},
 		{"Promote", func(r *RemoteStore) error { _, err := r.Promote(0, 1); return err }},
 		{"FenceEpoch", func(r *RemoteStore) error { _, err := r.FenceEpoch(0); return err }},
@@ -86,8 +92,43 @@ func TestStoreWireSentinelRoundTrip(t *testing.T) {
 			func(r *RemoteStore) error { _, _, err := r.Get("ghost"); return err }, cloudstore.ErrNotFound},
 		{"Delete/NotFound", nil,
 			func(r *RemoteStore) error { return r.Delete("ghost") }, cloudstore.ErrNotFound},
-		{"DeleteV/NotFound", nil,
-			func(r *RemoteStore) error { _, err := r.DeleteV("ghost"); return err }, cloudstore.ErrNotFound},
+		{"GetF/NotFound", nil,
+			func(r *RemoteStore) error { _, _, err := r.GetF(0, 1, "ghost"); return err }, cloudstore.ErrNotFound},
+		{"DeleteF/NotFound", nil,
+			func(r *RemoteStore) error { _, err := r.DeleteF(0, 1, "ghost"); return err }, cloudstore.ErrNotFound},
+		{"CASF/VersionMismatch",
+			func(st *cloudstore.Store) { _, _ = st.Put("k", []byte("v")) },
+			func(r *RemoteStore) error { _, err := r.CASF(0, 1, "k", 99, nil); return err }, cloudstore.ErrVersionMismatch},
+		{"CreateBatchF/VersionMismatchExists",
+			func(st *cloudstore.Store) { _, _ = st.Put("k", []byte("v")) },
+			func(r *RemoteStore) error {
+				_, err := r.CreateBatchF(0, 1, map[string][]byte{"k": nil})
+				return err
+			}, cloudstore.ErrVersionMismatch},
+		{"GetF/Fenced",
+			func(st *cloudstore.Store) { _, _ = st.Promote(0, 5) },
+			func(r *RemoteStore) error { _, _, err := r.GetF(0, 2, "k"); return err }, cloudstore.ErrFenced},
+		{"ListF/Fenced",
+			func(st *cloudstore.Store) { _, _ = st.Promote(0, 5) },
+			func(r *RemoteStore) error { _, err := r.ListF(0, 2, ""); return err }, cloudstore.ErrFenced},
+		{"PutF/Fenced",
+			func(st *cloudstore.Store) { _, _ = st.Promote(0, 5) },
+			func(r *RemoteStore) error { _, err := r.PutF(0, 2, "k", nil); return err }, cloudstore.ErrFenced},
+		{"PutBatchF/Fenced",
+			func(st *cloudstore.Store) { _, _ = st.Promote(0, 5) },
+			func(r *RemoteStore) error { _, err := r.PutBatchF(0, 2, map[string][]byte{"k": nil}); return err }, cloudstore.ErrFenced},
+		{"CreateBatchF/Fenced",
+			func(st *cloudstore.Store) { _, _ = st.Promote(0, 5) },
+			func(r *RemoteStore) error { _, err := r.CreateBatchF(0, 2, map[string][]byte{"k": nil}); return err }, cloudstore.ErrFenced},
+		{"CASF/Fenced",
+			func(st *cloudstore.Store) { _, _ = st.Promote(0, 5) },
+			func(r *RemoteStore) error { _, err := r.CASF(0, 2, "k", 0, nil); return err }, cloudstore.ErrFenced},
+		{"DeleteF/Fenced",
+			func(st *cloudstore.Store) { _, _ = st.Promote(0, 5) },
+			func(r *RemoteStore) error { _, err := r.DeleteF(0, 2, "k"); return err }, cloudstore.ErrFenced},
+		{"DeleteBatchF/Fenced",
+			func(st *cloudstore.Store) { _, _ = st.Promote(0, 5) },
+			func(r *RemoteStore) error { _, err := r.DeleteBatchF(0, 2, []string{"k"}); return err }, cloudstore.ErrFenced},
 		{"CAS/VersionMismatchConflict",
 			func(st *cloudstore.Store) { _, _ = st.Put("k", []byte("v")) },
 			func(r *RemoteStore) error { _, err := r.CAS("k", 99, nil); return err }, cloudstore.ErrVersionMismatch},
@@ -173,8 +214,8 @@ func TestRemoteStoreHonorsBaseContext(t *testing.T) {
 }
 
 // deployStorePlane builds an n-node replicated deployment whose cloud store
-// is the sharded, replicated store plane (parts × primary+follower store
-// servers) over the given mesh.
+// is the sharded, replicated store plane (parts × StoreRF store servers)
+// over the given mesh.
 func deployStorePlane(t *testing.T, mesh transport.Mesh, nodes, parts int) *Deployment {
 	t.Helper()
 	d, err := Deploy(mesh, Topology{Nodes: nodes, Replicate: true, StoreParts: parts})
@@ -208,7 +249,7 @@ func TestStorePlaneDeploymentMatchesOracle(t *testing.T) {
 
 	// The plane really is sharded: both partitions' primaries hold keys.
 	for p := 0; p < 2; p++ {
-		keys, err := d.StoreBackends[2*p].List("")
+		keys, err := d.StoreBackends[StoreRF*p].List("")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -245,12 +286,12 @@ func TestStoreFailoverChaos(t *testing.T) {
 	// on a dropped call…
 	p := replogPartition(2)
 	other := 1 - p
-	otherPrimary := StoreIDBase + transport.NodeID(2*other+1)
+	otherPrimary := StoreIDBase + transport.NodeID(StoreRF*other+1)
 	fm.Drop(1, otherPrimary)
 	// …then kill the replog partition's primary outright: its endpoint
 	// detaches, every in-flight and future call fails fast, and the
 	// follower must be promoted by whichever client trips first.
-	if srv := d.StoreServerFor(StoreIDBase + transport.NodeID(2*p+1)); srv != nil {
+	if srv := d.StoreServerFor(StoreIDBase + transport.NodeID(StoreRF*p+1)); srv != nil {
 		_ = srv.Close()
 	} else {
 		t.Fatalf("no store server for partition %d primary", p)
@@ -270,7 +311,7 @@ func TestStoreFailoverChaos(t *testing.T) {
 
 	// The replog partition failed over: its follower's fence epoch moved
 	// past the boot epoch, and the follower holds the post-kill records.
-	fol := d.StoreBackends[2*p+1]
+	fol := d.StoreBackends[StoreRF*p+1]
 	epoch, err := fol.FenceEpoch(p)
 	if err != nil {
 		t.Fatal(err)
@@ -290,7 +331,7 @@ func TestStoreFailoverChaos(t *testing.T) {
 	// writes the promoted follower never saw. Every record on the dead
 	// primary past the follower's set would be an acked-but-lost write;
 	// the fence makes that impossible, so the follower's log is a superset.
-	dead := d.StoreBackends[2*p]
+	dead := d.StoreBackends[StoreRF*p]
 	deadKeys, err := dead.List("replog/rec/")
 	if err != nil {
 		t.Fatal(err)
@@ -362,7 +403,7 @@ func TestStorePlaneDiskBackend(t *testing.T) {
 	diffScripts(t, "dynamic", dynamic, wantDynamic)
 	wantKeys := make([]int, 2)
 	for p := 0; p < 2; p++ {
-		keys, err := d.StoreBackends[2*p].List("")
+		keys, err := d.StoreBackends[StoreRF*p].List("")
 		if err != nil {
 			d.Close()
 			t.Fatal(err)

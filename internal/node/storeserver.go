@@ -16,6 +16,15 @@ import (
 // and real failover — without taking any application contexts with it.
 const StoreIDBase transport.NodeID = 1 << 20
 
+// StoreRF is the replication factor of the sharded store plane: each
+// keyspace partition is served by StoreRF store replicas, partition p's
+// replica r attaching at StoreIDBase + StoreRF*p + r + 1 (replica 0 is the
+// boot primary). Three is the minimum that can both survive one replica
+// loss and refuse split-brain acks under the majority-quorum discipline
+// (cloudstore.Replicated acknowledges a write only when a majority of the
+// set holds it, and a failover fence only takes effect on a majority).
+const StoreRF = 3
+
 // StoreServer is a dedicated store-replica process attachment: it serves
 // the cloud-store wire protocol (KindStore, via the same execStoreOp as
 // store-serving nodes) from a pluggable backend, answers pings, and honors

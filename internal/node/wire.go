@@ -119,18 +119,25 @@ const (
 	storeDelete      = "delete"
 	storeDelBatch    = "deletebatch"
 	storeList        = "list"
-	// Replica-plane selectors (cloudstore.ReplicaAPI over the mesh): deletes
-	// reporting tombstone versions, fenced commit application, and fence
+	// Replica-plane selectors (cloudstore.ReplicaAPI over the mesh): the
+	// fenced per-op surface (every op of a replicated deployment carries
+	// its partition and fence epoch), fenced commit application, and fence
 	// promotion/inspection for partition failover.
-	storeDeleteV   = "deletev"
-	storeDelBatchV = "deletebatchv"
-	storeApply     = "apply"
-	storePromote   = "promote"
-	storeEpoch     = "epoch"
+	storeGetF         = "getf"
+	storeListF        = "listf"
+	storePutF         = "putf"
+	storePutBatchF    = "putbatchf"
+	storeCreateBatchF = "createbatchf"
+	storeCASF         = "casf"
+	storeDeleteF      = "deletef"
+	storeDelBatchF    = "deletebatchf"
+	storeApply        = "apply"
+	storePromote      = "promote"
+	storeEpoch        = "epoch"
 )
 
-// storeReq is one cloud-store operation. Part/Epoch/Commit ride only the
-// replica-plane ops (apply, promote, epoch).
+// storeReq is one cloud-store operation. Part/Epoch ride the replica-plane
+// ops (the fenced surface, apply, promote, epoch); Commit rides apply only.
 type storeReq struct {
 	Op      string
 	Key     string
