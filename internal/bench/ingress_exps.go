@@ -5,8 +5,10 @@ package bench
 // connection with one outstanding frame per call (the old behaviour) vs the
 // multiplexed stream at increasing pipeline depths, how aggregate throughput
 // scales with extra client connections, and how quickly a client's routing
-// cache converges after a migration makes it stale. Recorded as
-// BENCH_6.json.
+// cache converges after a migration makes it stale. PR 8 adds the batched
+// sweep: SubmitBatch frames at increasing batch sizes and the coalesced Go
+// path, which amortize the per-event wakeup that dominated the pipelined
+// rows. Recorded as BENCH_6.json (pre-batching) and BENCH_8.json.
 
 import (
 	"fmt"
@@ -67,12 +69,66 @@ func Ingress(o Options) ([]*Table, error) {
 		})
 	}
 
+	batched := &Table{
+		Title:   "Ingress: batched submit throughput — events per frame vs per-event frames (one TCP loopback connection)",
+		Columns: []string{"config", "batch", "depth", "ev/s", "mean/event", "speedup"},
+		Notes: []string{
+			"same 2-node fleet and remote-account workload as the pipelined table; one client connection throughout",
+			"batched: depth workers each keep one SubmitBatch of `batch` events in flight, so batch×depth events share the in-flight window but the fleet pays one wakeup and one admission per frame",
+			"coalesced-go: async Go futures ride the per-node coalescer (default 100µs linger); mean/event includes the linger wait by design",
+			"speedup is vs this table's batch=1 row — the same frames-per-event discipline as the pipelined table, so it isolates what packing alone buys",
+			"expected shape: batch=1 within noise of pipelined at equal depth (the batch frame costs a few bytes more); throughput climbs steeply with batch size as the per-event wakeup amortizes away",
+		},
+	}
+	type batchRow struct {
+		label string
+		batch int
+		depth int
+	}
+	brows := []batchRow{
+		{"batched", 1, 64},
+		{"batched", 8, 64},
+		{"batched", 32, 16},
+		{"batched", 128, 4},
+	}
+	var batchBase float64
+	for _, r := range brows {
+		o.progressf("ingress: batched batch=%d depth=%d\n", r.batch, r.depth)
+		rate, mean, err := ingressBatchThroughput(r.batch, r.depth, accounts, dur)
+		if err != nil {
+			return nil, fmt.Errorf("batched batch=%d: %w", r.batch, err)
+		}
+		if batchBase == 0 {
+			batchBase = rate
+		}
+		batched.Rows = append(batched.Rows, []string{
+			r.label, fmt.Sprint(r.batch), fmt.Sprint(r.depth),
+			fmtK(rate), fmtMS(mean), fmt.Sprintf("%.1fx", rate/batchBase),
+		})
+	}
+	o.progressf("ingress: coalesced-go\n")
+	rate, mean, frames, events, err := ingressCoalescedThroughput(accounts, dur)
+	if err != nil {
+		return nil, fmt.Errorf("coalesced-go: %w", err)
+	}
+	batched.Rows = append(batched.Rows, []string{
+		"coalesced-go", fmt.Sprintf("~%d", events/max64(frames, 1)), "512",
+		fmtK(rate), fmtMS(mean), fmt.Sprintf("%.1fx", rate/batchBase),
+	})
+
 	o.progressf("ingress: stale-route repair\n")
 	repair, err := ingressRepair(dur)
 	if err != nil {
 		return nil, fmt.Errorf("repair: %w", err)
 	}
-	return []*Table{tput, repair}, nil
+	return []*Table{tput, batched, repair}, nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // ingressThroughput deploys a 2-node TCP fleet and drives it with nClients
@@ -148,6 +204,153 @@ func ingressThroughput(nClients, depth int, oneShot bool, accounts int, dur time
 		return 0, 0, fmt.Errorf("no operations completed")
 	}
 	return float64(n) / elapsed.Seconds(), time.Duration(totalNS.Load() / n), nil
+}
+
+// ingressBatchThroughput drives one client connection with depth workers,
+// each keeping one SubmitBatch of `batch` events in flight against remotely
+// hosted accounts. Returns event rate and mean per-event latency
+// (frame latency / batch).
+func ingressBatchThroughput(batch, depth, accounts int, dur time.Duration) (float64, time.Duration, error) {
+	mesh := transport.NewTCPMesh()
+	d, err := node.Deploy(mesh, node.Topology{Nodes: 2, AccountsPerBank: accounts})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer d.Close()
+	if err := d.WaitReady(10 * time.Second); err != nil {
+		return 0, 0, err
+	}
+	targets := d.Top.Accounts[1]
+	c, err := ingress.Dial(mesh, ingress.Config{Nodes: []transport.NodeID{1, 2}})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+	for _, tgt := range targets {
+		if _, err := c.Submit(tgt, "balance"); err != nil {
+			return 0, 0, fmt.Errorf("warm: %w", err)
+		}
+	}
+
+	var (
+		ops      atomic.Int64
+		totalNS  atomic.Int64
+		firstErr atomic.Value
+		wg       sync.WaitGroup
+	)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	for w := 0; w < depth; w++ {
+		wg.Add(1)
+		go func(seq int) {
+			defer wg.Done()
+			items := make([]ingress.BatchItem, batch)
+			for i := seq; time.Now().Before(deadline); i += batch {
+				for j := range items {
+					items[j] = ingress.BatchItem{Target: targets[(i+j)%len(targets)], Method: "deposit", Args: []any{1}}
+				}
+				t0 := time.Now()
+				for k, r := range c.SubmitBatch(items) {
+					if r.Err != nil {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("event %d: %w", k, r.Err))
+						return
+					}
+				}
+				totalNS.Add(time.Since(t0).Nanoseconds())
+				ops.Add(int64(batch))
+			}
+		}(w * batch)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return 0, 0, err
+	}
+	n := ops.Load()
+	if n == 0 {
+		return 0, 0, fmt.Errorf("no operations completed")
+	}
+	return float64(n) / elapsed.Seconds(), time.Duration(totalNS.Load() / n), nil
+}
+
+// ingressCoalescedThroughput drives the transparent batching path: producers
+// fire async Go futures as fast as the in-flight window admits them and the
+// per-node coalescer packs them into frames. Returns event rate, mean
+// submit→resolve latency (linger included), and the fleet's frame/event
+// counts so the table can report the achieved batch size.
+func ingressCoalescedThroughput(accounts int, dur time.Duration) (float64, time.Duration, uint64, uint64, error) {
+	mesh := transport.NewTCPMesh()
+	d, err := node.Deploy(mesh, node.Topology{Nodes: 2, AccountsPerBank: accounts})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer d.Close()
+	if err := d.WaitReady(10 * time.Second); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	targets := d.Top.Accounts[1]
+	c, err := ingress.Dial(mesh, ingress.Config{Nodes: []transport.NodeID{1, 2}, Window: 512})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer c.Close()
+	for _, tgt := range targets {
+		if _, err := c.Submit(tgt, "balance"); err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("warm: %w", err)
+		}
+	}
+	framesBefore := d.Nodes[0].Batches() + d.Nodes[1].Batches()
+
+	type inflight struct {
+		f  *ingress.Future
+		t0 time.Time
+	}
+	var (
+		ops      atomic.Int64
+		totalNS  atomic.Int64
+		firstErr atomic.Value
+		prodWG   sync.WaitGroup
+		consWG   sync.WaitGroup
+	)
+	const producers = 4
+	pending := make(chan inflight, 1024)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(seq int) {
+			defer prodWG.Done()
+			for i := seq; time.Now().Before(deadline); i++ {
+				f := c.Go(targets[i%len(targets)], "deposit", 1)
+				pending <- inflight{f, time.Now()}
+			}
+		}(p)
+	}
+	consWG.Add(1)
+	go func() {
+		defer consWG.Done()
+		for in := range pending {
+			if _, err := in.f.Wait(); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				continue
+			}
+			totalNS.Add(time.Since(in.t0).Nanoseconds())
+			ops.Add(1)
+		}
+	}()
+	prodWG.Wait()
+	close(pending)
+	consWG.Wait()
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	n := ops.Load()
+	if n == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("no operations completed")
+	}
+	frames := d.Nodes[0].Batches() + d.Nodes[1].Batches() - framesBefore
+	return float64(n) / elapsed.Seconds(), time.Duration(totalNS.Load() / n), frames, uint64(n), nil
 }
 
 // ingressRepair measures routing-cache convergence: a client with a warm

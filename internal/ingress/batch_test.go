@@ -1,0 +1,357 @@
+package ingress_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"aeon/internal/core"
+	"aeon/internal/ingress"
+	"aeon/internal/node"
+	"aeon/internal/ownership"
+	"aeon/internal/schema"
+	"aeon/internal/transport"
+)
+
+// TestClientSubmitBatchAcrossFleet pins the batch SDK contract over real
+// TCP: one SubmitBatch spanning accounts on three nodes lands every event,
+// results are index-aligned, and the routing cache converges from the
+// per-event Host repair so the next batch goes direct.
+func TestClientSubmitBatchAcrossFleet(t *testing.T) {
+	d, mesh := deployTCP(t, 3)
+	c := dial(t, mesh, d, ingress.Config{})
+
+	var items []ingress.BatchItem
+	for bi, accounts := range d.Top.Accounts {
+		for ai, acct := range accounts {
+			items = append(items, ingress.BatchItem{Target: acct, Method: "deposit", Args: []any{10*(bi+1) + ai}})
+		}
+	}
+	for i, r := range c.SubmitBatch(items) {
+		if r.Err != nil {
+			t.Fatalf("deposit %d: %v", i, r.Err)
+		}
+	}
+	var reads []ingress.BatchItem
+	for _, accounts := range d.Top.Accounts {
+		for _, acct := range accounts {
+			reads = append(reads, ingress.BatchItem{Target: acct, Method: "balance"})
+		}
+	}
+	res := c.SubmitBatch(reads)
+	i := 0
+	for bi, accounts := range d.Top.Accounts {
+		for ai, acct := range accounts {
+			if res[i].Err != nil {
+				t.Fatalf("balance bank %d acct %d: %v", bi, ai, res[i].Err)
+			}
+			want := 1000 + 10*(bi+1) + ai
+			if res[i].Result.(int) != want {
+				t.Fatalf("bank %d acct %d balance = %v, want %d", bi, ai, res[i].Result, want)
+			}
+			if host, ok := c.Route(acct); !ok || host != transport.NodeID(bi+1) {
+				t.Fatalf("route for bank %d acct %d = %v (ok=%v), want %d", bi, ai, host, ok, bi+1)
+			}
+			i++
+		}
+	}
+}
+
+// TestClientBatchPartialFailure pins per-event failure isolation: a batch
+// mixing good events with an unknown target, an unknown method, and an
+// app-level failure returns a typed error in exactly the failing slots —
+// siblings execute and their effects are visible afterwards.
+func TestClientBatchPartialFailure(t *testing.T) {
+	d, mesh := deployTCP(t, 2)
+	c := dial(t, mesh, d, ingress.Config{})
+
+	acctA := d.Top.Accounts[0][0]
+	acctB := d.Top.Accounts[1][0]
+	res := c.SubmitBatch([]ingress.BatchItem{
+		{Target: acctA, Method: "deposit", Args: []any{5}},
+		{Target: ownership.ID(1 << 40), Method: "deposit", Args: []any{1}},
+		{Target: acctB, Method: "no-such-method"},
+		{Target: acctA, Method: "withdraw", Args: []any{1 << 30}},
+		{Target: acctB, Method: "deposit", Args: []any{7}},
+	})
+	if res[0].Err != nil {
+		t.Fatalf("good deposit poisoned by batchmates: %v", res[0].Err)
+	}
+	if !errors.Is(res[1].Err, core.ErrUnknownContext) {
+		t.Fatalf("unknown target err = %v, want ErrUnknownContext", res[1].Err)
+	}
+	if !errors.Is(res[2].Err, core.ErrUnknownMethod) {
+		t.Fatalf("unknown method err = %v, want ErrUnknownMethod", res[2].Err)
+	}
+	if res[3].Err == nil {
+		t.Fatalf("overdraft withdraw succeeded inside batch")
+	}
+	if res[4].Err != nil {
+		t.Fatalf("good deposit after failures: %v", res[4].Err)
+	}
+	// The failing slots must not have blocked their siblings' effects.
+	if bal, err := c.Submit(acctA, "balance"); err != nil || bal.(int) != 1005 {
+		t.Fatalf("acctA balance = %v (%v), want 1005", bal, err)
+	}
+	if bal, err := c.Submit(acctB, "balance"); err != nil || bal.(int) != 1007 {
+		t.Fatalf("acctB balance = %v (%v), want 1007", bal, err)
+	}
+}
+
+// TestClientBatchStaleRouteRepair pins the batch analogue of stale-route
+// repair: after a migration invalidates the cached route, a batch of events
+// for the moved group succeeds via server-side forwarding — regrouped as ONE
+// forwarded frame, not one per event — and the per-event Host repair makes
+// the next submit go direct.
+func TestClientBatchStaleRouteRepair(t *testing.T) {
+	d, mesh := deployTCP(t, 2)
+	c := dial(t, mesh, d, ingress.Config{})
+
+	bank2 := d.Top.Banks[1]
+	acct := d.Top.Accounts[1][0]
+	if _, err := c.Submit(acct, "deposit", 5); err != nil {
+		t.Fatalf("warm deposit: %v", err)
+	}
+	if host, ok := c.Route(acct); !ok || host != 2 {
+		t.Fatalf("route before migration = %v (ok=%v), want 2", host, ok)
+	}
+	if err := d.Nodes[0].MigrateRemote(2, bank2, 1); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+
+	fwdBefore := d.Nodes[1].Forwarded()
+	subBatchesBefore := d.Nodes[0].Batches()
+	res := c.SubmitBatch([]ingress.BatchItem{
+		{Target: acct, Method: "deposit", Args: []any{1}},
+		{Target: acct, Method: "deposit", Args: []any{1}},
+		{Target: acct, Method: "deposit", Args: []any{1}},
+	})
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("stale-routed event %d: %v", i, r.Err)
+		}
+	}
+	if got := d.Nodes[1].Forwarded() - fwdBefore; got != 3 {
+		t.Fatalf("stale batch forwarded %d events, want 3", got)
+	}
+	// The three misrouted events must ride one regrouped sub-batch frame.
+	if got := d.Nodes[0].Batches() - subBatchesBefore; got != 1 {
+		t.Fatalf("forwarding used %d sub-batch frames, want 1", got)
+	}
+	if host, ok := c.Route(acct); !ok || host != 1 {
+		t.Fatalf("route after batch repair = %v (ok=%v), want 1", host, ok)
+	}
+	fwdBefore = d.Nodes[1].Forwarded()
+	if bal, err := c.Submit(acct, "balance"); err != nil || bal.(int) != 1008 {
+		t.Fatalf("balance after repair = %v (%v), want 1008", bal, err)
+	}
+	if got := d.Nodes[1].Forwarded() - fwdBefore; got != 0 {
+		t.Fatalf("repaired route still forwarded %d times", got)
+	}
+}
+
+// TestClientBatchChunking pins MaxBatch chunking: a SubmitBatch larger than
+// MaxBatch splits into ceil(n/MaxBatch) pipelined frames, every event lands,
+// and the node-side frame count proves the split happened on the wire.
+func TestClientBatchChunking(t *testing.T) {
+	d, mesh := deployTCP(t, 2)
+	c := dial(t, mesh, d, ingress.Config{MaxBatch: 8})
+
+	acct := d.Top.Accounts[0][0]
+	if _, err := c.Submit(acct, "deposit", 0); err != nil { // warm the route
+		t.Fatal(err)
+	}
+	before := d.Nodes[0].Batches()
+	items := make([]ingress.BatchItem, 30)
+	for i := range items {
+		items[i] = ingress.BatchItem{Target: acct, Method: "deposit", Args: []any{1}}
+	}
+	for i, r := range c.SubmitBatch(items) {
+		if r.Err != nil {
+			t.Fatalf("chunked deposit %d: %v", i, r.Err)
+		}
+	}
+	if got := d.Nodes[0].Batches() - before; got != 4 {
+		t.Fatalf("30 events at MaxBatch=8 used %d frames, want 4", got)
+	}
+	if bal, err := c.Submit(acct, "balance"); err != nil || bal.(int) != 1030 {
+		t.Fatalf("balance = %v (%v), want 1030", bal, err)
+	}
+}
+
+// TestClientBatchTypedErrorsRawProtocol pins the wire contract without a
+// real fleet: a fake node speaks raw SubmitBatchReq/Resp frames and rejects
+// one event with the backpressure error kind. The client must surface
+// core.ErrBackpressure for that slot only — batchmates keep their results —
+// proving typed errors round-trip through the batch codec itself.
+func TestClientBatchTypedErrorsRawProtocol(t *testing.T) {
+	mesh := transport.NewInMemMesh(transport.NewSim(transport.SimConfig{}))
+	fake, err := mesh.Attach(1, func(ctx context.Context, from transport.NodeID, req transport.Message) (transport.Message, error) {
+		if req.Kind != node.KindSubmitBatch {
+			return transport.Message{}, errors.New("fake node: unexpected kind " + req.Kind)
+		}
+		var br schema.SubmitBatchReq
+		if err := br.UnmarshalWire(req.Payload); err != nil {
+			return transport.Message{}, err
+		}
+		resp := schema.SubmitBatchResp{Outcomes: make([]schema.BatchOutcome, len(br.Events))}
+		for i := range br.Events {
+			if br.Events[i].Method == "reject" {
+				resp.Outcomes[i] = schema.BatchOutcome{Err: "queue full", ErrKind: "backpressure", Host: 1}
+			} else {
+				resp.Outcomes[i] = schema.BatchOutcome{Result: i, Host: 1}
+			}
+		}
+		payload, err := resp.MarshalWire(nil)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		return transport.Message{Kind: req.Kind, Payload: payload}, nil
+	})
+	if err != nil {
+		t.Fatalf("attach fake node: %v", err)
+	}
+	t.Cleanup(func() { _ = fake.Close() })
+
+	c, err := ingress.Dial(mesh, ingress.Config{Nodes: []transport.NodeID{1}})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	res := c.SubmitBatch([]ingress.BatchItem{
+		{Target: ownership.ID(10), Method: "ok"},
+		{Target: ownership.ID(11), Method: "reject"},
+		{Target: ownership.ID(12), Method: "ok"},
+	})
+	if res[0].Err != nil || res[0].Result.(int) != 0 {
+		t.Fatalf("slot 0 = (%v, %v), want (0, nil)", res[0].Result, res[0].Err)
+	}
+	if !errors.Is(res[1].Err, core.ErrBackpressure) {
+		t.Fatalf("rejected slot err = %v, want ErrBackpressure", res[1].Err)
+	}
+	if res[2].Err != nil || res[2].Result.(int) != 2 {
+		t.Fatalf("slot 2 = (%v, %v), want (2, nil)", res[2].Result, res[2].Err)
+	}
+}
+
+// TestClientCoalescedGo pins the transparent batching of the async path:
+// many Go futures issued back-to-back ride far fewer batch frames than
+// events, every deposit lands, and the in-flight window recycles its slots
+// exactly (a leaked slot would deadlock the later rounds under the small
+// Window).
+func TestClientCoalescedGo(t *testing.T) {
+	d, mesh := deployTCP(t, 2)
+	c := dial(t, mesh, d, ingress.Config{Window: 32, Linger: 20 * time.Millisecond})
+
+	acct := d.Top.Accounts[1][0]
+	if _, err := c.Submit(acct, "deposit", 0); err != nil { // warm the route
+		t.Fatal(err)
+	}
+	before := d.Nodes[0].Batches() + d.Nodes[1].Batches()
+	const deposits = 100
+	futures := make([]*ingress.Future, 0, deposits)
+	for i := 0; i < deposits; i++ {
+		futures = append(futures, c.Go(acct, "deposit", 1))
+	}
+	for i, f := range futures {
+		if _, err := f.Wait(); err != nil {
+			t.Fatalf("coalesced deposit %d: %v", i, err)
+		}
+	}
+	frames := d.Nodes[0].Batches() + d.Nodes[1].Batches() - before
+	if frames == 0 || frames > 20 {
+		t.Fatalf("%d deposits rode %d batch frames, want coalescing (1..20)", deposits, frames)
+	}
+	if bal, err := c.Submit(acct, "balance"); err != nil || bal.(int) != 1000+deposits {
+		t.Fatalf("balance = %v (%v), want %d", bal, err, 1000+deposits)
+	}
+}
+
+// TestClientCoalescedGoCloseFailsPending pins Close's contract for the
+// coalescer: futures still lingering when the client closes resolve promptly
+// with ErrClientClosed instead of hanging until the linger window or forever.
+func TestClientCoalescedGoCloseFailsPending(t *testing.T) {
+	d, mesh := deployTCP(t, 2)
+	c := dial(t, mesh, d, ingress.Config{Linger: time.Hour})
+
+	f := c.Go(d.Top.Accounts[0][0], "deposit", 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.Wait()
+		done <- err
+	}()
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ingress.ErrClientClosed) {
+			t.Fatalf("pending future err = %v, want ErrClientClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("pending future not resolved by Close")
+	}
+}
+
+// TestClientBatchConcurrentRace is the batched-ingress -race stress: several
+// clients mix coalesced Go futures and explicit SubmitBatches against the
+// same fleet concurrently; every event must land exactly once (verified
+// balances) with no data race in the coalescer, batch codec, or completion
+// plane.
+func TestClientBatchConcurrentRace(t *testing.T) {
+	d, mesh := deployTCP(t, 2)
+	const clients = 3
+	const goEvents = 60
+	const batchRounds = 6
+	const perBatch = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	accts := make([]ownership.ID, clients)
+	for ci := 0; ci < clients; ci++ {
+		c := dial(t, mesh, d, ingress.Config{Window: 64, Linger: 200 * time.Microsecond})
+		acct := d.Top.Accounts[ci%2][ci]
+		accts[ci] = acct
+		wg.Add(1)
+		go func(c *ingress.Client, acct ownership.ID) {
+			defer wg.Done()
+			futures := make([]*ingress.Future, 0, goEvents)
+			for i := 0; i < goEvents; i++ {
+				futures = append(futures, c.Go(acct, "deposit", 1))
+				if i%10 == 9 {
+					items := make([]ingress.BatchItem, perBatch)
+					for j := range items {
+						items[j] = ingress.BatchItem{Target: acct, Method: "deposit", Args: []any{1}}
+					}
+					for _, r := range c.SubmitBatch(items) {
+						if r.Err != nil {
+							errs <- r.Err
+							return
+						}
+					}
+				}
+			}
+			for _, f := range futures {
+				if _, err := f.Wait(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c, acct)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	check := dial(t, mesh, d, ingress.Config{})
+	want := 1000 + goEvents + batchRounds*perBatch
+	for ci, acct := range accts {
+		bal, err := check.Submit(acct, "balance")
+		if err != nil || bal.(int) != want {
+			t.Fatalf("client %d balance = %v (%v), want %d", ci, bal, err, want)
+		}
+	}
+}

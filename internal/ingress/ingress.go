@@ -18,6 +18,11 @@
 // the call timeout expires. Go (the async variant) additionally bounds the
 // client's total in-flight futures by Config.Window so a producer that never
 // waits cannot spawn unbounded goroutines.
+//
+// Batching. SubmitBatch ships many events per frame (see batch.go), and Go's
+// futures transparently coalesce onto the same batch frames so high-rate
+// async producers pay the per-event wakeup once per batch, not once per
+// event. Failures stay per-event.
 package ingress
 
 import (
@@ -60,6 +65,18 @@ type Config struct {
 	// mesh call (one outstanding request per connection). The bench uses it
 	// as the baseline; real clients leave it off.
 	NoPipeline bool
+	// Linger is how long Go holds an async submit so batchmates bound for
+	// the same node can coalesce into one frame before it flushes. Zero
+	// means 100µs. Ignored when NoCoalesce or NoPipeline is set.
+	Linger time.Duration
+	// MaxBatch caps events per batch frame: SubmitBatch chunks larger
+	// inputs and the coalescer flushes early when a batch fills. Zero means
+	// 128; values above schema.MaxBatchEvents are clamped.
+	MaxBatch int
+	// NoCoalesce makes Go submit each event as its own frame (no linger,
+	// no batching) instead of riding the per-node coalescer. SubmitBatch
+	// still batches.
+	NoCoalesce bool
 }
 
 // Client submits events to an AEON deployment over the mesh.
@@ -73,6 +90,11 @@ type Client struct {
 
 	streamMu sync.Mutex
 	streams  map[transport.NodeID]transport.Stream
+
+	// coals holds the per-node coalescers Go's futures ride; nil once the
+	// client closes.
+	coalMu sync.Mutex
+	coals  map[transport.NodeID]*coalescer
 
 	rr     atomic.Uint64 // round-robin cursor over cfg.Nodes
 	window chan struct{} // Go's in-flight bound
@@ -95,6 +117,15 @@ func Dial(mesh transport.Mesh, cfg Config) (*Client, error) {
 	if cfg.Window <= 0 {
 		cfg.Window = 256
 	}
+	if cfg.Linger <= 0 {
+		cfg.Linger = 100 * time.Microsecond
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 128
+	}
+	if cfg.MaxBatch > schema.MaxBatchEvents {
+		cfg.MaxBatch = schema.MaxBatchEvents
+	}
 	ep, err := mesh.Attach(cfg.ID, func(ctx context.Context, from transport.NodeID, req transport.Message) (transport.Message, error) {
 		return transport.Message{}, fmt.Errorf("ingress client %v does not serve requests", cfg.ID)
 	})
@@ -105,6 +136,7 @@ func Dial(mesh transport.Mesh, cfg Config) (*Client, error) {
 		cfg:     cfg,
 		ep:      ep,
 		streams: make(map[transport.NodeID]transport.Stream),
+		coals:   make(map[transport.NodeID]*coalescer),
 		window:  make(chan struct{}, cfg.Window),
 	}, nil
 }
@@ -112,10 +144,25 @@ func Dial(mesh transport.Mesh, cfg Config) (*Client, error) {
 // ID returns the client's mesh address.
 func (c *Client) ID() transport.NodeID { return c.ep.ID() }
 
-// Close detaches the client and closes its streams. In-flight submits fail.
+// Close detaches the client and closes its streams. In-flight submits fail;
+// coalesced futures not yet flushed resolve with ErrClientClosed.
 func (c *Client) Close() error {
 	if !c.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	c.coalMu.Lock()
+	coals := c.coals
+	c.coals = nil
+	c.coalMu.Unlock()
+	for _, co := range coals {
+		co.mu.Lock()
+		_, futures := co.take()
+		co.mu.Unlock()
+		for _, f := range futures {
+			f.err = ErrClientClosed
+			close(f.done)
+			<-c.window
+		}
 	}
 	c.streamMu.Lock()
 	streams := c.streams
@@ -264,14 +311,33 @@ func (f *Future) Wait() (any, error) {
 // Go submits asynchronously: it returns once the request occupies an
 // in-flight slot (blocking when Config.Window submits are already pending —
 // backpressure for producers that batch Waits). The returned Future resolves
-// when the response arrives.
+// when the response arrives. Unless NoCoalesce or NoPipeline is set, the
+// event rides the per-node coalescer: it lingers up to Config.Linger waiting
+// for batchmates bound for the same node, then the whole batch flies as one
+// frame.
 func (c *Client) Go(target ownership.ID, method string, args ...any) *Future {
 	f := &Future{done: make(chan struct{})}
+	if c.closed.Load() {
+		f.err = ErrClientClosed
+		close(f.done)
+		return f
+	}
 	c.window <- struct{}{}
-	go func() {
-		defer close(f.done)
-		defer func() { <-c.window }()
-		f.result, f.err = c.Submit(target, method, args...)
-	}()
+	if c.cfg.NoCoalesce || c.cfg.NoPipeline {
+		go func() {
+			defer close(f.done)
+			defer func() { <-c.window }()
+			f.result, f.err = c.Submit(target, method, args...)
+		}()
+		return f
+	}
+	co := c.coalescerFor(c.route(target))
+	if co == nil { // closed between the check above and here
+		f.err = ErrClientClosed
+		close(f.done)
+		<-c.window
+		return f
+	}
+	co.add(schema.BatchEvent{Target: target, Method: method, Args: args}, f)
 	return f
 }

@@ -155,8 +155,9 @@ type Node struct {
 	streams  map[transport.NodeID]transport.Stream
 
 	// forwarded counts submits this node forwarded to another node;
-	// executed counts peer submits it executed locally.
-	forwarded, executed, transfersIn, transfersOut atomic.Uint64
+	// executed counts peer submits it executed locally; batches counts
+	// batch frames it handled (however many events each carried).
+	forwarded, executed, batches, transfersIn, transfersOut atomic.Uint64
 
 	shutdownOnce sync.Once
 	shutdownCh   chan struct{}
@@ -309,6 +310,10 @@ func (n *Node) Forwarded() uint64 { return n.forwarded.Load() }
 
 // Executed returns how many peer-submitted events this node executed.
 func (n *Node) Executed() uint64 { return n.executed.Load() }
+
+// Batches returns how many batch submit frames this node handled (tests and
+// the bench use it to verify coalescing actually reduced frame count).
+func (n *Node) Batches() uint64 { return n.batches.Load() }
 
 // Done is closed when a peer requests shutdown (KindShutdown).
 func (n *Node) Done() <-chan struct{} { return n.shutdownCh }
@@ -635,6 +640,14 @@ func (n *Node) handle(ctx context.Context, from transport.NodeID, req transport.
 		}
 		payload, err := encodeFrame(n.handleSubmit(sr))
 		return transport.Message{Kind: KindSubmit, Payload: payload}, err
+	case KindSubmitBatch:
+		var br schema.SubmitBatchReq
+		if err := br.UnmarshalWire(req.Payload); err != nil {
+			return transport.Message{}, err
+		}
+		resp := n.handleSubmitBatch(&br)
+		payload, err := resp.MarshalWire(nil)
+		return transport.Message{Kind: KindSubmitBatch, Payload: payload}, err
 	case KindStore:
 		var sr storeReq
 		if err := decodeFrame(req.Payload, &sr); err != nil {
@@ -775,6 +788,160 @@ func (n *Node) handleSubmit(req submitReq) submitResp {
 	if cur, ok := dir.Locate(dom); ok {
 		resp.Host = cur
 	}
+	return resp
+}
+
+// callSubmitBatch forwards a sub-batch of events to a peer as one hot batch
+// frame over the cached pipelined stream, mirroring callSubmit's transport
+// discipline (pooled encode buffer, stream drop on transport failure, no
+// retry — outcomes are ambiguous and events are not idempotent).
+func (n *Node) callSubmitBatch(to transport.NodeID, req *schema.SubmitBatchReq) (schema.SubmitBatchResp, error) {
+	buf := schema.GetFrameBuf()
+	payload, err := req.MarshalWire((*buf)[:0])
+	if err != nil {
+		schema.PutFrameBuf(buf)
+		return schema.SubmitBatchResp{}, err
+	}
+	*buf = payload
+
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
+	defer cancel()
+	msg := transport.Message{Kind: KindSubmitBatch, Payload: payload}
+	var raw transport.Message
+	if st := n.stream(to); st != nil {
+		raw, err = st.Call(ctx, msg)
+		var remote *transport.RemoteError
+		if err != nil && !errors.As(err, &remote) {
+			n.dropStream(to, st)
+		}
+	} else {
+		raw, err = n.ep.Call(ctx, to, msg)
+	}
+	schema.PutFrameBuf(buf) // endpoints do not retain payloads past Call
+	if err != nil {
+		return schema.SubmitBatchResp{}, fmt.Errorf("batch submit to %v: %w", to, err)
+	}
+	var resp schema.SubmitBatchResp
+	if err := resp.UnmarshalWire(raw.Payload); err != nil {
+		return schema.SubmitBatchResp{}, err
+	}
+	return resp, nil
+}
+
+// handleSubmitBatch executes or forwards a batch of independent events in
+// one admission. The frame-level fields are charged once — one replication-
+// lag gate, one hop budget — while every outcome is per-event: a typed
+// failure (unknown context, backpressure, hop exhaustion) fills only its own
+// slot and its batchmates proceed. Events whose dominators live on peers are
+// regrouped into per-host sub-batches and forwarded as batch frames, so a
+// stale route costs one extra frame per host, not per event; each forwarded
+// outcome carries the authoritative Host, which is learned here exactly like
+// the single-submit path does.
+func (n *Node) handleSubmitBatch(req *schema.SubmitBatchReq) schema.SubmitBatchResp {
+	n.batches.Add(1)
+	out := make([]schema.BatchOutcome, len(req.Events))
+	resp := schema.SubmitBatchResp{Outcomes: out}
+	if len(req.Events) == 0 {
+		return resp
+	}
+	// One lag-aware admission for the whole frame (see handleSubmit).
+	if n.plane != nil && req.MinSeq > n.plane.Applied() {
+		if err := n.plane.WaitFor(req.MinSeq, n.cfg.ReplicaLagWait); err != nil {
+			msg, kind := errFields(fmt.Errorf("batch submit at seq %d: %w", req.MinSeq, err))
+			for i := range out {
+				out[i].Err, out[i].ErrKind = msg, kind
+			}
+			return resp
+		}
+	}
+	// At most one log catch-up per batch: the first unknown target pulls the
+	// log once; batchmates resolve against the refreshed snapshot.
+	caughtUp := false
+	var fwd map[cluster.ServerID][]int
+	for i := range req.Events {
+		ev := &req.Events[i]
+		dom, _, err := n.rt.Graph().Resolve(ev.Target)
+		if err != nil && errors.Is(err, ownership.ErrNotFound) && !caughtUp && n.plane != nil {
+			caughtUp = true
+			if n.plane.CatchUp() == nil {
+				dom, _, err = n.rt.Graph().Resolve(ev.Target)
+			}
+		}
+		if err != nil {
+			msg, kind := errFields(fmt.Errorf("dominator of %v: %v: %w", ev.Target, err, core.ErrUnknownContext))
+			out[i].Err, out[i].ErrKind = msg, kind
+			continue
+		}
+		dir := n.rt.Directory()
+		host, ok := dir.Locate(dom)
+		if !ok {
+			msg, kind := errFields(fmt.Errorf("%v: %w", dom, core.ErrUnknownContext))
+			out[i].Err, out[i].ErrKind = msg, kind
+			continue
+		}
+		if !n.isLocal(host) {
+			if req.Hops >= uint32(n.cfg.MaxHops) {
+				msg, kind := errFields(fmt.Errorf("%v after %d hops: %w", ev.Target, req.Hops, ErrTooManyHops))
+				out[i].Err, out[i].ErrKind, out[i].Host = msg, kind, int64(host)
+				continue
+			}
+			if fwd == nil {
+				fwd = make(map[cluster.ServerID][]int)
+			}
+			fwd[host] = append(fwd[host], i)
+			continue
+		}
+		n.executed.Add(1)
+		res, err := n.rt.Submit(ev.Target, ev.Method, ev.Args...)
+		out[i].Result = res
+		out[i].Err, out[i].ErrKind = errFields(err)
+		if cur, ok := dir.Locate(dom); ok {
+			out[i].Host = int64(cur)
+		}
+	}
+	if len(fwd) == 0 {
+		return resp
+	}
+	// Regroup misrouted events per host and forward each group as one batch
+	// frame, concurrently across hosts. Outcome slots are disjoint per group,
+	// so the goroutines never write the same index.
+	minSeq := req.MinSeq
+	if s := n.replicaSeq(); s > minSeq {
+		minSeq = s
+	}
+	var wg sync.WaitGroup
+	for host, idxs := range fwd {
+		wg.Add(1)
+		go func(host cluster.ServerID, idxs []int) {
+			defer wg.Done()
+			sub := schema.SubmitBatchReq{
+				Hops:   req.Hops + 1,
+				MinSeq: minSeq,
+				Events: make([]schema.BatchEvent, len(idxs)),
+			}
+			for j, i := range idxs {
+				sub.Events[j] = req.Events[i]
+				n.forwarded.Add(1)
+			}
+			fres, err := n.callSubmitBatch(n.nodeFor(host), &sub)
+			if err != nil {
+				msg, kind := errFields(err)
+				for _, i := range idxs {
+					out[i].Err, out[i].ErrKind, out[i].Host = msg, kind, int64(host)
+				}
+				return
+			}
+			for j, i := range idxs {
+				if j >= len(fres.Outcomes) {
+					out[i].Err, out[i].ErrKind = "batch response truncated", errKindApp
+					continue
+				}
+				out[i] = fres.Outcomes[j]
+				n.learnPlacement(req.Events[i].Target, cluster.ServerID(fres.Outcomes[j].Host))
+			}
+		}(host, idxs)
+	}
+	wg.Wait()
 	return resp
 }
 

@@ -28,6 +28,11 @@ const (
 	KindPing = "node.ping"
 	// KindSubmit submits (or forwards) one event for execution.
 	KindSubmit = "node.submit"
+	// KindSubmitBatch submits (or forwards) a batch of independent events in
+	// one frame: one admission, one response, per-event outcomes. Batch
+	// frames are hot-codec only (schema.SubmitBatchReq/Resp) — they were
+	// born after the gob fallback era.
+	KindSubmitBatch = "node.submit.batch"
 	// KindStore performs one cloud-store operation on the store node.
 	KindStore = "node.store"
 	// KindTransfer installs a migrated group's state on the destination

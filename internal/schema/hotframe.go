@@ -40,10 +40,12 @@ const HotMagic byte = 0xA7
 
 // Hot frame type bytes (the second byte of a frame).
 const (
-	hotTypeSubmitReq  byte = 1
-	hotTypeSubmitResp byte = 2
-	hotTypeNotify     byte = 3
-	hotTypeTransfer   byte = 4
+	hotTypeSubmitReq       byte = 1
+	hotTypeSubmitResp      byte = 2
+	hotTypeNotify          byte = 3
+	hotTypeTransfer        byte = 4
+	hotTypeSubmitBatchReq  byte = 5
+	hotTypeSubmitBatchResp byte = 6
 )
 
 // Value tags for the `any` encoding.
@@ -116,6 +118,33 @@ type TransferRec struct {
 // a gob payload).
 func IsHotFrame(b []byte) bool {
 	return len(b) >= 2 && b[0] == HotMagic
+}
+
+// MaxBatchEvents bounds the events one batch frame may carry. Encoders split
+// larger batches; the decoder rejects counts above it before allocating.
+const MaxBatchEvents = 4096
+
+// HotFrameEvents reports how many application events a payload carries: the
+// batch event count for a SubmitBatchReq frame, 1 for everything else. The
+// transport uses it to weigh server-side admission so a 128-event batch
+// frame takes 128 admission slots, not 1. It only peeks the fixed-size
+// prefix, so it is cheap enough for the read loop.
+func HotFrameEvents(b []byte) int {
+	if len(b) < 2 || b[0] != HotMagic || b[1] != hotTypeSubmitBatchReq {
+		return 1
+	}
+	r := hotReader{b: b, off: 2}
+	if _, err := r.uvarint(); err != nil { // Hops
+		return 1
+	}
+	if _, err := r.uvarint(); err != nil { // MinSeq
+		return 1
+	}
+	n, err := r.uvarint()
+	if err != nil || n == 0 || n > MaxBatchEvents {
+		return 1
+	}
+	return int(n)
 }
 
 // ---- frame buffers ----
@@ -612,5 +641,227 @@ func (t *TransferRec) UnmarshalWire(b []byte) error {
 		copy(st, raw)
 		t.States[id] = st
 	}
+	return nil
+}
+
+// ---- SubmitBatchReq ----
+
+// BatchEvent is one event inside a SubmitBatchReq.
+type BatchEvent struct {
+	Target ownership.ID
+	Method string
+	Args   []any
+}
+
+// SubmitBatchReq is the hot batched submit frame: execute N independent
+// events on the receiving node in one exchange, amortizing the per-frame
+// wakeup and window costs across the batch. Hops and MinSeq apply to the
+// frame as a whole (one admission, one hop budget); outcomes are per-event
+// and independent — see SubmitBatchResp.
+//
+// Targets are interned against the frame itself: coalesced batches often
+// repeat a target (or a small set of them), so each event encodes either a
+// back-reference to an earlier event's target or a raw ID, never the same
+// varint twice in a row.
+type SubmitBatchReq struct {
+	Hops   uint32
+	MinSeq uint64
+	Events []BatchEvent
+}
+
+// BatchOutcome is the result of one event of a batch. The fields mirror
+// SubmitResp: Host is the authoritative placement of that event's dominator
+// after execution (0 = unknown), Err/ErrKind carry a handler failure typed.
+// One event's failure never poisons its batchmates — each slot stands alone.
+type BatchOutcome struct {
+	Result  any
+	Host    int64
+	Err     string
+	ErrKind string
+}
+
+// SubmitBatchResp carries one BatchOutcome per request event, index-aligned.
+type SubmitBatchResp struct {
+	Outcomes []BatchOutcome
+}
+
+// batchTargetScan bounds how far the encoder looks back for an equal target.
+// Coalesced batches are either single-target runs (hit at distance 1) or
+// small mixed sets; a short window keeps encoding O(n) in the worst case.
+const batchTargetScan = 8
+
+// MarshalWire appends the frame to dst. Pass a pooled buffer (GetFrameBuf)
+// to encode without allocating.
+func (q *SubmitBatchReq) MarshalWire(dst []byte) ([]byte, error) {
+	if len(q.Events) > MaxBatchEvents {
+		return nil, fmt.Errorf("schema: batch of %d events exceeds MaxBatchEvents", len(q.Events))
+	}
+	dst = append(dst, HotMagic, hotTypeSubmitBatchReq)
+	dst = putUvarint(dst, uint64(q.Hops))
+	dst = putUvarint(dst, q.MinSeq)
+	dst = putUvarint(dst, uint64(len(q.Events)))
+	var err error
+	for i := range q.Events {
+		ev := &q.Events[i]
+		// Target: 0 = raw ID follows; k>0 = same target as event i-k.
+		back := uint64(0)
+		for k := 1; k <= batchTargetScan && k <= i; k++ {
+			if q.Events[i-k].Target == ev.Target {
+				back = uint64(k)
+				break
+			}
+		}
+		dst = putUvarint(dst, back)
+		if back == 0 {
+			dst = putUvarint(dst, uint64(ev.Target))
+		}
+		dst = putString(dst, ev.Method)
+		dst = putUvarint(dst, uint64(len(ev.Args)))
+		for _, a := range ev.Args {
+			if dst, err = appendValue(dst, a); err != nil {
+				return nil, fmt.Errorf("batch event %d arg: %w", i, err)
+			}
+		}
+	}
+	return dst, nil
+}
+
+// UnmarshalWire decodes a frame produced by MarshalWire. The receiver's
+// Events slice — and each event's Args slice — is reused when capacity
+// suffices, so a long-lived decode target reaches steady-state zero
+// allocations; decoded values never alias b.
+func (q *SubmitBatchReq) UnmarshalWire(b []byte) error {
+	r := hotReader{b: b}
+	if err := r.header(hotTypeSubmitBatchReq); err != nil {
+		return err
+	}
+	hops, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if hops > math.MaxUint32 {
+		return r.fail("hop count overflow")
+	}
+	minSeq, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if n > MaxBatchEvents {
+		return r.fail("batch event count overflow")
+	}
+	evs := q.Events
+	if uint64(cap(evs)) < n {
+		evs = make([]BatchEvent, n)
+	} else {
+		// Re-extend over prior entries: their Args capacity is what makes
+		// repeated decodes allocation-free.
+		evs = evs[:n]
+	}
+	for i := uint64(0); i < n; i++ {
+		e := &evs[i]
+		back, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		switch {
+		case back == 0:
+			raw, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			e.Target = ownership.ID(raw)
+		case back > i:
+			return r.fail("batch target back-reference out of range")
+		default:
+			e.Target = evs[i-back].Target
+		}
+		if e.Method, err = r.internedStr(); err != nil {
+			return err
+		}
+		na, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if na > hotMax {
+			return r.fail("arg count overflow")
+		}
+		args := e.Args[:0]
+		for j := uint64(0); j < na; j++ {
+			v, err := r.readValue()
+			if err != nil {
+				return fmt.Errorf("batch event %d arg %d: %w", i, j, err)
+			}
+			args = append(args, v)
+		}
+		e.Args = args
+	}
+	q.Hops = uint32(hops)
+	q.MinSeq = minSeq
+	q.Events = evs
+	return nil
+}
+
+// ---- SubmitBatchResp ----
+
+// MarshalWire appends the frame to dst.
+func (p *SubmitBatchResp) MarshalWire(dst []byte) ([]byte, error) {
+	if len(p.Outcomes) > MaxBatchEvents {
+		return nil, fmt.Errorf("schema: batch of %d outcomes exceeds MaxBatchEvents", len(p.Outcomes))
+	}
+	dst = append(dst, HotMagic, hotTypeSubmitBatchResp)
+	dst = putUvarint(dst, uint64(len(p.Outcomes)))
+	var err error
+	for i := range p.Outcomes {
+		o := &p.Outcomes[i]
+		dst = putVarint(dst, o.Host)
+		dst = putString(dst, o.ErrKind)
+		dst = putString(dst, o.Err)
+		if dst, err = appendValue(dst, o.Result); err != nil {
+			return nil, fmt.Errorf("batch outcome %d result: %w", i, err)
+		}
+	}
+	return dst, nil
+}
+
+// UnmarshalWire decodes a frame produced by MarshalWire. The receiver's
+// Outcomes slice is reused when capacity suffices.
+func (p *SubmitBatchResp) UnmarshalWire(b []byte) error {
+	r := hotReader{b: b}
+	if err := r.header(hotTypeSubmitBatchResp); err != nil {
+		return err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if n > MaxBatchEvents {
+		return r.fail("batch outcome count overflow")
+	}
+	outs := p.Outcomes
+	if uint64(cap(outs)) < n {
+		outs = make([]BatchOutcome, n)
+	} else {
+		outs = outs[:n]
+	}
+	for i := uint64(0); i < n; i++ {
+		o := &outs[i]
+		if o.Host, err = r.varint(); err != nil {
+			return err
+		}
+		if o.ErrKind, err = r.internedStr(); err != nil {
+			return err
+		}
+		if o.Err, err = r.str(); err != nil {
+			return err
+		}
+		if o.Result, err = r.readValue(); err != nil {
+			return fmt.Errorf("batch outcome %d result: %w", i, err)
+		}
+	}
+	p.Outcomes = outs
 	return nil
 }

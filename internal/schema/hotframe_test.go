@@ -230,6 +230,221 @@ func TestSubmitRespZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestSubmitBatchReqRoundTrip pins the batched request frame: every event's
+// fields survive index-aligned, including repeated targets (back-reference
+// encoded), mixed targets beyond the scan window, and per-event args.
+func TestSubmitBatchReqRoundTrip(t *testing.T) {
+	mixed := make([]BatchEvent, 0, 24)
+	for i := 0; i < 24; i++ {
+		// 12 distinct targets — larger than the back-reference scan window —
+		// interleaved so both raw and back-referenced encodings occur.
+		mixed = append(mixed, BatchEvent{
+			Target: ownership.ID(i % 12),
+			Method: "deposit",
+			Args:   []any{i},
+		})
+	}
+	cases := []SubmitBatchReq{
+		{},
+		{Hops: 2, MinSeq: 99, Events: []BatchEvent{
+			{Target: 7, Method: "deposit", Args: []any{1}},
+			{Target: 7, Method: "withdraw", Args: []any{2, "memo"}},
+			{Target: 9, Method: "balance"},
+			{Target: 7, Method: "deposit", Args: []any{nil, true, 3.5, []byte{1, 2}, ownership.ID(4)}},
+		}},
+		{Events: mixed},
+	}
+	for i, in := range cases {
+		b, err := in.MarshalWire(nil)
+		if err != nil {
+			t.Fatalf("case %d marshal: %v", i, err)
+		}
+		if !IsHotFrame(b) {
+			t.Fatalf("case %d: frame does not carry the hot magic", i)
+		}
+		if got, want := HotFrameEvents(b), max(len(in.Events), 1); got != want {
+			t.Errorf("case %d: HotFrameEvents = %d, want %d", i, got, want)
+		}
+		var out SubmitBatchReq
+		if err := out.UnmarshalWire(b); err != nil {
+			t.Fatalf("case %d unmarshal: %v", i, err)
+		}
+		if out.Hops != in.Hops || out.MinSeq != in.MinSeq || len(out.Events) != len(in.Events) {
+			t.Fatalf("case %d: frame fields changed: %+v vs %+v", i, out, in)
+		}
+		for j := range in.Events {
+			ie, oe := in.Events[j], out.Events[j]
+			if oe.Target != ie.Target || oe.Method != ie.Method || len(oe.Args) != len(ie.Args) {
+				t.Errorf("case %d event %d: got %+v, want %+v", i, j, oe, ie)
+			}
+			for k := range ie.Args {
+				if !reflect.DeepEqual(oe.Args[k], ie.Args[k]) {
+					t.Errorf("case %d event %d arg %d: got %#v (%T), want %#v (%T)",
+						i, j, k, oe.Args[k], oe.Args[k], ie.Args[k], ie.Args[k])
+				}
+			}
+		}
+	}
+}
+
+// TestSubmitBatchRespRoundTrip pins the batched response frame, in
+// particular the partial-failure contract: one outcome's typed error rides
+// its own slot and its siblings' results are untouched.
+func TestSubmitBatchRespRoundTrip(t *testing.T) {
+	in := SubmitBatchResp{Outcomes: []BatchOutcome{
+		{Result: 450, Host: 3},
+		{Result: nil, Host: -1, Err: "no such context", ErrKind: "unknown-context"},
+		{Result: "ok", Host: 2},
+		{Err: "queue full", ErrKind: "backpressure"},
+	}}
+	b, err := in.MarshalWire(nil)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out SubmitBatchResp
+	if err := out.UnmarshalWire(b); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+
+	var empty SubmitBatchResp
+	b, err = empty.MarshalWire(nil)
+	if err != nil {
+		t.Fatalf("empty marshal: %v", err)
+	}
+	var eout SubmitBatchResp
+	if err := eout.UnmarshalWire(b); err != nil {
+		t.Fatalf("empty unmarshal: %v", err)
+	}
+	if len(eout.Outcomes) != 0 {
+		t.Fatalf("empty batch decoded %d outcomes", len(eout.Outcomes))
+	}
+}
+
+// TestSubmitBatchBounds pins the decoder's refusal to allocate for absurd
+// counts and the encoder's refusal to exceed MaxBatchEvents, plus rejection
+// of forward target back-references.
+func TestSubmitBatchBounds(t *testing.T) {
+	big := SubmitBatchReq{Events: make([]BatchEvent, MaxBatchEvents+1)}
+	if _, err := big.MarshalWire(nil); err == nil {
+		t.Fatalf("oversized batch encoded")
+	}
+	// Hand-build a frame declaring MaxBatchEvents+1 events.
+	frame := []byte{HotMagic, 5}
+	frame = putUvarint(frame, 0)                  // Hops
+	frame = putUvarint(frame, 0)                  // MinSeq
+	frame = putUvarint(frame, MaxBatchEvents+1)   // count
+	var q SubmitBatchReq
+	if err := q.UnmarshalWire(frame); err == nil {
+		t.Fatalf("oversized batch count decoded")
+	}
+	// A back-reference pointing past the first event is corrupt.
+	frame = []byte{HotMagic, 5}
+	frame = putUvarint(frame, 0)
+	frame = putUvarint(frame, 0)
+	frame = putUvarint(frame, 1) // one event
+	frame = putUvarint(frame, 3) // back-ref 3 with no prior events
+	if err := q.UnmarshalWire(frame); err == nil {
+		t.Fatalf("forward back-reference decoded")
+	}
+}
+
+// TestSubmitBatchReqZeroAlloc extends the perf contract to the batch frame:
+// steady-state encode+decode of an 8-event coalesced batch allocates
+// nothing.
+func TestSubmitBatchReqZeroAlloc(t *testing.T) {
+	evs := make([]BatchEvent, 8)
+	for i := range evs {
+		evs[i] = BatchEvent{Target: ownership.ID(40 + i%2), Method: "deposit", Args: []any{1}}
+	}
+	req := SubmitBatchReq{MinSeq: 9, Events: evs}
+	var dec SubmitBatchReq
+	buf := GetFrameBuf()
+	b, err := req.MarshalWire((*buf)[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.UnmarshalWire(b); err != nil {
+		t.Fatal(err)
+	}
+	*buf = b
+	PutFrameBuf(buf)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		buf := GetFrameBuf()
+		b, err := req.MarshalWire((*buf)[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.UnmarshalWire(b); err != nil {
+			t.Fatal(err)
+		}
+		*buf = b
+		PutFrameBuf(buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("batch encode+decode allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestSubmitBatchRespZeroAlloc: same contract for the batched response.
+func TestSubmitBatchRespZeroAlloc(t *testing.T) {
+	outs := make([]BatchOutcome, 8)
+	for i := range outs {
+		outs[i] = BatchOutcome{Result: 7, Host: 3}
+	}
+	resp := SubmitBatchResp{Outcomes: outs}
+	var dec SubmitBatchResp
+	buf := GetFrameBuf()
+	b, _ := resp.MarshalWire((*buf)[:0])
+	_ = dec.UnmarshalWire(b)
+	*buf = b
+	PutFrameBuf(buf)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		buf := GetFrameBuf()
+		b, err := resp.MarshalWire((*buf)[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.UnmarshalWire(b); err != nil {
+			t.Fatal(err)
+		}
+		*buf = b
+		PutFrameBuf(buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("batch resp encode+decode allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// BenchmarkSubmitBatchReqHotCodec reports the amortized per-event codec cost
+// at a coalescer-sized batch.
+func BenchmarkSubmitBatchReqHotCodec(b *testing.B) {
+	evs := make([]BatchEvent, 32)
+	for i := range evs {
+		evs[i] = BatchEvent{Target: ownership.ID(40 + i%4), Method: "deposit", Args: []any{1}}
+	}
+	req := SubmitBatchReq{Events: evs}
+	var dec SubmitBatchReq
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := GetFrameBuf()
+		fb, err := req.MarshalWire((*buf)[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dec.UnmarshalWire(fb); err != nil {
+			b.Fatal(err)
+		}
+		*buf = fb
+		PutFrameBuf(buf)
+	}
+}
+
 // BenchmarkSubmitReqHotCodec reports the hot path cost; run with -benchmem
 // to see the 0 B/op, 0 allocs/op contract.
 func BenchmarkSubmitReqHotCodec(b *testing.B) {
@@ -293,9 +508,25 @@ func FuzzHotFrameRoundTrip(f *testing.F) {
 	if b, err := seedTr.MarshalWire(nil); err == nil {
 		f.Add(b)
 	}
+	seedBatch := SubmitBatchReq{Hops: 1, MinSeq: 4, Events: []BatchEvent{
+		{Target: 7, Method: "deposit", Args: []any{1}},
+		{Target: 7, Method: "withdraw", Args: []any{"x"}},
+		{Target: 9, Method: "balance"},
+	}}
+	if b, err := seedBatch.MarshalWire(nil); err == nil {
+		f.Add(b)
+	}
+	seedBatchResp := SubmitBatchResp{Outcomes: []BatchOutcome{
+		{Result: 450, Host: 3},
+		{Err: "boom", ErrKind: "backpressure", Host: -1},
+	}}
+	if b, err := seedBatchResp.MarshalWire(nil); err == nil {
+		f.Add(b)
+	}
 	f.Add([]byte{HotMagic})
 	f.Add([]byte{HotMagic, 1})
 	f.Add([]byte{HotMagic, 4, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Add([]byte{HotMagic, 5, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
 	f.Add([]byte("not a frame at all"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -340,6 +571,40 @@ func FuzzHotFrameRoundTrip(f *testing.F) {
 				if err := tr2.UnmarshalWire(b2); err != nil {
 					t.Fatalf("re-decode of re-encoded transfer failed: %v", err)
 				}
+			}
+		}
+		var bq SubmitBatchReq
+		if err := bq.UnmarshalWire(data); err == nil {
+			_ = HotFrameEvents(data) // must not panic on any decodable frame
+			b2, err := bq.MarshalWire(nil)
+			if err != nil {
+				t.Fatalf("re-encode of decoded submitBatchReq failed: %v", err)
+			}
+			var bq2 SubmitBatchReq
+			if err := bq2.UnmarshalWire(b2); err != nil {
+				t.Fatalf("re-decode of re-encoded submitBatchReq failed: %v", err)
+			}
+			if bq2.Hops != bq.Hops || bq2.MinSeq != bq.MinSeq || len(bq2.Events) != len(bq.Events) {
+				t.Fatalf("submitBatchReq round trip not a fixed point: %+v vs %+v", bq2, bq)
+			}
+			for i := range bq.Events {
+				if bq2.Events[i].Target != bq.Events[i].Target || bq2.Events[i].Method != bq.Events[i].Method {
+					t.Fatalf("submitBatchReq event %d not a fixed point", i)
+				}
+			}
+		}
+		var bp SubmitBatchResp
+		if err := bp.UnmarshalWire(data); err == nil {
+			b2, err := bp.MarshalWire(nil)
+			if err != nil {
+				t.Fatalf("re-encode of decoded submitBatchResp failed: %v", err)
+			}
+			var bp2 SubmitBatchResp
+			if err := bp2.UnmarshalWire(b2); err != nil {
+				t.Fatalf("re-decode of re-encoded submitBatchResp failed: %v", err)
+			}
+			if len(bp2.Outcomes) != len(bp.Outcomes) {
+				t.Fatalf("submitBatchResp round trip not a fixed point")
 			}
 		}
 	})

@@ -41,6 +41,38 @@ type Stream interface {
 	Close() error
 }
 
+// BatchCaller is implemented by streams that can issue several requests as
+// one burst through a shared completion plane: the frames ride one writer
+// flush and one parked waiter instead of len(reqs) goroutines. Responses
+// are index-aligned with reqs; per-call handler failures land in errs; a
+// non-nil overall error is a transport-level failure (context expiry,
+// broken stream) that voided the whole flight.
+type BatchCaller interface {
+	CallBatch(ctx context.Context, reqs []Message) ([]Message, []error, error)
+}
+
+// StreamCallBatch issues reqs over st as one pipelined flight, using the
+// stream's native CallBatch when it has one and falling back to concurrent
+// Calls otherwise (the fallback reports transport failures per-index rather
+// than as an overall error).
+func StreamCallBatch(ctx context.Context, st Stream, reqs []Message) ([]Message, []error, error) {
+	if bc, ok := st.(BatchCaller); ok {
+		return bc.CallBatch(ctx, reqs)
+	}
+	msgs := make([]Message, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	wg.Add(len(reqs))
+	for i := range reqs {
+		go func(i int) {
+			defer wg.Done()
+			msgs[i], errs[i] = st.Call(ctx, reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	return msgs, errs, nil
+}
+
 // Streamer is implemented by endpoints that support pipelined multiplexed
 // streams in addition to one-shot calls.
 type Streamer interface {

@@ -468,6 +468,233 @@ func TestMuxConcurrentClientsStress(t *testing.T) {
 	}
 }
 
+// TestMuxCallBatchRoundTrip pins the batched flight: K requests issued as
+// one CallBatch come back index-aligned through the shared completion plane,
+// even when the server answers them out of order.
+func TestMuxCallBatchRoundTrip(t *testing.T) {
+	addr := fakeMuxServer(t, func(conn net.Conn, r *bufio.Reader) {
+		const k = 8
+		ids := make([]uint64, k)
+		payloads := make([][]byte, k)
+		for i := 0; i < k; i++ {
+			ids[i], payloads[i] = readReqFrame(t, r)
+		}
+		for i := k - 1; i >= 0; i-- { // reverse order
+			writeRespFrame(t, conn, ids[i], payloads[i])
+		}
+	})
+	s := dialFake(t, addr)
+
+	reqs := make([]Message, 8)
+	for i := range reqs {
+		reqs[i] = Message{Kind: "q", Payload: []byte("batch-" + strconv.Itoa(i))}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	msgs, errs, err := s.CallBatch(ctx, reqs)
+	if err != nil {
+		t.Fatalf("CallBatch: %v", err)
+	}
+	for i := range reqs {
+		if errs[i] != nil {
+			t.Errorf("call %d: %v", i, errs[i])
+			continue
+		}
+		if want := "batch-" + strconv.Itoa(i); string(msgs[i].Payload) != want {
+			t.Errorf("call %d: got %q want %q — batch responses mis-aligned", i, msgs[i].Payload, want)
+		}
+	}
+}
+
+// TestMuxCallBatchPerCallErrors pins partial failure inside one flight: a
+// handler error on one request lands in its own error slot as a RemoteError
+// and its batchmates complete normally.
+func TestMuxCallBatchPerCallErrors(t *testing.T) {
+	h := func(ctx context.Context, from NodeID, req Message) (Message, error) {
+		if string(req.Payload) == "poison" {
+			return Message{}, errors.New("handler rejected this one")
+		}
+		return Message{Kind: req.Kind, Payload: req.Payload}, nil
+	}
+	cli, _, _ := tcpPair(t, h)
+	st, _, err := OpenStream(cli, 1)
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	defer st.Close()
+	bc, ok := st.(BatchCaller)
+	if !ok {
+		t.Fatalf("mux stream does not implement BatchCaller")
+	}
+
+	reqs := []Message{
+		{Kind: "q", Payload: []byte("ok-0")},
+		{Kind: "q", Payload: []byte("poison")},
+		{Kind: "q", Payload: []byte("ok-2")},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	msgs, errs, err := bc.CallBatch(ctx, reqs)
+	if err != nil {
+		t.Fatalf("CallBatch: %v", err)
+	}
+	var re *RemoteError
+	if !errors.As(errs[1], &re) {
+		t.Fatalf("poisoned call error: got %v, want RemoteError", errs[1])
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("sibling calls poisoned: %v, %v", errs[0], errs[2])
+	}
+	if string(msgs[0].Payload) != "ok-0" || string(msgs[2].Payload) != "ok-2" {
+		t.Fatalf("sibling payloads wrong: %q, %q", msgs[0].Payload, msgs[2].Payload)
+	}
+}
+
+// TestMuxSlotReuseAcrossWindow pins the completion plane's slot recycling:
+// far more sequential calls than MuxWindow slots complete correctly (every
+// slot is re-armed with a fresh, never-reused correlation ID each time).
+func TestMuxSlotReuseAcrossWindow(t *testing.T) {
+	cli, _, _ := tcpPair(t, mirrorHandler)
+	st, _, err := OpenStream(cli, 1)
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	defer st.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const calls = 3 * MuxWindow
+	const depth = 64
+	var wg sync.WaitGroup
+	errCh := make(chan error, depth)
+	for w := 0; w < depth; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < calls/depth; i++ {
+				want := fmt.Sprintf("w%d-i%d", w, i)
+				resp, err := st.Call(ctx, Message{Kind: "echo", Payload: []byte(want)})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if string(resp.Payload) != want {
+					errCh <- fmt.Errorf("slot cross-talk: got %q want %q", resp.Payload, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestMuxCallBatchAbandonReleasesAllSlots pins window accounting under
+// partial failure: a batch abandoned by context expiry returns every one of
+// its N slots to the freelist — no leak, no double release.
+func TestMuxCallBatchAbandonReleasesAllSlots(t *testing.T) {
+	addr := fakeMuxServer(t, func(conn net.Conn, r *bufio.Reader) {
+		for { // swallow requests, never answer
+			if _, _, _, _, err := readMuxFrame(r, new([]byte)); err != nil {
+				return
+			}
+		}
+	})
+	s := dialFake(t, addr)
+
+	reqs := make([]Message, 16)
+	for i := range reqs {
+		reqs[i] = Message{Kind: "q", Payload: []byte{byte(i)}}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, _, err := s.CallBatch(ctx, reqs); !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("abandoned batch: got %v, want ErrCallTimeout", err)
+	}
+	if got := len(s.free); got != MuxWindow {
+		t.Fatalf("freelist has %d slots after abandoned batch, want %d", got, MuxWindow)
+	}
+}
+
+// TestWeightedSem pins the server admission semaphore: acquisition blocks
+// until weight is released, close unblocks waiters with failure, and a
+// frame's weight is bounded by capacity.
+func TestWeightedSem(t *testing.T) {
+	sem := newWeightedSem(10)
+	if !sem.acquire(8) {
+		t.Fatalf("acquire within capacity failed")
+	}
+	acquired := make(chan bool)
+	go func() { acquired <- sem.acquire(4) }()
+	select {
+	case <-acquired:
+		t.Fatalf("over-capacity acquire did not block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	sem.release(8)
+	select {
+	case ok := <-acquired:
+		if !ok {
+			t.Fatalf("unblocked acquire reported closed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("release did not unblock waiter")
+	}
+
+	blocked := make(chan bool)
+	go func() { blocked <- sem.acquire(100) }()
+	time.Sleep(20 * time.Millisecond)
+	sem.close()
+	select {
+	case ok := <-blocked:
+		if ok {
+			t.Fatalf("acquire on closed semaphore succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("close did not unblock waiter")
+	}
+}
+
+// TestStreamCallBatchFallback pins the helper's degraded path: a stream
+// without a native CallBatch still completes a batch via concurrent Calls.
+func TestStreamCallBatchFallback(t *testing.T) {
+	mesh := NewInMemMesh(NewSim(SimConfig{}))
+	srv, err := mesh.Attach(1, mirrorHandler)
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	defer srv.Close()
+	cli, err := mesh.Attach(2, mirrorHandler)
+	if err != nil {
+		t.Fatalf("attach client: %v", err)
+	}
+	defer cli.Close()
+	st, ok, err := OpenStream(cli, 1)
+	if !ok || err != nil {
+		t.Fatalf("OpenStream: ok=%v err=%v", ok, err)
+	}
+	defer st.Close()
+
+	reqs := make([]Message, 5)
+	for i := range reqs {
+		reqs[i] = Message{Kind: "q", Payload: []byte(strconv.Itoa(i))}
+	}
+	msgs, errs, err := StreamCallBatch(context.Background(), st, reqs)
+	if err != nil {
+		t.Fatalf("StreamCallBatch: %v", err)
+	}
+	for i := range reqs {
+		if errs[i] != nil {
+			t.Errorf("call %d: %v", i, errs[i])
+		} else if string(msgs[i].Payload) != strconv.Itoa(i) {
+			t.Errorf("call %d: got %q", i, msgs[i].Payload)
+		}
+	}
+}
+
 // TestMuxFrameCodec pins the frame layout round trip and its bounds checks.
 func TestMuxFrameCodec(t *testing.T) {
 	var netBuf bufWriter

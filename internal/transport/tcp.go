@@ -269,10 +269,17 @@ type tcpStream struct {
 	mux *muxStream
 }
 
-var _ Stream = (*tcpStream)(nil)
+var (
+	_ Stream      = (*tcpStream)(nil)
+	_ BatchCaller = (*tcpStream)(nil)
+)
 
 func (s *tcpStream) Call(ctx context.Context, req Message) (Message, error) {
 	return s.mux.Call(ctx, req)
+}
+
+func (s *tcpStream) CallBatch(ctx context.Context, reqs []Message) ([]Message, []error, error) {
+	return s.mux.CallBatch(ctx, reqs)
 }
 
 func (s *tcpStream) Close() error {
