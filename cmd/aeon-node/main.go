@@ -39,8 +39,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -55,6 +58,7 @@ import (
 	"aeon/internal/emanager"
 	"aeon/internal/ingress"
 	"aeon/internal/node"
+	"aeon/internal/ops"
 	"aeon/internal/ownership"
 	"aeon/internal/transport"
 )
@@ -80,6 +84,8 @@ func run() error {
 		storeBack  = flag.String("store-backend", "memory", "store server backend: memory, or disk:<dir> (only with -serve-store)")
 		drive      = flag.Bool("drive", false, "drive the smoke workload against the deployment, then shut peers down")
 		repl       = flag.Bool("replicate", true, "sequence runtime topology mutations through the replicated mutation log (dynamic topologies)")
+		admin      = flag.String("admin", "", "serve the ops admin plane (/healthz, /metrics, /events, /debug/pprof) on host:port")
+		adminPeers = flag.String("admin-peers", "", "comma-separated id=host:port peer admin addresses; with -drive, the smoke phase curls every one and verifies a cross-node trace")
 	)
 	flag.Parse()
 
@@ -92,7 +98,7 @@ func run() error {
 	}
 
 	if *serveStore > 0 {
-		return runStoreServer(addrs, *serveStore, *listen, *storeBack)
+		return runStoreServer(addrs, *serveStore, *listen, *storeBack, *admin)
 	}
 
 	self := transport.NodeID(*id)
@@ -161,11 +167,24 @@ func run() error {
 	} else {
 		cfg.StoreNode = transport.NodeID(*storeID)
 	}
+	var reg *ops.Registry
+	if *admin != "" {
+		reg = ops.NewRegistry(0)
+		cfg.Ops = reg
+	}
 	n, err := node.Start(mesh, cfg)
 	if err != nil {
 		return err
 	}
 	defer n.Close()
+	if reg != nil {
+		adm, err := ops.ServeAdmin(*admin, reg)
+		if err != nil {
+			return fmt.Errorf("-admin %s: %w", *admin, err)
+		}
+		defer adm.Close()
+		fmt.Printf("aeon-node %d admin plane on http://%s\n", *id, adm.Addr())
+	}
 	if *storeParts > 0 {
 		fmt.Printf("aeon-node %d listening on %s (%d-node deployment, %d-partition store plane)\n",
 			*id, addrs[self], nodeCount, *storeParts)
@@ -182,7 +201,7 @@ func run() error {
 	}
 
 	if *drive {
-		return runDrive(n, mesh, top, addrs, *accounts, *balance, *repl)
+		return runDrive(n, mesh, top, addrs, *accounts, *balance, *repl, reg, *admin, *adminPeers)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -199,7 +218,7 @@ func run() error {
 // runStoreServer runs this process as dedicated store server k: a mesh
 // attachment at s<k> serving the cloud-store wire protocol from the given
 // backend, until a peer sends shutdown or the process is signalled.
-func runStoreServer(addrs map[transport.NodeID]string, k int, listen, backendSpec string) error {
+func runStoreServer(addrs map[transport.NodeID]string, k int, listen, backendSpec, admin string) error {
 	self := node.StoreIDBase + transport.NodeID(k)
 	if _, ok := addrs[self]; !ok && listen == "" {
 		return fmt.Errorf("store server s%d not in -peers and no -listen given", k)
@@ -222,6 +241,16 @@ func runStoreServer(addrs map[transport.NodeID]string, k int, listen, backendSpe
 		return err
 	}
 	defer srv.Close()
+	if admin != "" {
+		reg := ops.NewRegistry(0)
+		srv.RegisterOps(reg)
+		adm, err := ops.ServeAdmin(admin, reg)
+		if err != nil {
+			return fmt.Errorf("-admin %s: %w", admin, err)
+		}
+		defer adm.Close()
+		fmt.Printf("aeon-node store server s%d admin plane on http://%s\n", k, adm.Addr())
+	}
 	fmt.Printf("aeon-node store server s%d listening on %s (backend %s)\n", k, addrs[self], backendSpec)
 
 	sig := make(chan os.Signal, 1)
@@ -283,7 +312,7 @@ func parsePeers(spec string) (addrs map[transport.NodeID]string, nodeCount, stor
 // dynamic-topology script (runtime context creation on every process,
 // sequenced through the replicated mutation log), drive pipelined traffic
 // from an external ingress client, and shut everything down.
-func runDrive(n *node.Node, mesh transport.Mesh, top *node.BankTopology, addrs map[transport.NodeID]string, accounts, balance int, replicate bool) error {
+func runDrive(n *node.Node, mesh transport.Mesh, top *node.BankTopology, addrs map[transport.NodeID]string, accounts, balance int, replicate bool, reg *ops.Registry, adminSelf, adminPeerSpec string) error {
 	var peerIDs, storeIDs []transport.NodeID
 	for pid := range addrs {
 		switch {
@@ -392,10 +421,21 @@ func runDrive(n *node.Node, mesh transport.Mesh, top *node.BankTopology, addrs m
 	// Phase 4: external ingress — a client outside the fleet attaches to the
 	// mesh, pipelines deposits over multiplexed connections, and repairs its
 	// routing cache from authoritative responses (including the route the
-	// phase-2 migration made stale).
-	if err := driveIngress(n, mesh, top); err != nil {
+	// phase-2 migration made stale). Submits are traced, so phase 5 can find
+	// the forwarding hops in the fleet's event feeds.
+	if err := driveIngress(n, mesh, top, reg); err != nil {
 		shutdownPeers()
 		return fmt.Errorf("ingress: %w", err)
+	}
+
+	// Phase 5: admin-plane smoke — curl every admin endpoint in the fleet
+	// (liveness, Prometheus exposition, event feed) and verify at least one
+	// trace from phase 4 shows spans on two or more forwarding hops.
+	if adminSelf != "" || adminPeerSpec != "" {
+		if err := driveAdminSmoke(adminSelf, adminPeerSpec); err != nil {
+			shutdownPeers()
+			return fmt.Errorf("admin smoke: %w", err)
+		}
 	}
 
 	shutdownPeers()
@@ -406,16 +446,19 @@ func runDrive(n *node.Node, mesh transport.Mesh, top *node.BankTopology, addrs m
 // driveIngress verifies the client SDK against the live deployment:
 // pipelined deposits from outside the fleet land exactly once (audit deltas
 // match), and the client's dominator→node cache converges to the true hosts.
-func driveIngress(n *node.Node, mesh transport.Mesh, top *node.BankTopology) error {
+func driveIngress(n *node.Node, mesh transport.Mesh, top *node.BankTopology, reg *ops.Registry) error {
 	var fleet []transport.NodeID
 	for i := range top.Banks {
 		fleet = append(fleet, transport.NodeID(i+1))
 	}
-	cli, err := ingress.Dial(mesh, ingress.Config{Nodes: fleet})
+	cli, err := ingress.Dial(mesh, ingress.Config{Nodes: fleet, Trace: true})
 	if err != nil {
 		return err
 	}
 	defer cli.Close()
+	if reg != nil {
+		cli.RegisterOps(reg)
+	}
 
 	before := make([]int, len(top.Banks))
 	for i, bank := range top.Banks {
@@ -462,6 +505,120 @@ func driveIngress(n *node.Node, mesh transport.Mesh, top *node.BankTopology) err
 	}
 	fmt.Printf("drive: ingress client pipelined %d deposits in %v (%.0f ev/s), audits and routes converged\n",
 		len(futures), elapsed.Round(time.Millisecond), float64(len(futures))/elapsed.Seconds())
+	return nil
+}
+
+// driveAdminSmoke exercises the ops plane across the fleet: every admin
+// endpoint (this process's plus every -admin-peers entry) must report
+// healthy, serve Prometheus-parseable metrics, and serve its event feed.
+// Fleet-wide, the executed-submit counters must be nonzero after the drive,
+// and at least one phase-4 trace must appear with spans on ≥2 forwarding
+// hops — proving trace IDs survive the hot codec and cross-node forwarding.
+func driveAdminSmoke(adminSelf, adminPeerSpec string) error {
+	urls := map[string]string{}
+	if adminSelf != "" {
+		urls["self"] = "http://" + adminSelf
+	}
+	for _, part := range strings.Split(adminPeerSpec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("bad -admin-peers entry %q (want id=host:port)", part)
+		}
+		urls[kv[0]] = "http://" + kv[1]
+	}
+	if len(urls) == 0 {
+		return nil
+	}
+
+	httpc := &http.Client{Timeout: 5 * time.Second}
+	get := func(url string) ([]byte, error) {
+		resp, err := httpc.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, body)
+		}
+		return body, nil
+	}
+
+	var executed float64
+	traceHops := map[string]map[int]bool{}
+	for name, base := range urls {
+		body, err := get(base + "/healthz")
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		var health struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(body, &health); err != nil || health.Status != "ok" {
+			return fmt.Errorf("%s /healthz degraded: %s", name, body)
+		}
+
+		body, err = get(base + "/metrics")
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		for _, line := range strings.Split(string(body), "\n") {
+			if strings.HasPrefix(line, "aeon_node_submits_executed_total ") {
+				v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+				if err != nil {
+					return fmt.Errorf("%s: unparseable metric line %q", name, line)
+				}
+				executed += v
+			}
+		}
+
+		body, err = get(base + "/events")
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		for _, line := range strings.Split(string(body), "\n") {
+			if line == "" {
+				continue
+			}
+			var ev struct {
+				Type   string         `json:"type"`
+				Fields map[string]any `json:"fields"`
+			}
+			if json.Unmarshal([]byte(line), &ev) != nil || ev.Type != "trace.span" {
+				continue
+			}
+			tr, _ := ev.Fields["trace"].(string)
+			hop, ok := ev.Fields["hop"].(float64)
+			if tr == "" || !ok {
+				continue
+			}
+			if traceHops[tr] == nil {
+				traceHops[tr] = map[int]bool{}
+			}
+			traceHops[tr][int(hop)] = true
+		}
+	}
+	if executed == 0 {
+		return fmt.Errorf("fleet-wide executed-submit counters are all zero after the drive")
+	}
+	multiHop := 0
+	for _, hops := range traceHops {
+		if len(hops) >= 2 {
+			multiHop++
+		}
+	}
+	if multiHop == 0 {
+		return fmt.Errorf("no trace spanned >=2 hops across the fleet (%d traces seen)", len(traceHops))
+	}
+	fmt.Printf("drive: admin smoke OK — %d endpoints healthy, %.0f submits executed fleet-wide, %d traces spanned >=2 hops\n",
+		len(urls), executed, multiHop)
 	return nil
 }
 

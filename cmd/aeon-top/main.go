@@ -1,0 +1,228 @@
+// Command aeon-top summarizes a live AEON fleet on one screen, the way top
+// summarizes processes: it polls every node's admin /metrics endpoint
+// (cmd/aeon-node -admin), computes per-interval rates from consecutive
+// scrapes, and renders a table — one row per node — of the numbers an
+// operator reaches for first: submit execution and forwarding rates, batch
+// throughput, executor queue depth, event-latency p99, mux completion-slot
+// occupancy, replication lag, and dropped late responses.
+//
+//	aeon-top -fleet "1=127.0.0.1:8101,2=127.0.0.1:8102,3=127.0.0.1:8103"
+//
+// -once scrapes a single time and prints absolute totals instead of rates
+// (for scripts and CI smoke checks); otherwise the table refreshes every
+// -interval until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aeon-top:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fleet    = flag.String("fleet", "1=127.0.0.1:8101", "comma-separated id=host:port admin addresses to poll")
+		interval = flag.Duration("interval", 2*time.Second, "poll interval")
+		once     = flag.Bool("once", false, "scrape once, print absolute totals, exit")
+	)
+	flag.Parse()
+
+	targets, err := parseFleet(*fleet)
+	if err != nil {
+		return err
+	}
+
+	if *once {
+		rows := scrapeAll(targets)
+		render(os.Stdout, rows, nil, 0)
+		return nil
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	var prev map[string]sample
+	for {
+		rows := scrapeAll(targets)
+		// Clear and home between frames; plain output stays readable when
+		// piped because each frame still ends in newlines.
+		fmt.Print("\033[H\033[2J")
+		render(os.Stdout, rows, prev, *interval)
+		prev = rows
+		select {
+		case <-sig:
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+type target struct {
+	name string
+	url  string
+}
+
+func parseFleet(spec string) ([]target, error) {
+	var ts []target
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -fleet entry %q (want id=host:port)", part)
+		}
+		ts = append(ts, target{name: kv[0], url: "http://" + kv[1]})
+	}
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("-fleet lists no targets")
+	}
+	return ts, nil
+}
+
+// sample is one node's scraped metric set (metric name + optional quantile
+// label → value), plus scrape health.
+type sample struct {
+	ok      bool
+	err     string
+	metrics map[string]float64
+}
+
+func scrapeAll(targets []target) map[string]sample {
+	out := make(map[string]sample, len(targets))
+	httpc := &http.Client{Timeout: 3 * time.Second}
+	for _, t := range targets {
+		out[t.name] = scrape(httpc, t.url)
+	}
+	return out
+}
+
+func scrape(httpc *http.Client, base string) sample {
+	resp, err := httpc.Get(base + "/metrics")
+	if err != nil {
+		return sample{err: err.Error()}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return sample{err: fmt.Sprintf("HTTP %d", resp.StatusCode)}
+	}
+	s := sample{ok: true, metrics: make(map[string]float64)}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		key := line[:sp]
+		// Collapse label sets we don't pivot on, but keep quantiles: a
+		// summary line aeon_x{quantile="0.99"} stays distinct, while
+		// per-partition counters sum into their family.
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if q := quantileOf(key[i:]); q != "" {
+				key = key[:i] + ":" + q
+			} else {
+				key = key[:i]
+			}
+		}
+		s.metrics[key] += v
+	}
+	return s
+}
+
+func quantileOf(labels string) string {
+	const tag = `quantile="`
+	i := strings.Index(labels, tag)
+	if i < 0 {
+		return ""
+	}
+	rest := labels[i+len(tag):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}
+
+// columns maps table headers to metric keys. Counter columns render as
+// per-second rates when a previous sample exists, absolute totals otherwise.
+var columns = []struct {
+	head    string
+	key     string
+	counter bool
+}{
+	{"EXEC", "aeon_node_submits_executed_total", true},
+	{"FWD", "aeon_node_submits_forwarded_total", true},
+	{"BATCH", "aeon_node_batch_frames_total", true},
+	{"BEV", "aeon_node_batch_events_total", true},
+	{"QDEPTH", "aeon_exec_queue_depth", false},
+	{"P99MS", "aeon_event_latency_seconds:0.99", false},
+	{"SLOTS", "aeon_mux_slots_in_use", false},
+	{"RLAG", "aeon_replication_lag", false},
+	{"DROPS", "aeon_mux_dropped_responses_total", true},
+}
+
+func render(w io.Writer, rows, prev map[string]sample, interval time.Duration) {
+	names := make([]string, 0, len(rows))
+	for name := range rows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-8s %-5s", "NODE", "UP")
+	for _, c := range columns {
+		fmt.Fprintf(w, " %9s", c.head)
+	}
+	fmt.Fprintln(w)
+	for _, name := range names {
+		s := rows[name]
+		if !s.ok {
+			fmt.Fprintf(w, "%-8s %-5s %s\n", name, "down", s.err)
+			continue
+		}
+		fmt.Fprintf(w, "%-8s %-5s", name, "ok")
+		for _, c := range columns {
+			v, have := s.metrics[c.key]
+			switch {
+			case !have:
+				fmt.Fprintf(w, " %9s", "-")
+			case c.key == "aeon_event_latency_seconds:0.99":
+				fmt.Fprintf(w, " %9.2f", v*1000)
+			case c.counter && prev != nil && interval > 0:
+				p := prev[name]
+				if !p.ok {
+					fmt.Fprintf(w, " %9s", "-")
+					break
+				}
+				fmt.Fprintf(w, " %9.0f", (v-p.metrics[c.key])/interval.Seconds())
+			default:
+				fmt.Fprintf(w, " %9.0f", v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if prev != nil {
+		fmt.Fprintf(w, "\ncounters are per-second rates over the last %v; ctrl-c to quit\n", interval)
+	}
+}

@@ -136,7 +136,7 @@ func max64(a, b uint64) uint64 {
 // hosted accounts.
 func ingressThroughput(nClients, depth int, oneShot bool, accounts int, dur time.Duration) (float64, time.Duration, error) {
 	mesh := transport.NewTCPMesh()
-	d, err := node.Deploy(mesh, node.Topology{Nodes: 2, AccountsPerBank: accounts})
+	d, err := node.Deploy(mesh, node.Topology{Nodes: 2, AccountsPerBank: accounts, EnableOps: true})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -150,6 +150,10 @@ func ingressThroughput(nClients, depth int, oneShot bool, accounts int, dur time
 
 	clients := make([]*ingress.Client, nClients)
 	for i := range clients {
+		// Ops registries stay on (the realistic production posture: the
+		// hot path pays only striped counters); per-frame tracing does
+		// not — at 100k+ ev/s a span per executed submit serializes on
+		// the event ring. The repair experiment keeps tracing on.
 		c, err := ingress.Dial(mesh, ingress.Config{
 			Nodes:      []transport.NodeID{1, 2},
 			NoPipeline: oneShot,
@@ -212,7 +216,7 @@ func ingressThroughput(nClients, depth int, oneShot bool, accounts int, dur time
 // (frame latency / batch).
 func ingressBatchThroughput(batch, depth, accounts int, dur time.Duration) (float64, time.Duration, error) {
 	mesh := transport.NewTCPMesh()
-	d, err := node.Deploy(mesh, node.Topology{Nodes: 2, AccountsPerBank: accounts})
+	d, err := node.Deploy(mesh, node.Topology{Nodes: 2, AccountsPerBank: accounts, EnableOps: true})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -280,7 +284,7 @@ func ingressBatchThroughput(batch, depth, accounts int, dur time.Duration) (floa
 // counts so the table can report the achieved batch size.
 func ingressCoalescedThroughput(accounts int, dur time.Duration) (float64, time.Duration, uint64, uint64, error) {
 	mesh := transport.NewTCPMesh()
-	d, err := node.Deploy(mesh, node.Topology{Nodes: 2, AccountsPerBank: accounts})
+	d, err := node.Deploy(mesh, node.Topology{Nodes: 2, AccountsPerBank: accounts, EnableOps: true})
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
@@ -359,7 +363,7 @@ func ingressCoalescedThroughput(accounts int, dur time.Duration) (float64, time.
 // repairs the cache; convergence is how many submits that takes.
 func ingressRepair(dur time.Duration) (*Table, error) {
 	mesh := transport.NewTCPMesh()
-	d, err := node.Deploy(mesh, node.Topology{Nodes: 2})
+	d, err := node.Deploy(mesh, node.Topology{Nodes: 2, EnableOps: true})
 	if err != nil {
 		return nil, err
 	}
@@ -367,7 +371,7 @@ func ingressRepair(dur time.Duration) (*Table, error) {
 	if err := d.WaitReady(10 * time.Second); err != nil {
 		return nil, err
 	}
-	c, err := ingress.Dial(mesh, ingress.Config{Nodes: []transport.NodeID{1, 2}})
+	c, err := ingress.Dial(mesh, ingress.Config{Nodes: []transport.NodeID{1, 2}, Trace: true})
 	if err != nil {
 		return nil, err
 	}

@@ -36,6 +36,10 @@ func NewPartitioned(parts ...API) *Partitioned {
 // Parts reports the partition count.
 func (p *Partitioned) Parts() int { return len(p.parts) }
 
+// Partition returns the client serving partition i (the ops plane uses it
+// to reach each partition's Replicated view).
+func (p *Partitioned) Partition(i int) API { return p.parts[i] }
+
 // PartitionOf reports which partition owns key.
 func (p *Partitioned) PartitionOf(key string) int {
 	return partitionOf(key, len(p.parts))

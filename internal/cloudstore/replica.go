@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ReplicaAPI is the surface a store replica exposes: the plain client API
@@ -106,6 +107,14 @@ type Replicated struct {
 	mu      sync.Mutex
 	epoch   uint64
 	primary int
+
+	// fenceAdvances counts adopted epoch bumps (failovers observed by this
+	// client); quorumFailures counts writes and fence spreads that could
+	// not reach a majority. onFence, when set, fires on every adopted
+	// advance — the ops plane turns it into a store.fence_advance event.
+	fenceAdvances  atomic.Uint64
+	quorumFailures atomic.Uint64
+	onFence        atomic.Pointer[func(part int, epoch uint64)]
 }
 
 var _ API = (*Replicated)(nil)
@@ -129,6 +138,23 @@ func (r *Replicated) View() (epoch uint64, primary int) {
 	return r.epoch, r.primary
 }
 
+// Part reports the partition index this client serves.
+func (r *Replicated) Part() int { return r.part }
+
+// FenceAdvances counts the epoch bumps this client has adopted (its
+// observed failovers).
+func (r *Replicated) FenceAdvances() uint64 { return r.fenceAdvances.Load() }
+
+// QuorumFailures counts writes and fence spreads refused because a majority
+// of the replica set was unreachable.
+func (r *Replicated) QuorumFailures() uint64 { return r.quorumFailures.Load() }
+
+// SetOnFenceAdvance installs a callback fired (outside the view lock) each
+// time this client adopts a newer fence epoch.
+func (r *Replicated) SetOnFenceAdvance(fn func(part int, epoch uint64)) {
+	r.onFence.Store(&fn)
+}
+
 // quorum is the majority size of the replica set; followerQuorum is how many
 // follower acks a write needs on top of the primary's own copy to reach it.
 func (r *Replicated) quorum() int         { return len(r.replicas)/2 + 1 }
@@ -136,10 +162,17 @@ func (r *Replicated) followerQuorum() int { return len(r.replicas) / 2 }
 
 func (r *Replicated) adopt(epoch uint64) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if epoch > r.epoch {
+	advanced := epoch > r.epoch
+	if advanced {
 		r.epoch = epoch
 		r.primary = int((epoch - 1) % uint64(len(r.replicas)))
+	}
+	r.mu.Unlock()
+	if advanced {
+		r.fenceAdvances.Add(1)
+		if fn := r.onFence.Load(); fn != nil {
+			(*fn)(r.part, epoch)
+		}
 	}
 }
 
@@ -201,6 +234,7 @@ func (r *Replicated) failoverFrom(fromEpoch uint64) error {
 			}
 		}
 		if holders < r.quorum() {
+			r.quorumFailures.Add(1)
 			return fmt.Errorf("partition %d: fence %d held by %d/%d replicas, need %d: %w",
 				r.part, e, holders, len(r.replicas), r.quorum(), ErrUnavailable)
 		}
@@ -269,6 +303,7 @@ func (r *Replicated) commit(epoch uint64, primaryIdx int, c Commit) error {
 		}
 	}
 	if acks < r.followerQuorum() {
+		r.quorumFailures.Add(1)
 		return fmt.Errorf("partition %d: write at epoch %d reached %d/%d followers, need %d for a majority (last: %v): %w",
 			r.part, epoch, acks, len(r.replicas)-1, r.followerQuorum(), lastErr, ErrUnavailable)
 	}

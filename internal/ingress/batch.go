@@ -126,7 +126,7 @@ func (c *Client) submitBatchTo(to transport.NodeID, events []schema.BatchEvent) 
 		if end > len(events) {
 			end = len(events)
 		}
-		req := schema.SubmitBatchReq{Events: events[start:end]}
+		req := schema.SubmitBatchReq{Events: events[start:end], Trace: c.nextTrace()}
 		buf := schema.GetFrameBuf()
 		payload, err := req.MarshalWire((*buf)[:0])
 		if err != nil {
@@ -197,7 +197,7 @@ func (c *Client) submitChunk(to transport.NodeID, events []schema.BatchEvent, re
 			res[i].Err = err
 		}
 	}
-	req := schema.SubmitBatchReq{Events: events[start : start+n]}
+	req := schema.SubmitBatchReq{Events: events[start : start+n], Trace: c.nextTrace()}
 	buf := schema.GetFrameBuf()
 	payload, err := req.MarshalWire((*buf)[:0])
 	if err != nil {
@@ -300,6 +300,7 @@ func (co *coalescer) add(ev schema.BatchEvent, f *Future) {
 	if len(co.events) >= co.c.cfg.MaxBatch {
 		events, futures := co.take()
 		co.mu.Unlock()
+		co.c.flushFill.Add(1)
 		go co.c.flushBatch(co.to, events, futures)
 		return
 	}
@@ -311,6 +312,7 @@ func (co *coalescer) flushAfterLinger() {
 	events, futures := co.take()
 	co.mu.Unlock()
 	if len(events) > 0 {
+		co.c.flushLinger.Add(1)
 		co.c.flushBatch(co.to, events, futures)
 	}
 }
@@ -318,6 +320,8 @@ func (co *coalescer) flushAfterLinger() {
 // flushBatch ships a coalesced batch and resolves its futures, releasing one
 // window slot per future (the slot Go acquired).
 func (c *Client) flushBatch(to transport.NodeID, events []schema.BatchEvent, futures []*Future) {
+	c.coalFlushes.Add(1)
+	c.coalEvents.Add(uint64(len(events)))
 	out := c.submitBatchTo(to, events)
 	for i, f := range futures {
 		f.result, f.err = out[i].Result, out[i].Err

@@ -355,3 +355,68 @@ func TestClientBatchConcurrentRace(t *testing.T) {
 		}
 	}
 }
+
+// TestCoalescerFlushReasons pins the flush-reason accounting the ops plane
+// exports: a batch that reaches MaxBatch counts as a fill flush, one cut by
+// the linger timer counts as a linger flush, and a coalescer drained by
+// Close with futures still pending counts as a close flush. Fill ratio must
+// land in (0, 1].
+func TestCoalescerFlushReasons(t *testing.T) {
+	d, mesh := deployTCP(t, 2)
+	acct := d.Top.Accounts[1][0]
+
+	// Fill: four async submits against a MaxBatch of four flush immediately.
+	fill := dial(t, mesh, d, ingress.Config{MaxBatch: 4, Linger: time.Hour, Window: 32})
+	if _, err := fill.Submit(acct, "deposit", 0); err != nil { // warm the route
+		t.Fatal(err)
+	}
+	var futures []*ingress.Future
+	for i := 0; i < 4; i++ {
+		futures = append(futures, fill.Go(acct, "deposit", 1))
+	}
+	for i, f := range futures {
+		if _, err := f.Wait(); err != nil {
+			t.Fatalf("fill deposit %d: %v", i, err)
+		}
+	}
+	st := fill.CoalescerStats()
+	if st.FlushFill == 0 || st.FlushLinger != 0 {
+		t.Fatalf("fill client stats = %+v; want fill flushes only", st)
+	}
+	if st.Events < 4 || st.Flushes == 0 {
+		t.Fatalf("fill client stats = %+v; want >=4 events over >=1 flush", st)
+	}
+	if r := st.FillRatio(); r <= 0 || r > 1 {
+		t.Fatalf("fill ratio = %v; want (0, 1]", r)
+	}
+
+	// Linger: a lone async submit under a huge MaxBatch is cut by the timer.
+	linger := dial(t, mesh, d, ingress.Config{MaxBatch: 64, Linger: 2 * time.Millisecond, Window: 32})
+	if _, err := linger.Submit(acct, "deposit", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := linger.Go(acct, "deposit", 1).Wait(); err != nil {
+		t.Fatalf("linger deposit: %v", err)
+	}
+	if st := linger.CoalescerStats(); st.FlushLinger == 0 {
+		t.Fatalf("linger client stats = %+v; want a linger flush", st)
+	}
+
+	// Close: a future still lingering when the client closes is charged to
+	// the close-drain counter (and fails with ErrClientClosed, pinned
+	// elsewhere).
+	closer := dial(t, mesh, d, ingress.Config{MaxBatch: 64, Linger: time.Hour, Window: 32})
+	if _, err := closer.Submit(acct, "deposit", 0); err != nil {
+		t.Fatal(err)
+	}
+	pending := closer.Go(acct, "deposit", 1)
+	if err := closer.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := pending.Wait(); !errors.Is(err, ingress.ErrClientClosed) {
+		t.Fatalf("pending future err = %v; want ErrClientClosed", err)
+	}
+	if st := closer.CoalescerStats(); st.FlushClose == 0 {
+		t.Fatalf("closer client stats = %+v; want a close flush", st)
+	}
+}

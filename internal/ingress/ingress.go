@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"aeon/internal/node"
+	"aeon/internal/ops"
 	"aeon/internal/ownership"
 	"aeon/internal/schema"
 	"aeon/internal/transport"
@@ -77,6 +78,11 @@ type Config struct {
 	// no batching) instead of riding the per-node coalescer. SubmitBatch
 	// still batches.
 	NoCoalesce bool
+	// Trace stamps every submit and batch frame with a fresh 8-byte trace
+	// ID (client ID in the high bits, a per-client sequence in the low).
+	// Nodes propagate the ID across forwarding hops and surface per-hop
+	// span records on their /events feed. Costs one varint per frame.
+	Trace bool
 }
 
 // Client submits events to an AEON deployment over the mesh.
@@ -99,7 +105,56 @@ type Client struct {
 	rr     atomic.Uint64 // round-robin cursor over cfg.Nodes
 	window chan struct{} // Go's in-flight bound
 
+	traceSeq atomic.Uint64 // per-client trace-ID sequence (Config.Trace)
+
+	// Coalescer accounting: why batches flushed and how full they were.
+	flushFill   atomic.Uint64 // batch reached MaxBatch
+	flushLinger atomic.Uint64 // linger window elapsed first
+	flushClose  atomic.Uint64 // client closed with events pending
+	coalFlushes atomic.Uint64 // coalesced batches shipped
+	coalEvents  atomic.Uint64 // events those batches carried
+
 	closed atomic.Bool
+}
+
+// CoalescerStats reports why coalesced batches flushed and how full they
+// were. FillRatio is mean batch occupancy relative to MaxBatch.
+type CoalescerStats struct {
+	FlushFill   uint64
+	FlushLinger uint64
+	FlushClose  uint64
+	Flushes     uint64
+	Events      uint64
+	MaxBatch    int
+}
+
+// FillRatio returns mean events-per-flush divided by MaxBatch (0 when no
+// batch has flushed yet).
+func (s CoalescerStats) FillRatio() float64 {
+	if s.Flushes == 0 || s.MaxBatch == 0 {
+		return 0
+	}
+	return float64(s.Events) / float64(s.Flushes) / float64(s.MaxBatch)
+}
+
+// CoalescerStats snapshots the client's coalescer accounting.
+func (c *Client) CoalescerStats() CoalescerStats {
+	return CoalescerStats{
+		FlushFill:   c.flushFill.Load(),
+		FlushLinger: c.flushLinger.Load(),
+		FlushClose:  c.flushClose.Load(),
+		Flushes:     c.coalFlushes.Load(),
+		Events:      c.coalEvents.Load(),
+		MaxBatch:    c.cfg.MaxBatch,
+	}
+}
+
+// nextTrace mints a frame trace ID, or 0 when tracing is off.
+func (c *Client) nextTrace() uint64 {
+	if !c.cfg.Trace {
+		return 0
+	}
+	return uint64(c.ep.ID())<<32 | (c.traceSeq.Add(1) & 0xffffffff)
 }
 
 // Dial attaches a client to the mesh. The client endpoint never serves
@@ -158,6 +213,9 @@ func (c *Client) Close() error {
 		co.mu.Lock()
 		_, futures := co.take()
 		co.mu.Unlock()
+		if len(futures) > 0 {
+			c.flushClose.Add(1)
+		}
 		for _, f := range futures {
 			f.err = ErrClientClosed
 			close(f.done)
@@ -251,7 +309,7 @@ func (c *Client) Submit(target ownership.ID, method string, args ...any) (any, e
 	if c.closed.Load() {
 		return nil, ErrClientClosed
 	}
-	req := schema.SubmitReq{Target: target, Method: method, Args: args}
+	req := schema.SubmitReq{Target: target, Method: method, Args: args, Trace: c.nextTrace()}
 	buf := schema.GetFrameBuf()
 	payload, err := req.MarshalWire((*buf)[:0])
 	if err != nil {
@@ -340,4 +398,22 @@ func (c *Client) Go(target ownership.ID, method string, args ...any) *Future {
 	}
 	co.add(schema.BatchEvent{Target: target, Method: method, Args: args}, f)
 	return f
+}
+
+// RegisterOps registers the client's coalescer accounting on an ops
+// registry (typically the registry of the process embedding the client, so
+// one /metrics scrape covers both sides of the ingress path).
+func (c *Client) RegisterOps(reg *ops.Registry) {
+	lbl := ops.Labels{"client": fmt.Sprint(int64(c.ep.ID()))}
+	reg.Counter("aeon_ingress_flush_fill_total",
+		"Coalesced batches flushed because they reached MaxBatch.", lbl, c.flushFill.Load)
+	reg.Counter("aeon_ingress_flush_linger_total",
+		"Coalesced batches flushed because the linger window elapsed.", lbl, c.flushLinger.Load)
+	reg.Counter("aeon_ingress_flush_close_total",
+		"Coalescers drained by Close with events still pending.", lbl, c.flushClose.Load)
+	reg.Counter("aeon_ingress_coalesced_events_total",
+		"Events shipped through the coalescer.", lbl, c.coalEvents.Load)
+	reg.Gauge("aeon_ingress_coalescer_fill_ratio",
+		"Mean coalesced batch occupancy relative to MaxBatch.", lbl,
+		func() float64 { return c.CoalescerStats().FillRatio() })
 }

@@ -79,11 +79,21 @@ func (h *Histogram) Mean() time.Duration {
 // Max returns the largest observation.
 func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
 
-// Quantile returns the approximate q-quantile (q in [0,1]).
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// Quantile returns the approximate q-quantile. q is clamped to [0,1]; an
+// empty histogram answers 0 for every quantile. (Unclamped negative q would
+// convert to a huge unsigned rank and always answer Max.)
 func (h *Histogram) Quantile(q float64) time.Duration {
 	n := h.total.Load()
 	if n == 0 {
 		return 0
+	}
+	if q < 0 || math.IsNaN(q) {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	rank := uint64(q * float64(n))
 	if rank >= n {
@@ -122,6 +132,7 @@ type Snapshot struct {
 	P50    time.Duration
 	P95    time.Duration
 	P99    time.Duration
+	P999   time.Duration
 	Max    time.Duration
 	TookAt time.Time
 }
@@ -134,17 +145,18 @@ func (h *Histogram) Snapshot() Snapshot {
 		P50:    h.Quantile(0.50),
 		P95:    h.Quantile(0.95),
 		P99:    h.Quantile(0.99),
+		P999:   h.Quantile(0.999),
 		Max:    h.Max(),
 		TookAt: time.Now(),
 	}
 }
 
-// String renders the snapshot compactly.
+// String renders the snapshot compactly, always including p50/p99/p999.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v p999=%v max=%v",
 		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
 		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
-		s.Max.Round(time.Microsecond))
+		s.P999.Round(time.Microsecond), s.Max.Round(time.Microsecond))
 }
 
 // Counter is a monotonically increasing event counter.

@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -212,6 +214,58 @@ func TestBucketRoundTrip(t *testing.T) {
 		ratio := float64(v) / float64(d)
 		if ratio < 0.9 || ratio > 1.1 {
 			t.Errorf("round trip %v → bucket %d → %v (ratio %.3f)", d, idx, v, ratio)
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty Histogram
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if v := empty.Quantile(q); v != 0 {
+			t.Fatalf("empty Quantile(%v) = %v; want 0", q, v)
+		}
+	}
+	if empty.Mean() != 0 || empty.Sum() != 0 {
+		t.Fatalf("empty Mean/Sum = %v/%v; want 0", empty.Mean(), empty.Sum())
+	}
+
+	var h Histogram
+	h.Record(time.Millisecond)
+	h.Record(10 * time.Millisecond)
+	// Out-of-range and NaN quantiles clamp instead of indexing a garbage
+	// rank (a negative q used to convert to a huge uint64 and return Max).
+	lo, hi := h.Quantile(0), h.Quantile(1)
+	if v := h.Quantile(-0.5); v != lo {
+		t.Fatalf("Quantile(-0.5) = %v; want clamp to Quantile(0) = %v", v, lo)
+	}
+	if v := h.Quantile(1.5); v != hi {
+		t.Fatalf("Quantile(1.5) = %v; want clamp to Quantile(1) = %v", v, hi)
+	}
+	if v := h.Quantile(math.NaN()); v != lo {
+		t.Fatalf("Quantile(NaN) = %v; want clamp to Quantile(0) = %v", v, lo)
+	}
+	if s := h.Sum(); s != 11*time.Millisecond {
+		t.Fatalf("Sum = %v; want 11ms", s)
+	}
+}
+
+func TestSnapshotStringTailQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 500; i++ {
+		h.Record(time.Millisecond)
+	}
+	h.Record(time.Second) // tail outlier: p999 must surface it, p99 must not
+	s := h.Snapshot()
+	if s.P999 < s.P99 {
+		t.Fatalf("p999 = %v < p99 = %v", s.P999, s.P99)
+	}
+	if s.P999 < 500*time.Millisecond {
+		t.Fatalf("p999 = %v; want the 1s outlier visible", s.P999)
+	}
+	str := s.String()
+	for _, want := range []string{"p50=", "p99=", "p999="} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("Snapshot.String() = %q; missing %s", str, want)
 		}
 	}
 }

@@ -73,6 +73,15 @@ func (s *StripedHistogram) Mean() time.Duration { return s.merged().Mean() }
 // Max returns the largest observation across all stripes.
 func (s *StripedHistogram) Max() time.Duration { return s.merged().Max() }
 
+// Sum returns the total of all observations across stripes.
+func (s *StripedHistogram) Sum() time.Duration {
+	var ns int64
+	for i := range s.stripes {
+		ns += s.stripes[i].sumNs.Load()
+	}
+	return time.Duration(ns)
+}
+
 // Quantile returns the approximate q-quantile of the merged distribution.
 func (s *StripedHistogram) Quantile(q float64) time.Duration {
 	return s.merged().Quantile(q)

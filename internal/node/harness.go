@@ -14,6 +14,7 @@ import (
 	"aeon/internal/cluster"
 	"aeon/internal/core"
 	"aeon/internal/emanager"
+	"aeon/internal/ops"
 	"aeon/internal/ownership"
 	"aeon/internal/transport"
 )
@@ -57,6 +58,9 @@ type Topology struct {
 	// NodeDefaults, when non-nil, is applied to every node Config before
 	// ID/Runtime/stores are filled in (timeouts, hop budget, learning).
 	NodeDefaults *Config
+	// EnableOps gives every node its own ops.Registry (admin-plane metrics,
+	// events, traces), reachable via Node.Ops.
+	EnableOps bool
 }
 
 // Deployment is a set of in-process nodes attached to one mesh.
@@ -212,6 +216,9 @@ func buildNode(mesh transport.Mesh, top Topology, id transport.NodeID) (*Node, *
 		cfg.StoreNode = top.StoreNode
 	}
 	cfg.Manager = top.Manager
+	if top.EnableOps {
+		cfg.Ops = ops.NewRegistry(0)
+	}
 	if top.Replicate {
 		cfg.Replicate = true
 		for i := 1; i <= top.Nodes; i++ {

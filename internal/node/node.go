@@ -47,6 +47,8 @@ import (
 	"aeon/internal/cluster"
 	"aeon/internal/core"
 	"aeon/internal/emanager"
+	"aeon/internal/metrics"
+	"aeon/internal/ops"
 	"aeon/internal/ownership"
 	"aeon/internal/replication"
 	"aeon/internal/schema"
@@ -119,6 +121,13 @@ type Config struct {
 	// scale-out adds a server no process embodies, so deployments that
 	// scale at runtime should set it.
 	Peers []transport.NodeID
+	// Ops, when set, is the process-wide observability registry: Start
+	// registers the node's and every wired subsystem's metrics and
+	// readiness checks on it, and the node emits structural events
+	// (migrations, fence advances, backpressure, route repairs, trace
+	// spans) into its ring. Nil disables the ops plane — the hot path pays
+	// nothing either way.
+	Ops *ops.Registry
 }
 
 // StorePartition names the replica set serving one keyspace partition of
@@ -156,8 +165,17 @@ type Node struct {
 
 	// forwarded counts submits this node forwarded to another node;
 	// executed counts peer submits it executed locally; batches counts
-	// batch frames it handled (however many events each carried).
-	forwarded, executed, batches, transfersIn, transfersOut atomic.Uint64
+	// batch frames it handled (however many events each carried);
+	// batchEvents counts the events those frames carried.
+	forwarded, executed, batches, batchEvents, transfersIn, transfersOut atomic.Uint64
+
+	// ops is the process observability registry (Config.Ops; nil = off).
+	// submitLat/forwardLat/batchLat are striped per-frame handler latency
+	// histograms, recorded lock-free on the hot path and merged on scrape.
+	ops        *ops.Registry
+	submitLat  metrics.StripedHistogram
+	forwardLat metrics.StripedHistogram
+	batchLat   metrics.StripedHistogram
 
 	shutdownOnce sync.Once
 	shutdownCh   chan struct{}
@@ -268,6 +286,10 @@ func Start(mesh transport.Mesh, cfg Config) (*Node, error) {
 	}
 	n.mgr = emanager.New(n.rt, n.store, mgrCfg)
 	n.rt.SetRemote(n.isLocal, n.forward)
+	if cfg.Ops != nil {
+		n.ops = cfg.Ops
+		n.registerOps()
+	}
 
 	ready := make(chan struct{})
 	ep, err := mesh.Attach(cfg.ID, func(ctx context.Context, from transport.NodeID, req transport.Message) (transport.Message, error) {
@@ -533,6 +555,7 @@ func (n *Node) callSubmit(to transport.NodeID, req submitReq) (submitResp, error
 		Args:   req.Args,
 		Hops:   uint32(req.Hops),
 		MinSeq: req.MinSeq,
+		Trace:  req.Trace,
 	}
 	buf := schema.GetFrameBuf()
 	payload, err := hot.MarshalWire((*buf)[:0])
@@ -600,6 +623,9 @@ func (n *Node) learnPlacement(target ownership.ID, host cluster.ServerID) {
 		// Cache repair only — hosted counters track authoritative
 		// placements and are maintained by the migration protocol.
 		_ = dir.Move(dom, host)
+		n.emit("route.repair", map[string]any{
+			"node": int64(n.id), "dom": uint64(dom), "from": int64(cur), "to": int64(host),
+		})
 	}
 }
 
@@ -624,6 +650,7 @@ func (n *Node) handle(ctx context.Context, from transport.NodeID, req transport.
 				Args:   hr.Args,
 				Hops:   int(hr.Hops),
 				MinSeq: hr.MinSeq,
+				Trace:  hr.Trace,
 			})
 			hot := schema.SubmitResp{
 				Result:  resp.Result,
@@ -732,6 +759,9 @@ func (n *Node) handleSubmit(req submitReq) submitResp {
 	// replica stays behind — never admit against a torn view.
 	if n.plane != nil && req.MinSeq > n.plane.Applied() {
 		if err := n.plane.WaitFor(req.MinSeq, n.cfg.ReplicaLagWait); err != nil {
+			n.emit("backpressure.lag", map[string]any{
+				"node": int64(n.id), "min_seq": req.MinSeq, "applied": n.plane.Applied(), "err": err.Error(),
+			})
 			msg, kind := errFields(fmt.Errorf("submit %v at seq %d: %w", req.Target, req.MinSeq, err))
 			return submitResp{Err: msg, ErrKind: kind}
 		}
@@ -771,7 +801,11 @@ func (n *Node) handleSubmit(req submitReq) submitResp {
 			fwd.MinSeq = s
 		}
 		n.forwarded.Add(1)
+		start := time.Now()
 		resp, err := n.callSubmit(n.nodeFor(host), fwd)
+		d := time.Since(start)
+		n.forwardLat.Record(d)
+		n.span(req.Trace, "forward", req.Target, req.Method, req.Hops, d)
 		if err != nil {
 			msg, kind := errFields(err)
 			return submitResp{Err: msg, ErrKind: kind, Host: host}
@@ -780,7 +814,11 @@ func (n *Node) handleSubmit(req submitReq) submitResp {
 		return resp
 	}
 	n.executed.Add(1)
+	start := time.Now()
 	res, err := n.rt.Submit(req.Target, req.Method, req.Args...)
+	d := time.Since(start)
+	n.submitLat.Record(d)
+	n.span(req.Trace, "execute", req.Target, req.Method, req.Hops, d)
 	resp := submitResp{Result: res}
 	resp.Err, resp.ErrKind = errFields(err)
 	// Report the authoritative placement after execution (the runtime may
@@ -839,6 +877,9 @@ func (n *Node) callSubmitBatch(to transport.NodeID, req *schema.SubmitBatchReq) 
 // the single-submit path does.
 func (n *Node) handleSubmitBatch(req *schema.SubmitBatchReq) schema.SubmitBatchResp {
 	n.batches.Add(1)
+	n.batchEvents.Add(uint64(len(req.Events)))
+	batchStart := time.Now()
+	defer func() { n.batchLat.Record(time.Since(batchStart)) }()
 	out := make([]schema.BatchOutcome, len(req.Events))
 	resp := schema.SubmitBatchResp{Outcomes: out}
 	if len(req.Events) == 0 {
@@ -847,6 +888,9 @@ func (n *Node) handleSubmitBatch(req *schema.SubmitBatchReq) schema.SubmitBatchR
 	// One lag-aware admission for the whole frame (see handleSubmit).
 	if n.plane != nil && req.MinSeq > n.plane.Applied() {
 		if err := n.plane.WaitFor(req.MinSeq, n.cfg.ReplicaLagWait); err != nil {
+			n.emit("backpressure.lag", map[string]any{
+				"node": int64(n.id), "min_seq": req.MinSeq, "applied": n.plane.Applied(), "err": err.Error(),
+			})
 			msg, kind := errFields(fmt.Errorf("batch submit at seq %d: %w", req.MinSeq, err))
 			for i := range out {
 				out[i].Err, out[i].ErrKind = msg, kind
@@ -857,6 +901,7 @@ func (n *Node) handleSubmitBatch(req *schema.SubmitBatchReq) schema.SubmitBatchR
 	// At most one log catch-up per batch: the first unknown target pulls the
 	// log once; batchmates resolve against the refreshed snapshot.
 	caughtUp := false
+	executedHere := 0
 	var fwd map[cluster.ServerID][]int
 	for i := range req.Events {
 		ev := &req.Events[i]
@@ -893,11 +938,17 @@ func (n *Node) handleSubmitBatch(req *schema.SubmitBatchReq) schema.SubmitBatchR
 		}
 		n.executed.Add(1)
 		res, err := n.rt.Submit(ev.Target, ev.Method, ev.Args...)
+		executedHere++
 		out[i].Result = res
 		out[i].Err, out[i].ErrKind = errFields(err)
 		if cur, ok := dir.Locate(dom); ok {
 			out[i].Host = int64(cur)
 		}
+	}
+	if executedHere > 0 {
+		// One span covers the frame's locally executed slice — per-event spans
+		// would multiply the feed by the batch size for no extra structure.
+		n.span(req.Trace, "batch-execute", ownership.ID(executedHere), "", int(req.Hops), time.Since(batchStart))
 	}
 	if len(fwd) == 0 {
 		return resp
@@ -917,13 +968,16 @@ func (n *Node) handleSubmitBatch(req *schema.SubmitBatchReq) schema.SubmitBatchR
 			sub := schema.SubmitBatchReq{
 				Hops:   req.Hops + 1,
 				MinSeq: minSeq,
+				Trace:  req.Trace,
 				Events: make([]schema.BatchEvent, len(idxs)),
 			}
 			for j, i := range idxs {
 				sub.Events[j] = req.Events[i]
 				n.forwarded.Add(1)
 			}
+			start := time.Now()
 			fres, err := n.callSubmitBatch(n.nodeFor(host), &sub)
+			n.span(req.Trace, "batch-forward", ownership.ID(len(idxs)), "", int(req.Hops), time.Since(start))
 			if err != nil {
 				msg, kind := errFields(err)
 				for _, i := range idxs {
@@ -955,7 +1009,22 @@ func (n *Node) handleMigrate(req migrateReq) error {
 	if !n.isLocal(host) {
 		return fmt.Errorf("migrate %v hosted on %v: %w", req.Root, host, ErrNotLocalServer)
 	}
-	return n.mgr.MigrateGroup(req.Root, req.To)
+	n.emit("migration.start", map[string]any{
+		"node": int64(n.id), "root": uint64(req.Root), "from": int64(host), "to": int64(req.To),
+	})
+	start := time.Now()
+	err := n.mgr.MigrateGroup(req.Root, req.To)
+	if err != nil {
+		n.emit("migration.abort", map[string]any{
+			"node": int64(n.id), "root": uint64(req.Root), "to": int64(req.To), "err": err.Error(),
+		})
+		return err
+	}
+	n.emit("migration.commit", map[string]any{
+		"node": int64(n.id), "root": uint64(req.Root), "from": int64(host), "to": int64(req.To),
+		"us": time.Since(start).Microseconds(),
+	})
+	return nil
 }
 
 // transferGroup is the migration engine's Transfer hook: serialize every
@@ -1076,6 +1145,10 @@ func (n *Node) handleTransfer(req transferReq) error {
 		return err
 	}
 	n.transfersIn.Add(1)
+	n.emit("transfer.install", map[string]any{
+		"node": int64(n.id), "members": len(req.Members),
+		"from": int64(req.From), "to": int64(req.To), "bytes": req.TotalBytes,
+	})
 	cl := n.rt.Cluster()
 	if s, ok := cl.Server(req.To); ok {
 		s.AddTransferBytes(int64(req.TotalBytes))

@@ -2,10 +2,13 @@ package node
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"aeon/internal/cloudstore"
+	"aeon/internal/ops"
 	"aeon/internal/transport"
 )
 
@@ -35,6 +38,9 @@ type StoreServer struct {
 	id transport.NodeID
 	be cloudstore.Backend
 	ep transport.Endpoint
+
+	storeOps atomic.Uint64
+	pings    atomic.Uint64
 
 	shutdownOnce sync.Once
 	shutdownCh   chan struct{}
@@ -74,12 +80,34 @@ func (s *StoreServer) Close() error {
 	return err
 }
 
+var errStoreServerDown = errors.New("store server shut down")
+
+// RegisterOps exposes the store server's request counters and liveness on an
+// ops registry, so a dedicated store-replica process can serve the same
+// admin plane (/healthz, /metrics, /events) as an AEON node.
+func (s *StoreServer) RegisterOps(reg *ops.Registry) {
+	reg.Counter("aeon_store_server_ops_total",
+		"Cloud-store operations served by this store replica.", nil, s.storeOps.Load)
+	reg.Counter("aeon_store_server_pings_total",
+		"Ping frames answered by this store replica.", nil, s.pings.Load)
+	reg.Readiness("store-server", func() error {
+		select {
+		case <-s.shutdownCh:
+			return errStoreServerDown
+		default:
+			return nil
+		}
+	})
+}
+
 func (s *StoreServer) handle(_ context.Context, _ transport.NodeID, req transport.Message) (transport.Message, error) {
 	switch req.Kind {
 	case KindPing:
+		s.pings.Add(1)
 		payload, err := encodeFrame(pingResp{Node: s.id})
 		return transport.Message{Kind: KindPing, Payload: payload}, err
 	case KindStore:
+		s.storeOps.Add(1)
 		var sr storeReq
 		if err := decodeFrame(req.Payload, &sr); err != nil {
 			return transport.Message{}, err

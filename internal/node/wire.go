@@ -101,6 +101,9 @@ type submitReq struct {
 	Args   []any
 	Hops   int
 	MinSeq uint64
+	// Trace is the optional 8-byte trace ID carried by hot frames (0 =
+	// untraced); forwards propagate it and traced hops emit span records.
+	Trace uint64
 }
 
 // submitResp carries the event result. Host is the authoritative placement

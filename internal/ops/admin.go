@@ -1,0 +1,127 @@
+package ops
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Admin serves the observability plane over HTTP:
+//
+//	/healthz        liveness + per-subsystem readiness (JSON; 503 when degraded)
+//	/metrics        Prometheus text exposition, merged on read
+//	/events         NDJSON event feed; ?follow=1 streams, default dumps buffer
+//	/debug/pprof/*  the standard profiles
+type Admin struct {
+	reg *Registry
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeAdmin binds addr (host:port; :0 picks a free port) and serves the
+// admin API for reg in a background goroutine.
+func ServeAdmin(addr string, reg *Registry) (*Admin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &Admin{reg: reg, ln: ln}
+	a.srv = &http.Server{Handler: Handler(reg)}
+	go a.srv.Serve(ln)
+	return a, nil
+}
+
+// Addr returns the bound listen address.
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the server, interrupting in-flight streams.
+func (a *Admin) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	err := a.srv.Shutdown(ctx)
+	if err != nil {
+		return a.srv.Close()
+	}
+	return nil
+}
+
+// Handler builds the admin HTTP mux for a registry. Exposed separately so
+// tests can drive it through httptest without a listener.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		ok, subs := reg.Health()
+		w.Header().Set("Content-Type", "application/json")
+		status := "ok"
+		if !ok {
+			status = "degraded"
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":     status,
+			"uptime_s":   int64(reg.Uptime().Seconds()),
+			"subsystems": subs,
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(reg, w, r)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serveEvents writes the event feed as NDJSON. Without ?follow=1 it dumps
+// the currently buffered events (from ?from=SEQ, default 0) and closes;
+// with follow it keeps streaming until the client goes away. A lapped
+// consumer first receives a synthetic ops.dropped line — the ring sheds,
+// it never blocks emitters on a slow reader.
+func serveEvents(reg *Registry, w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	follow := r.URL.Query().Get("follow") == "1"
+	from := uint64(0)
+	if s := r.URL.Query().Get("from"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad from", http.StatusBadRequest)
+			return
+		}
+		from = v
+	}
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		events, dropped, next, wait := reg.EventsSince(from)
+		if dropped > 0 {
+			enc.Encode(map[string]any{"type": "ops.dropped", "dropped": dropped, "resume": next - uint64(len(events))})
+		}
+		for i := range events {
+			if enc.Encode(events[i]) != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		from = next
+		if !follow {
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -103,6 +103,11 @@ type Plane struct {
 	lastErr atomic.Pointer[error]
 
 	appends, conflicts, applies, notifies atomic.Uint64
+
+	// headSeen is the highest log sequence this replica has been told
+	// exists (notify hints and its own appends); applied can lag it while
+	// the tailer catches up, and head-applied is the replica's lag.
+	headSeen atomic.Uint64
 }
 
 var _ core.Replicator = (*Plane)(nil)
@@ -188,10 +193,32 @@ func (p *Plane) Notified() uint64 { return p.notifies.Load() }
 // is covered by the poll.
 func (p *Plane) Poke(seq uint64) {
 	p.notifies.Add(1)
+	p.observeHead(seq)
 	if p.Applied() >= seq {
 		return
 	}
 	p.kick()
+}
+
+// observeHead raises the head high-water mark to at least seq.
+func (p *Plane) observeHead(seq uint64) {
+	for {
+		cur := p.headSeen.Load()
+		if seq <= cur || p.headSeen.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// Head returns the highest log sequence this replica knows exists — at
+// least Applied, advanced further by notify hints. Head-Applied is the
+// replica's current lag.
+func (p *Plane) Head() uint64 {
+	if h, a := p.headSeen.Load(), p.Applied(); h > a {
+		return h
+	} else {
+		return a
+	}
 }
 
 func (p *Plane) kick() {

@@ -76,13 +76,17 @@ const hotMax = 64 << 20
 // SubmitReq is the hot submit request frame: execute one event on the
 // receiving node. It mirrors the node wire contract: Hops counts forwards
 // already taken, MinSeq is the sender's applied replication sequence (the
-// receiver's admission floor).
+// receiver's admission floor). Trace is an optional 8-byte trace ID (0 =
+// untraced); nodes propagate it across forwarding hops and emit a span
+// record per hop on their ops event feed. An unset trace costs one zero
+// byte on the wire.
 type SubmitReq struct {
 	Target ownership.ID
 	Method string
 	Args   []any
 	Hops   uint32
 	MinSeq uint64
+	Trace  uint64
 }
 
 // SubmitResp is the hot submit response frame. Host is the authoritative
@@ -138,6 +142,9 @@ func HotFrameEvents(b []byte) int {
 		return 1
 	}
 	if _, err := r.uvarint(); err != nil { // MinSeq
+		return 1
+	}
+	if _, err := r.uvarint(); err != nil { // Trace
 		return 1
 	}
 	n, err := r.uvarint()
@@ -422,6 +429,7 @@ func (q *SubmitReq) MarshalWire(dst []byte) ([]byte, error) {
 	dst = putString(dst, q.Method)
 	dst = putUvarint(dst, uint64(q.Hops))
 	dst = putUvarint(dst, q.MinSeq)
+	dst = putUvarint(dst, q.Trace)
 	dst = putUvarint(dst, uint64(len(q.Args)))
 	var err error
 	for _, a := range q.Args {
@@ -460,6 +468,10 @@ func (q *SubmitReq) UnmarshalWire(b []byte) error {
 	if err != nil {
 		return err
 	}
+	trace, err := r.uvarint()
+	if err != nil {
+		return err
+	}
 	n, err := r.uvarint()
 	if err != nil {
 		return err
@@ -479,6 +491,7 @@ func (q *SubmitReq) UnmarshalWire(b []byte) error {
 	q.Method = method
 	q.Hops = uint32(hops)
 	q.MinSeq = minSeq
+	q.Trace = trace
 	q.Args = args
 	return nil
 }
@@ -666,6 +679,9 @@ type BatchEvent struct {
 type SubmitBatchReq struct {
 	Hops   uint32
 	MinSeq uint64
+	// Trace is an optional 8-byte trace ID covering the whole frame (0 =
+	// untraced); forwarded sub-batches inherit it.
+	Trace  uint64
 	Events []BatchEvent
 }
 
@@ -699,6 +715,7 @@ func (q *SubmitBatchReq) MarshalWire(dst []byte) ([]byte, error) {
 	dst = append(dst, HotMagic, hotTypeSubmitBatchReq)
 	dst = putUvarint(dst, uint64(q.Hops))
 	dst = putUvarint(dst, q.MinSeq)
+	dst = putUvarint(dst, q.Trace)
 	dst = putUvarint(dst, uint64(len(q.Events)))
 	var err error
 	for i := range q.Events {
@@ -743,6 +760,10 @@ func (q *SubmitBatchReq) UnmarshalWire(b []byte) error {
 		return r.fail("hop count overflow")
 	}
 	minSeq, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	trace, err := r.uvarint()
 	if err != nil {
 		return err
 	}
@@ -801,6 +822,7 @@ func (q *SubmitBatchReq) UnmarshalWire(b []byte) error {
 	}
 	q.Hops = uint32(hops)
 	q.MinSeq = minSeq
+	q.Trace = trace
 	q.Events = evs
 	return nil
 }

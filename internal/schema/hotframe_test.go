@@ -32,7 +32,7 @@ func TestSubmitReqRoundTrip(t *testing.T) {
 	cases := []SubmitReq{
 		{},
 		{Target: 7, Method: "deposit", Args: []any{1}, Hops: 0, MinSeq: 0},
-		{Target: math.MaxUint64, Method: "transfer", Args: []any{ownership.ID(3), ownership.ID(9), 250}, Hops: 4, MinSeq: 1 << 40},
+		{Target: math.MaxUint64, Method: "transfer", Args: []any{ownership.ID(3), ownership.ID(9), 250}, Hops: 4, MinSeq: 1 << 40, Trace: 0xdeadbeefcafe0123},
 		{Target: 1, Method: "m", Args: []any{
 			nil, true, false, int(-42), int64(math.MinInt64), uint64(math.MaxUint64),
 			3.14159, "hello", []byte{0, 1, 2}, ownership.ID(12345),
@@ -41,7 +41,7 @@ func TestSubmitReqRoundTrip(t *testing.T) {
 	}
 	for i, in := range cases {
 		out := roundTripSubmitReq(t, in)
-		if out.Target != in.Target || out.Method != in.Method || out.Hops != in.Hops || out.MinSeq != in.MinSeq {
+		if out.Target != in.Target || out.Method != in.Method || out.Hops != in.Hops || out.MinSeq != in.MinSeq || out.Trace != in.Trace {
 			t.Errorf("case %d: scalar fields changed: %+v vs %+v", i, out, in)
 		}
 		if len(out.Args) != len(in.Args) {
@@ -168,9 +168,10 @@ func TestHotFrameRejectsWrongType(t *testing.T) {
 // TestSubmitReqZeroAlloc is the perf contract from the issue: steady-state
 // encode+decode of a submit frame allocates nothing — pooled encode buffer,
 // reused decode target, interned method, args drawn from the small-int
-// cache.
+// cache. The frame carries a nonzero trace ID so the gate also proves the
+// trace field keeps the hot encode at 0 allocs.
 func TestSubmitReqZeroAlloc(t *testing.T) {
-	req := SubmitReq{Target: 42, Method: "deposit", Args: []any{1}, Hops: 1, MinSeq: 9}
+	req := SubmitReq{Target: 42, Method: "deposit", Args: []any{1}, Hops: 1, MinSeq: 9, Trace: 0x0123456789abcdef}
 	var dec SubmitReq
 	// Warm the intern table and the pool outside the measured window.
 	buf := GetFrameBuf()
@@ -359,7 +360,7 @@ func TestSubmitBatchReqZeroAlloc(t *testing.T) {
 	for i := range evs {
 		evs[i] = BatchEvent{Target: ownership.ID(40 + i%2), Method: "deposit", Args: []any{1}}
 	}
-	req := SubmitBatchReq{MinSeq: 9, Events: evs}
+	req := SubmitBatchReq{MinSeq: 9, Trace: 0xfeedface01020304, Events: evs}
 	var dec SubmitBatchReq
 	buf := GetFrameBuf()
 	b, err := req.MarshalWire((*buf)[:0])

@@ -311,6 +311,7 @@ func dialMux(conn net.Conn, from, to NodeID) (*muxStream, error) {
 		s.free <- i
 	}
 	s.wg.Add(2)
+	muxStreamsOpen.Add(1)
 	go s.writer()
 	go s.reader()
 	return s, nil
@@ -326,6 +327,7 @@ func (s *muxStream) fail(err error) {
 		s.mu.Unlock()
 		close(s.done)
 		_ = s.conn.Close()
+		muxStreamsOpen.Add(-1)
 	})
 }
 
@@ -451,6 +453,7 @@ func (s *muxStream) deliver(corrID uint64, kind, errStr string, payload []byte) 
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
 	if sl.corr != corrID || sl.done {
+		muxDroppedResponses.Add(1)
 		return false // late or duplicated response: no caller, drop it
 	}
 	if errStr != "" {
@@ -475,6 +478,7 @@ func (s *muxStream) acquire(ctx context.Context) (uint32, error) {
 			s.free <- idx
 			return 0, s.brokenErr()
 		default:
+			muxSlotsInUse.Add(1)
 			return idx, nil
 		}
 	case <-ctx.Done():
@@ -512,6 +516,7 @@ func (s *muxStream) disarm(idx uint32) {
 
 // release returns a slot to the freelist.
 func (s *muxStream) release(idx uint32) {
+	muxSlotsInUse.Add(-1)
 	s.free <- idx
 }
 

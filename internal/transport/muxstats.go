@@ -1,0 +1,37 @@
+package transport
+
+import "sync/atomic"
+
+// Process-wide mux-stream instrumentation. Kept as package-level atomics so
+// the hot paths (deliver, acquire/release) pay one uncontended atomic each
+// and the ops plane can read them without threading a registry through
+// OpenStream. In a normal deployment one process hosts one node, so
+// process-wide equals per-node.
+var (
+	muxDroppedResponses atomic.Uint64
+	muxSlotsInUse       atomic.Int64
+	muxStreamsOpen      atomic.Int64
+)
+
+// MuxStats is a snapshot of the process-wide mux internals.
+type MuxStats struct {
+	// DroppedResponses counts late or duplicated responses that arrived for
+	// a correlation ID with no parked caller (slot re-armed or already
+	// completed). Before this counter they vanished silently in the
+	// slot-table generation check.
+	DroppedResponses uint64
+	// SlotsInUse is the current number of occupied completion slots across
+	// every open mux stream (per-stream occupancy is bounded by MuxWindow).
+	SlotsInUse int64
+	// StreamsOpen is the current number of live mux streams.
+	StreamsOpen int64
+}
+
+// ReadMuxStats returns the current process-wide mux counters.
+func ReadMuxStats() MuxStats {
+	return MuxStats{
+		DroppedResponses: muxDroppedResponses.Load(),
+		SlotsInUse:       muxSlotsInUse.Load(),
+		StreamsOpen:      muxStreamsOpen.Load(),
+	}
+}

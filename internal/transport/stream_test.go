@@ -275,6 +275,7 @@ func TestMuxReorderedResponses(t *testing.T) {
 // response (same correlation ID twice) and a response with a never-issued
 // ID are both dropped, and the stream keeps serving.
 func TestMuxDuplicatedAndUnknownResponses(t *testing.T) {
+	dropsBefore := ReadMuxStats().DroppedResponses
 	addr := fakeMuxServer(t, func(conn net.Conn, r *bufio.Reader) {
 		id1, p1 := readReqFrame(t, r)
 		writeRespFrame(t, conn, 0xDEAD, []byte("never-issued")) // unknown ID first
@@ -296,6 +297,12 @@ func TestMuxDuplicatedAndUnknownResponses(t *testing.T) {
 	resp, err = s.Call(ctx, Message{Kind: "q", Payload: []byte("two")})
 	if err != nil || string(resp.Payload) != "two" {
 		t.Fatalf("second call after duplicate response: %q, %v", resp.Payload, err)
+	}
+	// Both discarded frames — the never-issued ID and the retired duplicate —
+	// must show up in the ops-plane drop counter. (Package-level stats, so
+	// assert the delta, not the absolute value.)
+	if d := ReadMuxStats().DroppedResponses - dropsBefore; d < 2 {
+		t.Fatalf("dropped-response counter rose by %d; want >= 2", d)
 	}
 }
 
