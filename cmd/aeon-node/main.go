@@ -61,6 +61,7 @@ import (
 	"aeon/internal/ops"
 	"aeon/internal/ownership"
 	"aeon/internal/transport"
+	"aeon/internal/workload"
 )
 
 func main() {
@@ -75,7 +76,7 @@ func run() error {
 		id         = flag.Int("id", 1, "this node's ID (also the server it embodies)")
 		listen     = flag.String("listen", "", "listen address (defaults to this process's -peers entry)")
 		peers      = flag.String("peers", "1=127.0.0.1:7101", "comma-separated id=host:port peer list (including this process; store servers as s<k>=host:port)")
-		workload   = flag.String("workload", "bank", "workload to host (bank)")
+		workloadF  = flag.String("workload", "bank", "workload to host (bank, or a scenario: iot, social)")
 		accounts   = flag.Int("accounts", 4, "accounts per bank (bank workload)")
 		balance    = flag.Int("balance", 1000, "initial balance per account")
 		storeID    = flag.Int("store", 1, "node serving the authoritative cloud store (ignored with -store-parts)")
@@ -89,12 +90,19 @@ func run() error {
 	)
 	flag.Parse()
 
-	if *workload != "bank" {
-		return fmt.Errorf("unknown workload %q (have: bank)", *workload)
-	}
 	addrs, nodeCount, storeCount, err := parsePeers(*peers)
 	if err != nil {
 		return err
+	}
+	// Scenario workloads (internal/workload) rebuild deterministically on
+	// every process, exactly like the bank: same flags, same IDs.
+	var scen workload.Scenario
+	if *workloadF != "bank" {
+		scen, err = workload.NewScenario(*workloadF, nodeCount)
+		if err != nil {
+			return fmt.Errorf("unknown workload %q (have: bank, %v)",
+				*workloadF, strings.Join(workload.ScenarioNames(), ", "))
+		}
 	}
 
 	if *serveStore > 0 {
@@ -121,6 +129,9 @@ func run() error {
 		cl.AddServer(cluster.M3Large)
 	}
 	s := node.BankSchema()
+	if scen != nil {
+		s = scen.Schema()
+	}
 	if err := s.Freeze(); err != nil {
 		return err
 	}
@@ -131,9 +142,16 @@ func run() error {
 		return err
 	}
 	defer rt.Close()
-	top, err := node.BuildBank(rt, *accounts, *balance)
-	if err != nil {
-		return err
+	var top *node.BankTopology
+	if scen != nil {
+		if err := scen.Build(rt); err != nil {
+			return err
+		}
+	} else {
+		top, err = node.BuildBank(rt, *accounts, *balance)
+		if err != nil {
+			return err
+		}
 	}
 
 	mesh := transport.NewTCPMesh()
@@ -201,6 +219,9 @@ func run() error {
 	}
 
 	if *drive {
+		if scen != nil {
+			return runDriveScenario(n, scen, *workloadF, nodeCount, addrs)
+		}
 		return runDrive(n, mesh, top, addrs, *accounts, *balance, *repl, reg, *admin, *adminPeers)
 	}
 
@@ -438,6 +459,57 @@ func runDrive(n *node.Node, mesh transport.Mesh, top *node.BankTopology, addrs m
 		}
 	}
 
+	shutdownPeers()
+	fmt.Println("drive: OK")
+	return nil
+}
+
+// runDriveScenario replays a scenario workload's deterministic script at
+// this node — every op targeting a peer-hosted context crosses the mesh —
+// and diffs the transcript against the single-process oracle, then shuts
+// the fleet down. The node layer must be semantically invisible.
+func runDriveScenario(n *node.Node, scen workload.Scenario, name string, servers int, addrs map[transport.NodeID]string) error {
+	var peerIDs, storeIDs []transport.NodeID
+	for pid := range addrs {
+		switch {
+		case pid >= node.StoreIDBase:
+			storeIDs = append(storeIDs, pid)
+		case pid != n.ID():
+			peerIDs = append(peerIDs, pid)
+		}
+	}
+	sort.Slice(peerIDs, func(i, j int) bool { return peerIDs[i] < peerIDs[j] })
+	sort.Slice(storeIDs, func(i, j int) bool { return storeIDs[i] < storeIDs[j] })
+	deadline := time.Now().Add(15 * time.Second)
+	for _, pid := range append(append([]transport.NodeID(nil), peerIDs...), storeIDs...) {
+		for {
+			if err := n.Ping(pid); err == nil {
+				break
+			} else if time.Now().After(deadline) {
+				return fmt.Errorf("peer %v never became reachable: %w", pid, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	fmt.Printf("drive: %d peers reachable (%d store servers)\n", len(peerIDs)+len(storeIDs), len(storeIDs))
+	shutdownPeers := func() {
+		for _, pid := range append(append([]transport.NodeID(nil), peerIDs...), storeIDs...) {
+			if err := n.Shutdown(pid); err != nil {
+				fmt.Fprintf(os.Stderr, "drive: shutdown %v: %v\n", pid, err)
+			}
+		}
+	}
+	got := scen.Script(n.Submit)
+	want, err := workload.Oracle(name, servers)
+	if err != nil {
+		shutdownPeers()
+		return err
+	}
+	if err := diffResults(name+" script", got, want); err != nil {
+		shutdownPeers()
+		return err
+	}
+	fmt.Printf("drive: %d %s script results identical to single-process run\n", len(got), name)
 	shutdownPeers()
 	fmt.Println("drive: OK")
 	return nil

@@ -138,6 +138,7 @@ var experiments = map[string]func(Options) ([]*Table, error){
 		return wrap(t, err)
 	},
 	"store": func(o Options) ([]*Table, error) { t, err := StoreExp(o); return wrap(t, err) },
+	"soak":  Soak,
 }
 
 func wrap(t *Table, err error) ([]*Table, error) {

@@ -29,7 +29,7 @@ func TestTableFprintAndCSV(t *testing.T) {
 
 func TestExperimentsListed(t *testing.T) {
 	names := Experiments()
-	want := []string{"fig1", "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "fig9", "graph", "hotpath", "ingress", "mesh", "migration", "replication", "store", "table1"}
+	want := []string{"fig1", "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "fig9", "graph", "hotpath", "ingress", "mesh", "migration", "replication", "soak", "store", "table1"}
 	if len(names) != len(want) {
 		t.Fatalf("experiments = %v; want %v", names, want)
 	}

@@ -1,0 +1,298 @@
+package chaos
+
+// The oracle-diffed traffic driver. Workers generate scenario soak ops and
+// submit them through live nodes while faults fire; per-entity accounting
+// tracks exactly what the harness may later assert. The core discipline is
+// outcome classification:
+//
+//   - acked: the submit returned success — its effects MUST be visible.
+//   - failed: the error proves the event never executed (typed fail-fast
+//     errors from the synchronous in-memory mesh: dropped, partitioned,
+//     unknown node, lag-refused, backpressure, closed) — its effects MUST
+//     NOT be counted.
+//   - ambiguous: anything else. The event may or may not have executed, so
+//     its effects widen the upper bound of the entity's counter.
+//
+// That yields the soak invariant checked at every checkpoint and at the
+// final quiesce: for every entity, observed - baseline ∈ [ackedLow,
+// started], where started is the delta sum of every op that began, and —
+// after quiescing — observed - baseline ∈ [acked, acked + ambiguous], with
+// equality required when ambiguity is zero.
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aeon/internal/core"
+	"aeon/internal/ingress"
+	"aeon/internal/metrics"
+	"aeon/internal/node"
+	"aeon/internal/replication"
+	"aeon/internal/transport"
+	"aeon/internal/workload"
+)
+
+// entityAcct is one entity's soak accounting.
+type entityAcct struct {
+	started  atomic.Uint64 // delta sum of every op that began (upper bound)
+	acked    atomic.Uint64 // delta sum of acknowledged ops (lower bound)
+	ambig    atomic.Uint64 // delta sum of ambiguous-outcome ops
+	inflight atomic.Int64  // ops currently in flight touching this entity
+	frozen   atomic.Bool   // set while the entity's host is being killed
+}
+
+// driver runs soak traffic against a deployment.
+type driver struct {
+	scen  workload.Scenario
+	nodes []transport.NodeID
+	alive []atomic.Bool // alive[i] gates submits via nodes[i]
+	// byID is the driver's own node handle map: the runner swaps handles in
+	// on restart under mu, so workers never race Deployment.Restart's write
+	// to the deployment's slice.
+	mu      sync.RWMutex
+	byID    map[transport.NodeID]*node.Node
+	ents    []entityAcct
+	lat     *metrics.Histogram
+	ingress *ingress.Client // non-nil: submits ride batched ingress frames
+
+	attempts  atomic.Uint64
+	acked     atomic.Uint64
+	failed    atomic.Uint64
+	ambiguous atomic.Uint64
+	skipped   atomic.Uint64
+
+	// hazard is the unixnano stamp of the latest reply-loss hazard: the
+	// instant a partition finished engaging or a node finished dying. A
+	// call in flight across that instant may have executed and lost only
+	// its reply (the sim network checks the partition on the reply hop
+	// too), so partition/closed errors on ops started before the stamp are
+	// ambiguous, not proof of non-execution.
+	hazard atomic.Int64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newDriver(scen workload.Scenario, d *node.Deployment, ing *ingress.Client) *driver {
+	dr := &driver{
+		scen:    scen,
+		byID:    make(map[transport.NodeID]*node.Node),
+		ents:    make([]entityAcct, scen.Entities()),
+		lat:     &metrics.Histogram{},
+		ingress: ing,
+		stop:    make(chan struct{}),
+	}
+	for _, n := range d.Nodes {
+		dr.nodes = append(dr.nodes, n.ID())
+		dr.byID[n.ID()] = n
+	}
+	dr.alive = make([]atomic.Bool, len(dr.nodes))
+	for i := range dr.alive {
+		dr.alive[i].Store(true)
+	}
+	return dr
+}
+
+// retrySafe reports whether err proves the event did not execute. The
+// in-memory mesh is synchronous: a request-side transport error means the
+// handler never ran, and the typed admission errors (lag refusal,
+// backpressure, closed runtime) fail before execution by construction.
+// Server-side errors that crossed the ingress wire arrive re-typed by
+// WireError, so errors.Is covers them too; the string fallback catches
+// transport sentinels that were flattened into a message en route.
+func retrySafe(err error) bool {
+	switch {
+	case errors.Is(err, transport.ErrDropped),
+		errors.Is(err, transport.ErrPartitioned),
+		errors.Is(err, transport.ErrNodeUnknown),
+		errors.Is(err, transport.ErrClosed),
+		errors.Is(err, replication.ErrReplicaLagging),
+		errors.Is(err, core.ErrBackpressure),
+		errors.Is(err, core.ErrClosed),
+		errors.Is(err, node.ErrTooManyHops):
+		return true
+	}
+	msg := err.Error()
+	for _, s := range []string{"call dropped", "link partitioned", "unknown node", "replica lagging", "endpoint closed"} {
+		if strings.Contains(msg, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// noteHazard stamps a reply-loss hazard instant; the runner calls it right
+// after a partition engages or a victim's process is torn down.
+func (dr *driver) noteHazard() { dr.hazard.Store(time.Now().UnixNano()) }
+
+// hazardSensitive reports whether err is one of the kinds a reply loss can
+// masquerade as: the request-side variants of these are retry-safe, but a
+// call that was already past its request hop fails identically when the
+// fault lands on the reply.
+func hazardSensitive(err error) bool {
+	if errors.Is(err, transport.ErrPartitioned) || errors.Is(err, transport.ErrClosed) {
+		return true
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "link partitioned") || strings.Contains(msg, "endpoint closed")
+}
+
+// markDead/markAlive gate which nodes workers submit through.
+func (dr *driver) markDead(id transport.NodeID) {
+	for i, n := range dr.nodes {
+		if n == id {
+			dr.alive[i].Store(false)
+		}
+	}
+}
+
+func (dr *driver) markAlive(id transport.NodeID) {
+	for i, n := range dr.nodes {
+		if n == id {
+			dr.alive[i].Store(true)
+		}
+	}
+}
+
+// freeze marks every entity hosted on srv and waits for in-flight ops on
+// them to drain, so a checkpoint of srv captures a quiescent state.
+func (dr *driver) freeze(srv int, timeout time.Duration) []int {
+	var frozen []int
+	for e := range dr.ents {
+		if int(dr.scen.EntityServer(e)) == srv {
+			dr.ents[e].frozen.Store(true)
+			frozen = append(frozen, e)
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		busy := false
+		for _, e := range frozen {
+			if dr.ents[e].inflight.Load() != 0 {
+				busy = true
+				break
+			}
+		}
+		if !busy || time.Now().After(deadline) {
+			return frozen
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (dr *driver) unfreeze(frozen []int) {
+	for _, e := range frozen {
+		dr.ents[e].frozen.Store(false)
+	}
+}
+
+// submitter returns the submit function routed via the given live node —
+// plain node submits, or batched ingress futures when the driver has an
+// ingress client (the IoT soak shape: high fan-in telemetry riding
+// coalesced submit frames).
+func (dr *driver) submit(op workload.SoakOp) error {
+	if dr.ingress != nil {
+		_, err := dr.ingress.Go(op.Target, op.Method, op.Args...).Wait()
+		return err
+	}
+	// Round-robin over live nodes, deterministic enough for soak purposes.
+	start := int(dr.attempts.Load())
+	for i := 0; i < len(dr.nodes); i++ {
+		idx := (start + i) % len(dr.nodes)
+		if !dr.alive[idx].Load() {
+			continue
+		}
+		dr.mu.RLock()
+		n := dr.byID[dr.nodes[idx]]
+		dr.mu.RUnlock()
+		if n == nil {
+			continue
+		}
+		_, err := n.Submit(op.Target, op.Method, op.Args...)
+		return err
+	}
+	return transport.ErrNodeUnknown // no live node to submit through
+}
+
+// setNode swaps in a restarted node's handle.
+func (dr *driver) setNode(n *node.Node) {
+	dr.mu.Lock()
+	dr.byID[n.ID()] = n
+	dr.mu.Unlock()
+}
+
+// run starts workers generating seeded soak traffic until stopDriver.
+func (dr *driver) run(seed int64, workers int) {
+	for w := 0; w < workers; w++ {
+		rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+		dr.wg.Add(1)
+		go func() {
+			defer dr.wg.Done()
+			for {
+				select {
+				case <-dr.stop:
+					return
+				default:
+				}
+				dr.step(rng)
+			}
+		}()
+	}
+}
+
+// step generates and submits one op, classifying its outcome.
+func (dr *driver) step(rng *rand.Rand) {
+	op := dr.scen.SoakOp(rng)
+	for _, ef := range op.Effects {
+		if dr.ents[ef.Entity].frozen.Load() {
+			dr.skipped.Add(1)
+			time.Sleep(time.Millisecond)
+			return
+		}
+	}
+	for _, ef := range op.Effects {
+		dr.ents[ef.Entity].inflight.Add(1)
+		dr.ents[ef.Entity].started.Add(ef.Delta)
+	}
+	dr.attempts.Add(1)
+	t0 := time.Now()
+	err := dr.submit(op)
+	dr.lat.Record(time.Since(t0))
+	switch {
+	case err == nil:
+		dr.acked.Add(1)
+		for _, ef := range op.Effects {
+			dr.ents[ef.Entity].acked.Add(ef.Delta)
+		}
+	case retrySafe(err) && !(hazardSensitive(err) && t0.UnixNano() < dr.hazard.Load()):
+		dr.failed.Add(1)
+		time.Sleep(time.Millisecond) // back off instead of hammering a fault
+	default:
+		dr.ambiguous.Add(1)
+		for _, ef := range op.Effects {
+			dr.ents[ef.Entity].ambig.Add(ef.Delta)
+		}
+	}
+	for _, ef := range op.Effects {
+		dr.ents[ef.Entity].inflight.Add(-1)
+	}
+}
+
+// stopDriver halts the workers and waits for in-flight ops to finish.
+func (dr *driver) stopDriver() {
+	close(dr.stop)
+	dr.wg.Wait()
+}
+
+// availability is the fraction of attempted ops that were acknowledged.
+func (dr *driver) availability() float64 {
+	att := dr.attempts.Load()
+	if att == 0 {
+		return 1
+	}
+	return float64(dr.acked.Load()) / float64(att)
+}

@@ -585,3 +585,37 @@ func TestDiskBackendRejectsCorruptJournal(t *testing.T) {
 		t.Fatal("corrupt journal must fail to open")
 	}
 }
+
+// The disk+fsync variant is the same journal with per-commit fsync: it
+// must open through the spec registry, ack writes only after a durable
+// journal append, and replay identically to the plain disk backend.
+func TestDiskFsyncBackendOpensAndReplays(t *testing.T) {
+	dir := t.TempDir()
+	be, err := Open("disk+fsync:" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !be.(*DiskStore).fsync {
+		t.Fatal("disk+fsync spec did not enable per-commit fsync")
+	}
+	if _, err := be.Put("map/1", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Promote(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open("disk+fsync:" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got, _, err := re.Get("map/1"); err != nil || string(got) != "a" {
+		t.Fatalf("map/1 = %q err=%v; want a", got, err)
+	}
+	if e, _ := re.FenceEpoch(2); e != 5 {
+		t.Fatalf("fence after restart = %d; want 5", e)
+	}
+}

@@ -103,3 +103,38 @@ func TestTraceSpansAcrossBatchForward(t *testing.T) {
 		t.Fatalf("no batch trace spans both nodes: entry saw %v, owner saw %v", entry, owner)
 	}
 }
+
+// TestTraceSamplingMintsEveryNth pins Config.TraceSample: with a sample
+// rate of N, exactly one submit in N carries a trace ID (observable as
+// execute spans on the owner), and the rest ride untraced — the escape
+// hatch from the ~15–25% always-on tracing tax.
+func TestTraceSamplingMintsEveryNth(t *testing.T) {
+	mesh := transport.NewInMemMesh(transport.NewSim(transport.SimConfig{}))
+	d, err := node.Deploy(mesh, node.Topology{Nodes: 2, EnableOps: true})
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	t.Cleanup(d.Close)
+	const sample, submits = 4, 20
+	cli, err := ingress.Dial(mesh, ingress.Config{
+		Nodes:       []transport.NodeID{1},
+		Trace:       true,
+		TraceSample: sample,
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+
+	acct := d.Top.Accounts[0][0] // owned by node 1, no forwarding
+	for i := 0; i < submits; i++ {
+		if _, err := cli.Submit(acct, "deposit", 1); err != nil {
+			t.Fatalf("deposit %d: %v", i, err)
+		}
+	}
+	traces := spansOf(t, d.Nodes[0])
+	if want := submits / sample; len(traces) != want {
+		t.Fatalf("sampled %d traces out of %d submits at 1/%d, want %d: %v",
+			len(traces), submits, sample, want, traces)
+	}
+}

@@ -237,3 +237,71 @@ func TestFailureRecoveryRehostsFromCheckpointsAfterNodeCrash(t *testing.T) {
 		t.Fatalf("recovered balance = %v, want 1500", res)
 	}
 }
+
+// TestTransferResidualConvergesViaWALRecovery is the two-phase migration's
+// worst residual: the destination installs the group and commits its remap,
+// but the transfer ack is lost AND the destination is unreachable for the
+// commit probe, so the source aborts in doubt — destination authoritative
+// per its own directory, source still authoritative per its own, and the
+// migration WAL entry pinned. Healing the link and running WAL recovery on
+// the source must converge the split to exactly one authority.
+func TestTransferResidualConvergesViaWALRecovery(t *testing.T) {
+	net := transport.NewSim(transport.SimConfig{})
+	fm := transport.NewFaultyMesh(transport.NewInMemMesh(net))
+	// Store on node 2: the only 2→1 calls during the migration are the
+	// transfer and its commit probe, so a reply-drop budget of two kills
+	// exactly those.
+	d, err := Deploy(fm, Topology{Nodes: 2, StoreNode: 2})
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	t.Cleanup(d.Close)
+	n1, n2 := d.Nodes[0], d.Nodes[1]
+	bank2 := d.Top.Banks[1]
+	acct := d.Top.Accounts[1][0]
+	if _, err := n2.Submit(acct, "deposit", 500); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both the transfer ack and the commit-probe reply vanish: the
+	// destination commits, the source cannot learn that.
+	fm.DropReply(2, 1, 2)
+	if err := n1.MigrateRemote(n2.ID(), bank2, 1); err == nil {
+		t.Fatal("migration must abort in doubt when ack and probe are both lost")
+	}
+
+	// The split is real while the link is down: each side claims the group.
+	net.Partition(2, 1)
+	net.Partition(1, 2)
+	if srv, _ := n1.Runtime().Directory().Locate(bank2); srv != 1 {
+		t.Fatalf("destination should have committed its remap, locates %v", srv)
+	}
+	if srv, _ := n2.Runtime().Directory().Locate(bank2); srv != 2 {
+		t.Fatalf("source should still claim the group in doubt, locates %v", srv)
+	}
+	if keys, _ := d.Stores[1].List("wal/migration/"); len(keys) == 0 {
+		t.Fatal("aborted migration must leave its WAL entry pinned")
+	}
+
+	// Heal and recover: the source's WAL replay re-runs the protocol,
+	// discovers the committed transfer, and finishes its own remap.
+	net.Heal(2, 1)
+	net.Heal(1, 2)
+	if err := n2.Manager().Recover(); err != nil {
+		t.Fatalf("WAL recovery: %v", err)
+	}
+	for i, n := range d.Nodes {
+		if srv, _ := n.Runtime().Directory().Locate(bank2); srv != 1 {
+			t.Fatalf("node %d maps bank2 to %v after recovery, want exactly one authority on 1", i+1, srv)
+		}
+	}
+	if res, err := n1.Submit(acct, "balance"); err != nil || res.(int) != 1500 {
+		t.Fatalf("node1 balance = %v err=%v, want 1500", res, err)
+	}
+	if res, err := n2.Submit(acct, "balance"); err != nil || res.(int) != 1500 {
+		t.Fatalf("node2 balance = %v err=%v, want 1500", res, err)
+	}
+	if keys, _ := d.Stores[1].List("wal/migration/"); len(keys) != 0 {
+		t.Fatalf("migration WAL left behind after recovery: %v", keys)
+	}
+}

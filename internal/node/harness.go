@@ -8,6 +8,7 @@ package node
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"aeon/internal/cloudstore"
@@ -17,6 +18,7 @@ import (
 	"aeon/internal/ops"
 	"aeon/internal/ownership"
 	"aeon/internal/transport"
+	"aeon/internal/workload"
 )
 
 // Topology describes an in-process deployment.
@@ -51,6 +53,12 @@ type Topology struct {
 	AccountsPerBank int
 	// InitialBalance seeds every account (default 1000).
 	InitialBalance int
+	// Scenario, when non-nil, replaces the bank workload: every node hosts
+	// the scenario's schema and topology instead (Top stays nil). The same
+	// instance is shared across nodes — Build is deterministic and resets
+	// itself, so each node's replica derives identical IDs, and Restart
+	// rebuilds the same boot topology.
+	Scenario workload.Scenario
 	// Replicate enables the replicated ownership-metadata control plane on
 	// every node: runtime structural mutations are sequenced through the
 	// authoritative store's mutation log instead of staying process-local.
@@ -67,8 +75,11 @@ type Topology struct {
 type Deployment struct {
 	// Nodes in ID order (Nodes[0] is node 1).
 	Nodes []*Node
-	// Top is the replicated bank topology (identical on every node).
+	// Top is the replicated bank topology (identical on every node); nil
+	// when the deployment hosts a Topology.Scenario instead.
 	Top *BankTopology
+	// Scenario is the hosted scenario workload (Topology.Scenario).
+	Scenario workload.Scenario
 	// Stores[i] is node i+1's local in-memory store; only the store
 	// node's is authoritative (all unauthoritative with StoreParts).
 	Stores []*cloudstore.Store
@@ -144,8 +155,8 @@ func Deploy(mesh transport.Mesh, top Topology) (*Deployment, error) {
 				spec := top.StoreBackend
 				if spec == "" {
 					spec = "memory"
-				} else if arg, ok := diskSpec(spec); ok {
-					spec = fmt.Sprintf("disk:%s/p%d-r%d", arg, p, r)
+				} else if name, arg, ok := diskSpec(spec); ok {
+					spec = fmt.Sprintf("%s:%s/p%d-r%d", name, arg, p, r)
 				}
 				be, err := cloudstore.Open(spec)
 				if err != nil {
@@ -175,6 +186,7 @@ func Deploy(mesh transport.Mesh, top Topology) (*Deployment, error) {
 			d.Top = bank
 		}
 	}
+	d.Scenario = top.Scenario
 	return d, nil
 }
 
@@ -191,6 +203,9 @@ func buildNode(mesh transport.Mesh, top Topology, id transport.NodeID) (*Node, *
 		rtCfg = *top.Runtime
 	}
 	s := BankSchema()
+	if top.Scenario != nil {
+		s = top.Scenario.Schema()
+	}
 	if err := s.Freeze(); err != nil {
 		return nil, nil, nil, err
 	}
@@ -198,9 +213,16 @@ func buildNode(mesh transport.Mesh, top Topology, id transport.NodeID) (*Node, *
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	bank, err := BuildBank(rt, top.AccountsPerBank, top.InitialBalance)
-	if err != nil {
-		return nil, nil, nil, err
+	var bank *BankTopology
+	if top.Scenario != nil {
+		if err := top.Scenario.Build(rt); err != nil {
+			return nil, nil, nil, fmt.Errorf("scenario %s on node %v: %w", top.Scenario.Name(), id, err)
+		}
+	} else {
+		bank, err = BuildBank(rt, top.AccountsPerBank, top.InitialBalance)
+		if err != nil {
+			return nil, nil, nil, err
+		}
 	}
 	store := cloudstore.New()
 	cfg := Config{}
@@ -311,11 +333,17 @@ func (d *Deployment) Close() {
 	}
 }
 
-// diskSpec splits a "disk:<dir>" backend spec, reporting whether it is one.
-func diskSpec(spec string) (dir string, ok bool) {
-	const p = "disk:"
-	if len(spec) > len(p) && spec[:len(p)] == p {
-		return spec[len(p):], true
+// diskSpec splits a journaling-backend spec ("disk:<dir>" or
+// "disk+fsync:<dir>") into its backend name and directory, reporting
+// whether the spec is one. Both variants get per-replica directory
+// suffixes so replicas never share a journal.
+func diskSpec(spec string) (name, dir string, ok bool) {
+	i := strings.IndexByte(spec, ':')
+	if i <= 0 {
+		return "", "", false
 	}
-	return "", false
+	if n := spec[:i]; n == "disk" || n == "disk+fsync" {
+		return n, spec[i+1:], true
+	}
+	return "", "", false
 }

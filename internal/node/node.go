@@ -785,6 +785,16 @@ func (n *Node) handleSubmit(req submitReq) submitResp {
 	dir := n.rt.Directory()
 	host, ok := dir.Locate(dom)
 	if !ok {
+		// A forwarded event can name a sequencing point this node has
+		// resolved but never materialized: a virtual join minted by the
+		// Resolve above is placed only when the runtime materializes it.
+		// Materialize it here — the runtime places it deterministically
+		// alongside its first child — then re-read the directory.
+		if _, cerr := n.rt.Context(dom); cerr == nil {
+			host, ok = dir.Locate(dom)
+		}
+	}
+	if !ok {
 		msg, kind := errFields(fmt.Errorf("%v: %w", dom, core.ErrUnknownContext))
 		return submitResp{Err: msg, ErrKind: kind}
 	}

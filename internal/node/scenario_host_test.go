@@ -1,0 +1,61 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"aeon/internal/transport"
+	"aeon/internal/workload"
+)
+
+// runScenarioOnHarness deploys scen on a live n-node deployment and replays
+// its script through node 1, returning the transcript.
+func runScenarioOnHarness(t *testing.T, name string, nodes int) []string {
+	t.Helper()
+	scen, err := workload.NewScenario(name, nodes)
+	if err != nil {
+		t.Fatalf("scenario %s: %v", name, err)
+	}
+	mesh := transport.NewInMemMesh(transport.NewSim(transport.SimConfig{}))
+	// Replicate is required for the social workload: a post's virtual-join
+	// dominator is minted by whichever node first runs the dominator query,
+	// and the mint must reach the mesh through the mutation log before the
+	// forwarded event lands on the virtual's host.
+	d, err := Deploy(mesh, Topology{Nodes: nodes, Scenario: scen, StoreParts: 2, Replicate: true})
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	t.Cleanup(d.Close)
+	if err := d.WaitReady(10 * time.Second); err != nil {
+		t.Fatalf("mesh not ready: %v", err)
+	}
+	return scen.Script(d.Nodes[0].Submit)
+}
+
+// TestScenarioScriptMatchesOracleOnHarness is the scenario layer's
+// ground-truth check: the same deterministic script, run once against a
+// single-process runtime (the oracle) and once against a live multi-node
+// deployment with real forwarding, must produce identical transcripts —
+// including for the social workload, whose multi-owned timelines make every
+// post resolve through a virtual-join dominator.
+func TestScenarioScriptMatchesOracleOnHarness(t *testing.T) {
+	for _, name := range workload.ScenarioNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			const nodes = 3
+			want, err := workload.Oracle(name, nodes)
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			got := runScenarioOnHarness(t, name, nodes)
+			if len(got) != len(want) {
+				t.Fatalf("transcript length: harness %d oracle %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("transcript diverges at line %d:\n  harness: %s\n  oracle:  %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}

@@ -93,6 +93,26 @@ func (r *Registry) add(e metricEntry) {
 	r.metrics = append(r.metrics, e)
 }
 
+// Summary reads a registered histogram back out of the registry: count,
+// median, and p99. SLO assertions (the chaos harness's p99 ceiling) read
+// the node-side latency distributions through this instead of scraping
+// and re-parsing the Prometheus exposition.
+func (r *Registry) Summary(name string) (count uint64, p50, p99 time.Duration, ok bool) {
+	r.mu.RLock()
+	var h HistogramSource
+	for _, e := range r.metrics {
+		if e.kind == kindSummary && e.name == name {
+			h = e.hist
+			break
+		}
+	}
+	r.mu.RUnlock()
+	if h == nil {
+		return 0, 0, 0, false
+	}
+	return h.Count(), h.Quantile(0.5), h.Quantile(0.99), true
+}
+
 // Readiness registers a named per-subsystem readiness check; a nil error
 // means ready. Checks run on every /healthz request.
 func (r *Registry) Readiness(name string, check func() error) {

@@ -104,6 +104,13 @@ type Plane struct {
 
 	appends, conflicts, applies, notifies atomic.Uint64
 
+	// paused suspends the tailer (fault injection: a paused replica
+	// serves a stale view and its lag-gated submits block, exactly like a
+	// node whose notify links and poll reads stall). The node's own
+	// appends still apply — pause models a lagging *tailer*, not a dead
+	// store link.
+	paused atomic.Bool
+
 	// headSeen is the highest log sequence this replica has been told
 	// exists (notify hints and its own appends); applied can lag it while
 	// the tailer catches up, and head-applied is the replica's lag.
@@ -532,9 +539,29 @@ func (p *Plane) tailLoop() {
 		case <-p.wake:
 		case <-ticker.C:
 		}
+		if p.paused.Load() {
+			continue
+		}
 		_ = p.CatchUp() // store hiccups are retried next tick
 	}
 }
+
+// Pause suspends the tailer's log applies, injecting replication lag: the
+// local replica stops learning peers' mutations until Resume, so its
+// applied sequence falls behind the head and lag-gated submit admission
+// holds callers at the gate. The chaos harness uses this as its
+// replication-lag fault class. Pausing an already paused plane is a no-op.
+func (p *Plane) Pause() { p.paused.Store(true) }
+
+// Resume lifts a Pause and kicks the tailer so catch-up starts
+// immediately rather than on the next poll tick.
+func (p *Plane) Resume() {
+	p.paused.Store(false)
+	p.kick()
+}
+
+// Paused reports whether the tailer is suspended.
+func (p *Plane) Paused() bool { return p.paused.Load() }
 
 // --- core.Replicator + fleet topology API ---
 

@@ -1,0 +1,198 @@
+package workload
+
+// Scenario is the contract between an end-to-end workload and everything
+// that hosts or drives one: the node harness builds the same scenario on
+// every process (deterministic construction, so IDs and placements agree
+// without coordination, exactly like the bank workload), `aeon-node
+// -workload` selects one by name, and the chaos/soak harness
+// (internal/chaos) drives its traffic against fault schedules while
+// model-checking the acked effects.
+//
+// Determinism rules a Scenario must obey:
+//   - Build is called once per process against an identically constructed
+//     cluster and must create contexts in a fixed order, so every replica
+//     derives identical context IDs. Build must reset any state from a
+//     previous Build (the harness reuses one instance across restarts).
+//   - Script replays a fixed op sequence whose outcome strings match a
+//     single-process run of the same scenario (the oracle) exactly.
+//   - SoakOp is pure: it derives the op from the rng and the built
+//     topology only, so concurrent soak workers can share the instance.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"aeon/internal/cluster"
+	"aeon/internal/core"
+	"aeon/internal/ownership"
+	"aeon/internal/schema"
+	"aeon/internal/transport"
+)
+
+// Submit abstracts "submit an event" over node deployments, ingress
+// clients, and plain runtimes, so one script drives all of them. It is the
+// same shape as node.SubmitFunc.
+type Submit func(target ownership.ID, method string, args ...any) (any, error)
+
+// Effect is one modeled state change of a soak op: Delta is added to
+// entity Entity's monotone counter when the op is acknowledged.
+type Effect struct {
+	Entity int
+	Delta  uint64
+}
+
+// SoakOp is one randomly generated traffic operation together with its
+// modeled effects. Every effect entity is a monotone counter (telemetry
+// sums, timeline pushes), which is what lets the chaos harness assert "no
+// acked-write loss" under faults: after quiescing, each entity's
+// authoritative counter must equal the sum of acknowledged deltas, plus at
+// most the deltas whose outcome was ambiguous.
+type SoakOp struct {
+	Target  ownership.ID
+	Method  string
+	Args    []any
+	Effects []Effect
+}
+
+// Scenario is a deterministic end-to-end workload.
+type Scenario interface {
+	// Name is the registry key ("iot", "social", ...).
+	Name() string
+	// Schema returns a fresh, unfrozen schema declaring the scenario's
+	// contextclasses. Callers freeze it before building a runtime.
+	Schema() *schema.Schema
+	// Build populates rt with the scenario topology, deterministically.
+	Build(rt *core.Runtime) error
+	// Script replays the deterministic op sequence, recording each outcome
+	// as a printable string (errors as "err:<message>").
+	Script(submit Submit) []string
+
+	// Roots lists the scenario's migration-safe group roots, in build
+	// order: groups the chaos harness may MigrateGroup freely because
+	// their members never resolve events at a sequencing point outside
+	// the group (no shared subtrees, no minted virtual dominators left
+	// behind by a move). Valid after Build.
+	Roots() []ownership.ID
+	// Entities reports how many monotone counters the scenario models.
+	Entities() int
+	// EntityServer maps an entity to the server where its events execute
+	// at boot placement — the server whose death freezes the entity and
+	// whose checkpoint captures its state.
+	EntityServer(e int) cluster.ServerID
+	// RootServer maps a root index (into Roots) to the server hosting
+	// that group at boot, which is where a migration round-trip returns it.
+	RootServer(root int) cluster.ServerID
+	// RootEntity maps a root index to one entity inside that group, which
+	// is how the chaos harness probes a migrated group's liveness.
+	RootEntity(root int) int
+	// SoakOp derives one random traffic op from rng.
+	SoakOp(rng *rand.Rand) SoakOp
+	// ReadEntity reads entity e's authoritative counter with a readonly
+	// submit.
+	ReadEntity(submit Submit, e int) (uint64, error)
+	// ChurnOp returns a semantically inert runtime-topology mutation (a
+	// context creation that does not perturb any entity counter or script
+	// outcome). The chaos harness uses it to push traffic through the
+	// replicated mutation log, e.g. to make replication lag observable.
+	ChurnOp() (target ownership.ID, method string, args []any)
+}
+
+// Oracle builds a fresh single-process runtime hosting the named scenario
+// across the given server count, replays the deterministic script on it,
+// and returns the transcript. Multi-process drivers diff their transcript
+// against it: the node layer must be semantically invisible.
+func Oracle(name string, servers int) ([]string, error) {
+	scen, err := NewScenario(name, servers)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := NewScenarioRuntime(scen, servers)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	return scen.Script(rt.Submit), nil
+}
+
+// NewScenarioRuntime builds a single-process runtime with the scenario's
+// schema and topology over a zero-latency simulated cluster of the given
+// size — the shared oracle substrate.
+func NewScenarioRuntime(scen Scenario, servers int) (*core.Runtime, error) {
+	cl := cluster.New(transport.NewSim(transport.SimConfig{}))
+	for i := 0; i < servers; i++ {
+		cl.AddServer(cluster.M3Large)
+	}
+	s := scen.Schema()
+	if err := s.Freeze(); err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.ChargeClientHops = false
+	rt, err := core.New(s, ownership.NewGraph(), cl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := scen.Build(rt); err != nil {
+		rt.Close()
+		return nil, err
+	}
+	return rt, nil
+}
+
+// recorder returns a closure appending op outcomes to a script transcript
+// in the shared format ("err:<message>" for failures, "%v" otherwise) —
+// the same convention node.RunBankScript uses, so drivers can diff any
+// scenario's transcript the same way.
+func recorder(out *[]string) func(v any, err error) {
+	return func(v any, err error) {
+		if err != nil {
+			*out = append(*out, "err:"+err.Error())
+			return
+		}
+		*out = append(*out, fmt.Sprintf("%v", v))
+	}
+}
+
+// ---- registry ----
+
+var (
+	scenarioMu  sync.Mutex
+	scenarioReg = make(map[string]func(servers int) Scenario)
+)
+
+// RegisterScenario makes a scenario constructable by NewScenario. The
+// factory receives the deployment's server count. Duplicate names panic,
+// matching the cloudstore backend registry discipline.
+func RegisterScenario(name string, factory func(servers int) Scenario) {
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	if _, dup := scenarioReg[name]; dup {
+		panic(fmt.Sprintf("workload: scenario %q registered twice", name))
+	}
+	scenarioReg[name] = factory
+}
+
+// NewScenario constructs a fresh instance of the named scenario.
+func NewScenario(name string, servers int) (Scenario, error) {
+	scenarioMu.Lock()
+	factory, ok := scenarioReg[name]
+	scenarioMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown scenario %q (have %v)", name, ScenarioNames())
+	}
+	return factory(servers), nil
+}
+
+// ScenarioNames lists the registered scenario names, sorted.
+func ScenarioNames() []string {
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	names := make([]string, 0, len(scenarioReg))
+	for n := range scenarioReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
